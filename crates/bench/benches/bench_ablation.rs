@@ -1,0 +1,96 @@
+//! Design-choice ablations called out in DESIGN.md §5.
+//!
+//! * acceptance rule: Lyapunov-guarded (terminates) vs paper-literal
+//!   benefit-only dynamics (pass-capped);
+//! * arbitration: shuffled-sequential vs sequential vs one-winner-per-pass;
+//! * benefit model: full Eq. 12 vs the uniform-gain congestion form;
+//! * Phase #2 rescoring: incremental (only the placed item's column) vs
+//!   naive full rescans.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idde_core::{
+    AcceptanceRule, ArbitrationPolicy, BenefitModel, DeliveryConfig, GameConfig, GreedyDelivery,
+    IddeUGame,
+};
+use std::hint::black_box;
+
+fn acceptance_rules(c: &mut Criterion) {
+    let problem = common::default_problem(53);
+    let mut group = c.benchmark_group("ablation_acceptance");
+    group.bench_function("lyapunov_guarded", |b| {
+        let game = IddeUGame::new(GameConfig {
+            acceptance: AcceptanceRule::LyapunovGuarded,
+            ..Default::default()
+        });
+        b.iter(|| game.run(black_box(&problem)))
+    });
+    group.sample_size(10);
+    group.bench_function("benefit_only_capped_200_passes", |b| {
+        let game = IddeUGame::new(GameConfig {
+            acceptance: AcceptanceRule::BenefitOnly,
+            max_passes: 200,
+            ..Default::default()
+        });
+        b.iter(|| game.run(black_box(&problem)))
+    });
+    group.finish();
+}
+
+fn arbitration_policies(c: &mut Criterion) {
+    let problem = common::default_problem(54);
+    let mut group = c.benchmark_group("ablation_arbitration");
+    for (name, policy) in [
+        ("shuffled_sequential", ArbitrationPolicy::ShuffledSequential),
+        ("sequential", ArbitrationPolicy::Sequential),
+        ("random_winner", ArbitrationPolicy::RandomWinner),
+    ] {
+        let game = IddeUGame::new(GameConfig {
+            arbitration: policy,
+            max_passes: 3_000,
+            ..Default::default()
+        });
+        if policy == ArbitrationPolicy::RandomWinner {
+            group.sample_size(10);
+        }
+        group.bench_function(name, |b| b.iter(|| game.run(black_box(&problem))));
+    }
+    group.finish();
+}
+
+fn benefit_models(c: &mut Criterion) {
+    let problem = common::default_problem(55);
+    let mut group = c.benchmark_group("ablation_benefit_model");
+    for (name, benefit) in
+        [("paper_eq12", BenefitModel::PaperEq12), ("congestion", BenefitModel::Congestion)]
+    {
+        let game = IddeUGame::new(GameConfig { benefit, ..Default::default() });
+        group.bench_function(name, |b| b.iter(|| game.run(black_box(&problem))));
+    }
+    group.finish();
+}
+
+fn rescoring(c: &mut Criterion) {
+    let problem = common::default_problem(56);
+    let allocation = IddeUGame::default().run(&problem).field.into_allocation();
+    let mut group = c.benchmark_group("ablation_phase2_rescoring");
+    group.bench_function("incremental", |b| {
+        let engine = GreedyDelivery::new(DeliveryConfig {
+            incremental_rescoring: true,
+            ..Default::default()
+        });
+        b.iter(|| engine.run(black_box(&problem), black_box(&allocation)))
+    });
+    group.bench_function("naive_full_rescan", |b| {
+        let engine = GreedyDelivery::new(DeliveryConfig {
+            incremental_rescoring: false,
+            ..Default::default()
+        });
+        b.iter(|| engine.run(black_box(&problem), black_box(&allocation)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, acceptance_rules, arbitration_policies, benefit_models, rescoring);
+criterion_main!(benches);

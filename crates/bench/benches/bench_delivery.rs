@@ -1,0 +1,63 @@
+//! Phase #2 benchmarks: greedy data delivery scaling.
+//!
+//! §3.2 bounds Phase #2 by `O(N²K)`; these benches sweep `K` (Set #3's
+//! parameter) and `N` for the greedy engine, and pit it against the exact
+//! placement search on a small instance to show the gap the `(e−1)/2e`
+//! approximation buys.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idde_core::{GreedyDelivery, IddeUGame};
+use idde_solver::{Budget, PlacementSearch};
+use std::hint::black_box;
+
+fn greedy_vs_data(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_delivery_vs_data");
+    for &k in &[2usize, 5, 8] {
+        let problem = common::problem(30, 200, k, 44);
+        let allocation = IddeUGame::default().run(&problem).field.into_allocation();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &problem, |b, p| {
+            b.iter(|| GreedyDelivery::default().run(black_box(p), black_box(&allocation)))
+        });
+    }
+    group.finish();
+}
+
+fn greedy_vs_servers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_delivery_vs_servers");
+    for &n in &[20usize, 35, 50] {
+        let problem = common::problem(n, 200, 5, 45);
+        let allocation = IddeUGame::default().run(&problem).field.into_allocation();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| GreedyDelivery::default().run(black_box(p), black_box(&allocation)))
+        });
+    }
+    group.finish();
+}
+
+fn greedy_vs_exact(c: &mut Criterion) {
+    // Small instance where the exact search is provable: the greedy should
+    // be orders of magnitude faster for a near-identical latency.
+    let problem = common::problem(6, 20, 3, 46);
+    let allocation = IddeUGame::default().run(&problem).field.into_allocation();
+    let mut group = c.benchmark_group("greedy_vs_exact_placement");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| {
+        b.iter(|| GreedyDelivery::default().run(black_box(&problem), black_box(&allocation)))
+    });
+    group.bench_function("exact_bnb", |b| {
+        b.iter(|| {
+            PlacementSearch::new(
+                black_box(&problem),
+                black_box(&allocation),
+                Budget::with_node_limit(200_000),
+            )
+            .run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, greedy_vs_data, greedy_vs_servers, greedy_vs_exact);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Phase #1 benchmarks: IDDE-U game convergence time.
+//!
+//! The game dominates IDDE-G's computation time (Fig. 7), and §3.2 bounds
+//! its complexity by `O(NMK)`; these benches measure the empirical scaling
+//! of the default engine in `M` (Set #2's sweep) and `N` (Set #1's sweep).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idde_core::IddeUGame;
+use std::hint::black_box;
+
+fn game_vs_users(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game_vs_users");
+    for &m in &[50usize, 150, 250, 350] {
+        let problem = common::problem(30, m, 5, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &problem, |b, p| {
+            b.iter(|| {
+                let outcome = IddeUGame::default().run(black_box(p));
+                assert!(outcome.converged);
+                outcome.moves
+            })
+        });
+    }
+    group.finish();
+}
+
+fn game_vs_servers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game_vs_servers");
+    for &n in &[20usize, 35, 50] {
+        let problem = common::problem(n, 200, 5, 43);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| {
+                let outcome = IddeUGame::default().run(black_box(p));
+                assert!(outcome.converged);
+                outcome.moves
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, game_vs_users, game_vs_servers);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Substrate microbenchmarks: the building blocks every solve leans on.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idde_eua::SyntheticEua;
+use idde_model::{ChannelIndex, UserId};
+use idde_net::{all_pairs_dijkstra, generate_topology, TopologyConfig};
+use idde_radio::InterferenceField;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn interference_field(c: &mut Criterion) {
+    let problem = common::default_problem(48);
+    // A realistic mid-game field: everyone allocated round-robin.
+    let mut field = InterferenceField::new(&problem.radio, &problem.scenario);
+    for user in problem.scenario.user_ids() {
+        let servers = problem.scenario.coverage.servers_of(user);
+        if servers.is_empty() {
+            continue;
+        }
+        let server = servers[user.index() % servers.len()];
+        let channels = problem.scenario.servers[server.index()].num_channels as usize;
+        field.allocate(user, server, ChannelIndex::from_index(user.index() % channels));
+    }
+
+    let mut group = c.benchmark_group("interference_field");
+    group.bench_function("sinr_query", |b| {
+        let user = UserId(7);
+        let servers = problem.scenario.coverage.servers_of(user);
+        let server = servers[0];
+        b.iter(|| field.sinr_at(black_box(user), black_box(server), ChannelIndex(0)))
+    });
+    group.bench_function("average_rate_m200", |b| b.iter(|| field.average_rate()));
+    group.bench_function("move_user", |b| {
+        let user = UserId(11);
+        let servers = problem.scenario.coverage.servers_of(user).to_vec();
+        let mut flip = false;
+        b.iter(|| {
+            let server = servers[usize::from(flip) % servers.len()];
+            field.allocate(black_box(user), server, ChannelIndex(0));
+            flip = !flip;
+        })
+    });
+    group.finish();
+}
+
+fn network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    let mut rng = ChaCha8Rng::seed_from_u64(49);
+    let topo125 = generate_topology(125, &TopologyConfig::paper(2.0), &mut rng);
+    group.bench_function("all_pairs_dijkstra_n125", |b| {
+        b.iter(|| all_pairs_dijkstra(black_box(topo125.graph())))
+    });
+    group.bench_function("generate_topology_n50", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(50);
+        b.iter(|| generate_topology(50, &TopologyConfig::paper(1.0), &mut rng))
+    });
+    group.finish();
+}
+
+fn dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset");
+    group.bench_function("generate_base_population", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        b.iter(|| SyntheticEua::default().generate(&mut rng))
+    });
+    group.bench_function("sample_scenario_n30_m200", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(52);
+        let population = SyntheticEua::default().generate(&mut rng);
+        b.iter(|| {
+            idde_eua::SampleConfig::paper(30, 200, 5).sample(black_box(&population), &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, interference_field, network, dataset);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Shared fixtures for the Criterion benches.
+
+use idde_core::Problem;
+use idde_eua::SyntheticEua;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A problem instance sampled from the synthetic EUA-like population at the
+/// given experiment point.
+pub fn problem(n: usize, m: usize, k: usize, seed: u64) -> Problem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let scenario = SyntheticEua::default().sample(n, m, k, &mut rng);
+    Problem::standard(scenario, &mut rng)
+}
+
+/// The paper's default experiment point (`N=30, M=200, K=5`).
+#[allow(dead_code)] // not every bench target uses the default point
+pub fn default_problem(seed: u64) -> Problem {
+    problem(30, 200, 5, seed)
+}

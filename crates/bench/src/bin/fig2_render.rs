@@ -1,0 +1,30 @@
+//! Renders the paper's Fig. 2 running example as an SVG map — coverage
+//! discs, the IDDE-U equilibrium's allocation spokes and the greedy
+//! replica placements.
+//!
+//! ```sh
+//! cargo run --release -p idde-bench --bin fig2_render
+//! ```
+
+use idde_core::{IddeG, Problem};
+use idde_model::svg::{render, SvgOptions};
+use idde_model::testkit;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cfg = idde_bench::BinConfig::from_args();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let problem = Problem::standard(testkit::fig2_example(), &mut rng);
+    let strategy = IddeG::default().solve(&problem);
+    let svg = render(
+        &problem.scenario,
+        Some(&strategy.allocation),
+        Some(&strategy.placement),
+        &SvgOptions::default(),
+    );
+    let path = cfg.out_dir.join("fig2_map.svg");
+    std::fs::create_dir_all(&cfg.out_dir).expect("output directory");
+    std::fs::write(&path, svg).expect("write SVG");
+    println!("wrote {}", path.display());
+}

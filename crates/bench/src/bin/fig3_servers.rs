@@ -1,0 +1,7 @@
+//! Regenerates Fig. 3: R_avg and L_avg vs the number of edge servers N
+//! (experiment Set #1 of Table 2).
+
+fn main() {
+    let cfg = idde_bench::BinConfig::from_args();
+    idde_bench::emit_set(0, "fig3_set1", &cfg);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4: R_avg and L_avg vs the number of users M
+//! (experiment Set #2 of Table 2).
+
+fn main() {
+    let cfg = idde_bench::BinConfig::from_args();
+    idde_bench::emit_set(1, "fig4_set2", &cfg);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 5: R_avg and L_avg vs the number of data items K
+//! (experiment Set #3 of Table 2).
+
+fn main() {
+    let cfg = idde_bench::BinConfig::from_args();
+    idde_bench::emit_set(2, "fig5_set3", &cfg);
+}

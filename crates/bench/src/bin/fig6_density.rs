@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6: R_avg and L_avg vs the network density
+//! (experiment Set #4 of Table 2).
+
+fn main() {
+    let cfg = idde_bench::BinConfig::from_args();
+    idde_bench::emit_set(3, "fig6_set4", &cfg);
+}

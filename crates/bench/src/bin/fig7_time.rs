@@ -1,0 +1,40 @@
+//! Regenerates Fig. 7: computation time of the five approaches across the
+//! four experiment sets (box statistics over all points × repetitions).
+
+use idde_sim::{table2_sets, Summary};
+
+fn main() {
+    let cfg = idde_bench::BinConfig::from_args();
+    let runner = cfg.runner();
+    let sets = table2_sets();
+    let mut csv = String::from("set,approach,count,mean,std,min,q1,median,q3,max\n");
+    println!("Fig. 7 — computation time (s) per approach per experiment set");
+    for set in &sets {
+        eprintln!("running Set #{} …", set.id);
+        let result = runner.run_set(set);
+        // Pool every point's timing samples per approach.
+        let names: Vec<&str> = result.points[0].approaches.iter().map(|a| a.name).collect();
+        println!("\nSet #{}:", set.id);
+        println!("{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}", "approach", "mean", "q1", "median", "q3", "max");
+        for (a, name) in names.iter().enumerate() {
+            let samples: Vec<f64> = result
+                .points
+                .iter()
+                .flat_map(|p| p.approaches[a].times.iter().copied())
+                .collect();
+            let s = Summary::of(&samples);
+            println!(
+                "{name:>10} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                s.mean, s.q1, s.median, s.q3, s.max
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                set.id, name, s.count, s.mean, s.std, s.min, s.q1, s.median, s.q3, s.max
+            ));
+        }
+    }
+    let path = cfg.out_dir.join("fig7_time.csv");
+    if std::fs::create_dir_all(&cfg.out_dir).and_then(|_| std::fs::write(&path, csv)).is_ok() {
+        eprintln!("wrote {}", path.display());
+    }
+}

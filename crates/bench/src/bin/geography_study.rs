@@ -1,0 +1,68 @@
+//! Geography robustness study: does IDDE-G's win survive when the city is
+//! not a Melbourne-style grid?
+//!
+//! Sweeps four structurally different spatial layouts (grid, ring,
+//! corridor, campus clusters), samples the default experiment point from
+//! each, and runs the heuristic panel (IDDE-IP is skipped by default:
+//! this is a layout study, not a timing one — add `--iddeip-ms` to
+//! include it).
+//!
+//! ```sh
+//! cargo run --release -p idde-bench --bin geography_study -- --reps 15
+//! ```
+
+use idde_baselines::standard_panel;
+use idde_core::Problem;
+use idde_eua::{all_geographies, SampleConfig};
+use idde_net::{generate_topology, TopologyConfig};
+use idde_radio::{RadioEnvironment, RadioParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cfg = idde_bench::BinConfig::from_args();
+    let reps = cfg.reps.min(50);
+    for geography in all_geographies() {
+        let mut totals: Vec<(String, f64, f64)> = Vec::new();
+        for rep in 0..reps {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                cfg.seed ^ (rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let population = geography.generate(&mut rng);
+            let scenario = SampleConfig::paper(30, 200, 5).sample(&population, &mut rng);
+            let radio = RadioEnvironment::new(&scenario, RadioParams::paper());
+            let topology = generate_topology(30, &TopologyConfig::paper(1.0), &mut rng);
+            let problem = Problem::new(scenario, radio, topology);
+            let mut idx = 0;
+            for approach in standard_panel(cfg.iddeip) {
+                if approach.name() == "IDDE-IP" && cfg.skip_iddeip {
+                    continue;
+                }
+                let strategy = approach.solve_seeded(&problem, rep as u64);
+                assert!(problem.is_feasible(&strategy), "{} infeasible", approach.name());
+                let metrics = problem.evaluate(&strategy);
+                if totals.len() <= idx {
+                    totals.push((approach.name().to_string(), 0.0, 0.0));
+                }
+                totals[idx].1 += metrics.average_data_rate.value() / reps as f64;
+                totals[idx].2 += metrics.average_delivery_latency.value() / reps as f64;
+                idx += 1;
+            }
+        }
+        println!("\n{} city ({} reps):", geography.name(), reps);
+        println!("{:>10} {:>14} {:>12}", "approach", "R_avg (MB/s)", "L_avg (ms)");
+        for (name, rate, latency) in &totals {
+            println!("{name:>10} {rate:>14.2} {latency:>12.3}");
+        }
+        let iddeg = totals.iter().find(|t| t.0 == "IDDE-G").expect("panel");
+        for other in totals.iter().filter(|t| t.0 != "IDDE-G" && t.0 != "IDDE-IP") {
+            assert!(
+                iddeg.1 >= other.1 - 1e-9 && iddeg.2 <= other.2 + 1e-9,
+                "IDDE-G lost to {} in the {} city",
+                other.0,
+                geography.name()
+            );
+        }
+    }
+    println!("\nIDDE-G keeps the highest rate and lowest latency in every layout.");
+}

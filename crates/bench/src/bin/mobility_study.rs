@@ -1,0 +1,86 @@
+//! Mobility/migration study — quantifies the §6 future-work extension.
+//!
+//! Simulates `--reps` independent cities over 10 mobility epochs each and
+//! aggregates: warm-start latency vs a cold re-solve's, migration traffic
+//! saved, and game work saved.
+//!
+//! ```sh
+//! cargo run --release -p idde-bench --bin mobility_study -- --reps 10
+//! ```
+
+use idde_core::{IddeG, MobileSolver, Problem, RandomWaypoint};
+use idde_eua::SyntheticEua;
+use idde_radio::{RadioEnvironment, RadioParams};
+use idde_sim::Summary;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cfg = idde_bench::BinConfig::from_args();
+    let reps = cfg.reps.min(30);
+    let epochs = 10usize;
+    let waypoint = RandomWaypoint { max_step_m: 90.0, move_probability: 0.5 };
+    let solver = MobileSolver { evict_useless: true, ..Default::default() };
+
+    let mut latency_ratio = Vec::new(); // warm L / cold L per epoch
+    let mut traffic_ratio = Vec::new(); // warm migrated / cold shipped
+    let mut moves_ratio = Vec::new(); // warm game moves / cold game moves
+
+    for rep in 0..reps {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (rep as u64).wrapping_mul(0xA5A5));
+        let scenario = SyntheticEua::default().sample(20, 120, 5, &mut rng);
+        let mut problem = Problem::standard(scenario, &mut rng);
+        let (mut strategy, _) = solver.resolve(&problem, None);
+
+        for _ in 0..epochs {
+            let (next, _) = waypoint.step(&problem.scenario, &mut rng);
+            let radio = RadioEnvironment::new(&next, RadioParams::paper());
+            problem = Problem::new(next, radio, problem.topology.clone());
+
+            let (warm, report) = solver.resolve(&problem, Some(&strategy));
+            let warm_metrics = problem.evaluate(&warm);
+
+            let cold = IddeG::default().solve_with_report(&problem);
+            let cold_metrics = problem.evaluate(&cold.strategy);
+            let cold_traffic: f64 = problem
+                .scenario
+                .server_ids()
+                .flat_map(|s| {
+                    cold.strategy
+                        .placement
+                        .data_on(s)
+                        .map(|d| problem.scenario.data[d.index()].size.value())
+                })
+                .sum();
+
+            if cold_metrics.average_delivery_latency.value() > 1e-9 {
+                latency_ratio.push(
+                    warm_metrics.average_delivery_latency.value()
+                        / cold_metrics.average_delivery_latency.value(),
+                );
+            }
+            if cold_traffic > 0.0 {
+                traffic_ratio.push(report.migrated.value() / cold_traffic);
+            }
+            if cold.game_moves > 0 {
+                moves_ratio.push(report.game_moves as f64 / cold.game_moves as f64);
+            }
+            strategy = warm;
+        }
+    }
+
+    let print = |name: &str, samples: &[f64]| {
+        let s = Summary::of(samples);
+        println!("{name}: mean={:.3} median={:.3} q3={:.3} max={:.3}", s.mean, s.median, s.q3, s.max);
+        s
+    };
+    println!("mobility study: {reps} cities × {epochs} epochs (warm / cold ratios)");
+    let lat = print("latency ratio  (≈1 = warm as good)", &latency_ratio);
+    let mig = print("traffic ratio  (≪1 = migration saved)", &traffic_ratio);
+    let mov = print("game-move ratio (≪1 = work saved)", &moves_ratio);
+
+    assert!(lat.mean < 1.25, "warm latency drifted {:.2}x from cold", lat.mean);
+    assert!(mig.mean < 0.25, "warm migration should save ≥75% traffic");
+    assert!(mov.mean < 0.60, "warm re-equilibration should save game work");
+    println!("\nwarm re-solving keeps ~cold latency at a fraction of the traffic and work.");
+}

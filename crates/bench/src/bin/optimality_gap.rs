@@ -1,0 +1,91 @@
+//! Empirical optimality-gap study — grounds the §3.3 theory numerically.
+//!
+//! On instances tiny enough for `idde_solver::ExhaustiveSolver` to
+//! enumerate, this binary measures
+//!
+//! * the **price of anarchy** of the IDDE-U equilibrium: achieved total
+//!   rate / exhaustively-optimal total rate (Theorem 5 bounds it in
+//!   `[R_min/R_max, 1]`), and
+//! * the **greedy delivery ratio**: greedy latency reduction /
+//!   exhaustively-optimal latency reduction (Theorem 6 bounds it below by
+//!   `(e−1)/2e ≈ 0.316`).
+//!
+//! ```sh
+//! cargo run --release -p idde-bench --bin optimality_gap -- --reps 40
+//! ```
+
+use idde_core::{GreedyDelivery, IddeUGame};
+use idde_eua::{SampleConfig, SyntheticEua};
+use idde_solver::ExhaustiveSolver;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cfg = idde_bench::BinConfig::from_args();
+    let instances = cfg.reps.max(5);
+    let bound = (std::f64::consts::E - 1.0) / (2.0 * std::f64::consts::E);
+
+    let mut poa_samples = Vec::new();
+    let mut greedy_samples = Vec::new();
+    let mut skipped = 0usize;
+
+    for seed in 0..instances as u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (seed.wrapping_mul(0x9E37_79B9)));
+        let generator = SyntheticEua {
+            num_servers: 6,
+            num_users: 10,
+            width_m: 600.0,
+            height_m: 450.0,
+            ..Default::default()
+        };
+        let population = generator.generate(&mut rng);
+        let scenario = SampleConfig::paper(3, 5, 2).sample(&population, &mut rng);
+        let problem = idde_core::Problem::standard(scenario, &mut rng);
+
+        let solver = ExhaustiveSolver::default();
+        let Some((_, optimal_rate)) = solver.best_allocation(&problem) else {
+            skipped += 1;
+            continue;
+        };
+        let outcome = IddeUGame::default().run(&problem);
+        let achieved: f64 =
+            problem.scenario.user_ids().map(|u| outcome.field.rate(u).value()).sum();
+        if optimal_rate > 0.0 {
+            poa_samples.push(achieved / optimal_rate);
+        }
+
+        let allocation = outcome.field.into_allocation();
+        let greedy = GreedyDelivery::default().run(&problem, &allocation);
+        let Some((_, optimal_latency)) = solver.best_placement(&problem, &allocation) else {
+            skipped += 1;
+            continue;
+        };
+        let phi = greedy.initial_total_latency.value();
+        let optimal_reduction = phi - optimal_latency;
+        if optimal_reduction > 1e-9 {
+            greedy_samples.push(greedy.latency_reduction().value() / optimal_reduction);
+        }
+    }
+
+    let summary = |name: &str, samples: &[f64]| {
+        let s = idde_sim::Summary::of(samples);
+        println!(
+            "{name}: n={} mean={:.4} min={:.4} median={:.4} max={:.4}",
+            s.count, s.mean, s.min, s.median, s.max
+        );
+        s
+    };
+
+    println!("optimality gaps over {instances} tiny instances (N=3, M=5, K=2):");
+    let poa = summary("price of anarchy (rate, achieved/optimal)", &poa_samples);
+    let greedy = summary("greedy delivery ratio (ΔL/ΔL*)", &greedy_samples);
+    if skipped > 0 {
+        println!("(skipped {skipped} instances whose space exceeded the enumeration cap)");
+    }
+    println!("\nTheorem 5 requires PoA ≤ 1:                         {}",
+        if poa.max <= 1.0 + 1e-9 { "holds" } else { "VIOLATED" });
+    println!("Theorem 6 requires greedy ratio ≥ (e−1)/2e ≈ {bound:.3}: {}",
+        if greedy.count == 0 || greedy.min + 1e-9 >= bound { "holds" } else { "VIOLATED" });
+    assert!(poa.max <= 1.0 + 1e-9);
+    assert!(greedy.count == 0 || greedy.min + 1e-9 >= bound);
+}

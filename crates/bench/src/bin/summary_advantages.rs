@@ -1,0 +1,20 @@
+//! Regenerates the §4.5.1 aggregate advantage statement: IDDE-G's mean
+//! rate/latency advantage over every baseline, averaged across all four
+//! experiment sets (the paper quotes 9.20% / 53.27% / 29.40% / 41.56% on
+//! rate and 82.61% / 71.60% / 84.60% / 85.04% on latency).
+
+use idde_sim::{advantage_report, advantages, table2_sets};
+
+fn main() {
+    let cfg = idde_bench::BinConfig::from_args();
+    let runner = cfg.runner();
+    let results: Vec<_> = table2_sets()
+        .iter()
+        .map(|set| {
+            eprintln!("running Set #{} …", set.id);
+            runner.run_set(set)
+        })
+        .collect();
+    println!("§4.5.1 aggregate advantages of IDDE-G across all experiment sets:");
+    print!("{}", advantage_report(&advantages(&results, "IDDE-G")));
+}

@@ -1,0 +1,37 @@
+//! Prints Table 2 — the parameter settings of the four experiment sets —
+//! exactly as encoded in `idde_sim::experiment`.
+
+use idde_sim::table2_sets;
+
+fn main() {
+    println!("Table 2: Parameter Settings");
+    println!("{:>6} {:>16} {:>10} {:>6} {:>10}", "Set", "N", "M", "K", "density");
+    for set in table2_sets() {
+        let ns: Vec<usize> = set.points.iter().map(|p| p.n).collect();
+        let ms: Vec<usize> = set.points.iter().map(|p| p.m).collect();
+        let ks: Vec<usize> = set.points.iter().map(|p| p.k).collect();
+        let ds: Vec<f64> = set.points.iter().map(|p| p.density).collect();
+        let fmt_usize = |v: &[usize]| {
+            if v.iter().all(|&x| x == v[0]) {
+                format!("{}", v[0])
+            } else {
+                format!("{}..{}", v.first().unwrap(), v.last().unwrap())
+            }
+        };
+        let fmt_f = |v: &[f64]| {
+            if v.iter().all(|&x| (x - v[0]).abs() < 1e-12) {
+                format!("{:.1}", v[0])
+            } else {
+                format!("{:.1}..{:.1}", v.first().unwrap(), v.last().unwrap())
+            }
+        };
+        println!(
+            "{:>6} {:>16} {:>10} {:>6} {:>10}",
+            format!("#{}", set.id),
+            fmt_usize(&ns),
+            fmt_usize(&ms),
+            fmt_usize(&ks),
+            fmt_f(&ds),
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::path::PathBuf;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: idde <command> [options]
+
+commands:
+  generate   sample a scenario from the synthetic EUA-like population
+             --servers N --users M --data K [--seed S] [--out FILE]
+  info       print the statistics of a scenario file
+             --scenario FILE
+  solve      formulate a strategy for a scenario and score it
+             --scenario FILE [--approach idde-g|idde-ip|saa|cdp|dup-g]
+             [--seed S] [--density D] [--net-seed S] [--iddeip-ms B]
+  compare    run the full five-approach panel on a scenario
+             --scenario FILE [--seed S] [--density D] [--net-seed S]
+             [--iddeip-ms B]
+  render     draw a scenario (and optionally its IDDE-G strategy) as SVG
+             --scenario FILE [--out FILE] [--solve true|false]
+             [--seed S] [--density D] [--net-seed S]
+
+Scenario files use the plain-text `idde_model::io` format; `--out -`
+and `--scenario -` mean stdout/stdin.";
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `idde generate`
+    Generate {
+        /// Number of servers to sample.
+        servers: usize,
+        /// Number of users to sample.
+        users: usize,
+        /// Number of data items.
+        data: usize,
+        /// Sampling seed.
+        seed: u64,
+        /// Output (None = stdout).
+        out: Option<PathBuf>,
+    },
+    /// `idde info`
+    Info {
+        /// Scenario path (None = stdin).
+        scenario: Option<PathBuf>,
+    },
+    /// `idde solve`
+    Solve {
+        /// Scenario path (None = stdin).
+        scenario: Option<PathBuf>,
+        /// Approach name (normalised, lowercase).
+        approach: String,
+        /// Strategy seed.
+        seed: u64,
+        /// Network density.
+        density: f64,
+        /// Topology seed.
+        net_seed: u64,
+        /// IDDE-IP budget in ms.
+        iddeip_ms: u64,
+    },
+    /// `idde render`
+    Render {
+        /// Scenario path (None = stdin).
+        scenario: Option<PathBuf>,
+        /// Output SVG path (None = stdout).
+        out: Option<PathBuf>,
+        /// Whether to solve with IDDE-G and draw the strategy.
+        solve: bool,
+        /// Strategy seed.
+        seed: u64,
+        /// Network density.
+        density: f64,
+        /// Topology seed.
+        net_seed: u64,
+    },
+    /// `idde compare`
+    Compare {
+        /// Scenario path (None = stdin).
+        scenario: Option<PathBuf>,
+        /// Strategy seed.
+        seed: u64,
+        /// Network density.
+        density: f64,
+        /// Topology seed.
+        net_seed: u64,
+        /// IDDE-IP budget in ms.
+        iddeip_ms: u64,
+    },
+}
+
+fn path_arg(value: &str) -> Option<PathBuf> {
+    if value == "-" {
+        None
+    } else {
+        Some(PathBuf::from(value))
+    }
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let command = it.next().ok_or("missing command")?;
+
+    // Collect --key value pairs.
+    let mut opts: Vec<(String, String)> = Vec::new();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected an option, got {key:?}"))?;
+        let value = it.next().ok_or_else(|| format!("option --{key} needs a value"))?;
+        opts.push((key.to_string(), value.clone()));
+    }
+    let take = |name: &str| opts.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone());
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        take(name)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("--{name}: bad integer {v:?}")))
+            .unwrap_or(Ok(default))
+    };
+    let parse_usize = |name: &str| -> Result<usize, String> {
+        take(name)
+            .ok_or(format!("--{name} is required"))?
+            .parse::<usize>()
+            .map_err(|_| format!("--{name}: bad integer"))
+    };
+    let parse_f64 = |name: &str, default: f64| -> Result<f64, String> {
+        take(name)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("--{name}: bad number {v:?}")))
+            .unwrap_or(Ok(default))
+    };
+    let known = |allowed: &[&str]| -> Result<(), String> {
+        for (k, _) in &opts {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("unknown option --{k} for {command}"));
+            }
+        }
+        Ok(())
+    };
+
+    match command.as_str() {
+        "generate" => {
+            known(&["servers", "users", "data", "seed", "out"])?;
+            Ok(Command::Generate {
+                servers: parse_usize("servers")?,
+                users: parse_usize("users")?,
+                data: parse_usize("data")?,
+                seed: parse_u64("seed", 2022)?,
+                out: take("out").and_then(|v| path_arg(&v).map(Some).unwrap_or(None)),
+            })
+        }
+        "info" => {
+            known(&["scenario"])?;
+            Ok(Command::Info { scenario: take("scenario").and_then(|v| path_arg(&v)) })
+        }
+        "solve" => {
+            known(&["scenario", "approach", "seed", "density", "net-seed", "iddeip-ms"])?;
+            Ok(Command::Solve {
+                scenario: take("scenario").and_then(|v| path_arg(&v)),
+                approach: take("approach").unwrap_or_else(|| "idde-g".into()).to_lowercase(),
+                seed: parse_u64("seed", 0)?,
+                density: parse_f64("density", 1.0)?,
+                net_seed: parse_u64("net-seed", 1)?,
+                iddeip_ms: parse_u64("iddeip-ms", 1000)?,
+            })
+        }
+        "compare" => {
+            known(&["scenario", "seed", "density", "net-seed", "iddeip-ms"])?;
+            Ok(Command::Compare {
+                scenario: take("scenario").and_then(|v| path_arg(&v)),
+                seed: parse_u64("seed", 0)?,
+                density: parse_f64("density", 1.0)?,
+                net_seed: parse_u64("net-seed", 1)?,
+                iddeip_ms: parse_u64("iddeip-ms", 1000)?,
+            })
+        }
+        "render" => {
+            known(&["scenario", "out", "solve", "seed", "density", "net-seed"])?;
+            let solve = match take("solve").as_deref() {
+                None | Some("true") => true,
+                Some("false") => false,
+                Some(other) => return Err(format!("--solve: expected true|false, got {other:?}")),
+            };
+            Ok(Command::Render {
+                scenario: take("scenario").and_then(|v| path_arg(&v)),
+                out: take("out").and_then(|v| path_arg(&v)),
+                solve,
+                seed: parse_u64("seed", 0)?,
+                density: parse_f64("density", 1.0)?,
+                net_seed: parse_u64("net-seed", 1)?,
+            })
+        }
+        "help" | "--help" | "-h" => Err("help requested".into()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&argv("generate --servers 10 --users 50 --data 3 --out x.idde")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                servers: 10,
+                users: 50,
+                data: 3,
+                seed: 2022,
+                out: Some(PathBuf::from("x.idde")),
+            }
+        );
+    }
+
+    #[test]
+    fn generate_requires_sizes() {
+        assert!(parse(&argv("generate --servers 10 --users 50")).is_err());
+    }
+
+    #[test]
+    fn parses_solve_with_defaults() {
+        let cmd = parse(&argv("solve --scenario city.idde")).unwrap();
+        match cmd {
+            Command::Solve { scenario, approach, seed, density, net_seed, iddeip_ms } => {
+                assert_eq!(scenario, Some(PathBuf::from("city.idde")));
+                assert_eq!(approach, "idde-g");
+                assert_eq!(seed, 0);
+                assert_eq!(density, 1.0);
+                assert_eq!(net_seed, 1);
+                assert_eq!(iddeip_ms, 1000);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dash_means_stdin() {
+        let cmd = parse(&argv("info --scenario -")).unwrap();
+        assert_eq!(cmd, Command::Info { scenario: None });
+    }
+
+    #[test]
+    fn parses_render() {
+        let cmd = parse(&argv("render --scenario x.idde --out map.svg --solve false")).unwrap();
+        match cmd {
+            Command::Render { scenario, out, solve, .. } => {
+                assert_eq!(scenario, Some(PathBuf::from("x.idde")));
+                assert_eq!(out, Some(PathBuf::from("map.svg")));
+                assert!(!solve);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("render --scenario x --solve maybe")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_options() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("info --bogus 1")).is_err());
+        assert!(parse(&argv("solve --scenario x --approach")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+}

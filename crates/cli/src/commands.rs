@@ -1,0 +1,270 @@
+//! Command implementations.
+
+use std::io::Read as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use idde_baselines::{standard_panel, Cdp, DeliveryStrategy, DupG, IddeGStrategy, IddeIp, Saa};
+use idde_core::Problem;
+use idde_eua::{SampleConfig, SyntheticEua};
+use idde_model::{io as scenario_io, Scenario};
+use idde_net::{generate_topology, TopologyConfig};
+use idde_radio::{RadioEnvironment, RadioParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::args::Command;
+
+/// Executes a parsed command.
+pub fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Generate { servers, users, data, seed, out } => {
+            generate(servers, users, data, seed, out.as_deref())
+        }
+        Command::Info { scenario } => info(scenario.as_deref()),
+        Command::Solve { scenario, approach, seed, density, net_seed, iddeip_ms } => {
+            solve(scenario.as_deref(), &approach, seed, density, net_seed, iddeip_ms)
+        }
+        Command::Compare { scenario, seed, density, net_seed, iddeip_ms } => {
+            compare(scenario.as_deref(), seed, density, net_seed, iddeip_ms)
+        }
+        Command::Render { scenario, out, solve, seed, density, net_seed } => {
+            render(scenario.as_deref(), out.as_deref(), solve, seed, density, net_seed)
+        }
+    }
+}
+
+fn read_scenario(path: Option<&Path>) -> Result<Scenario, String> {
+    let text = match path {
+        Some(p) => std::fs::read_to_string(p)
+            .map_err(|e| format!("cannot read {}: {e}", p.display()))?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    scenario_io::from_str(&text).map_err(|e| e.to_string())
+}
+
+fn build_problem(scenario: Scenario, density: f64, net_seed: u64) -> Problem {
+    let radio = RadioEnvironment::new(&scenario, RadioParams::paper());
+    let mut rng = ChaCha8Rng::seed_from_u64(net_seed);
+    let topology =
+        generate_topology(scenario.num_servers(), &TopologyConfig::paper(density), &mut rng);
+    Problem::new(scenario, radio, topology)
+}
+
+fn generate(
+    servers: usize,
+    users: usize,
+    data: usize,
+    seed: u64,
+    out: Option<&Path>,
+) -> Result<(), String> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let population = SyntheticEua::default().generate(&mut rng);
+    if population.num_server_sites() < servers {
+        return Err(format!(
+            "the base population has {} server sites; --servers {servers} is too large",
+            population.num_server_sites()
+        ));
+    }
+    let scenario = SampleConfig::paper(servers, users, data).sample(&population, &mut rng);
+    let text = scenario_io::to_string(&scenario);
+    match out {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!(
+                "wrote {} ({} servers, {} users, {} data items, {} requests)",
+                path.display(),
+                scenario.num_servers(),
+                scenario.num_users(),
+                scenario.num_data(),
+                scenario.requests.total_requests()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn info(path: Option<&Path>) -> Result<(), String> {
+    let scenario = read_scenario(path)?;
+    println!("servers:   {}", scenario.num_servers());
+    println!("users:     {}", scenario.num_users());
+    println!("data:      {}", scenario.num_data());
+    println!("requests:  {}", scenario.requests.total_requests());
+    println!("channels:  {}", scenario.total_channels());
+    println!("storage:   {:.0} MB reserved in total", scenario.total_storage().value());
+    println!(
+        "catalogue: {:.0} MB ({:.0} MB largest item)",
+        scenario.data.iter().map(|d| d.size.value()).sum::<f64>(),
+        scenario.max_data_size().value()
+    );
+    println!(
+        "coverage:  {:.2} candidate servers per user, {} users uncovered",
+        scenario.coverage.mean_candidates_per_user(),
+        scenario.coverage.uncovered_users().count()
+    );
+    println!(
+        "area:      {:.0} m × {:.0} m",
+        scenario.area.width(),
+        scenario.area.height()
+    );
+    Ok(())
+}
+
+fn approach_by_name(
+    name: &str,
+    iddeip_ms: u64,
+) -> Result<Box<dyn DeliveryStrategy + Send + Sync>, String> {
+    Ok(match name {
+        "idde-g" | "iddeg" => Box::new(IddeGStrategy::default()),
+        "idde-ip" | "iddeip" => Box::new(IddeIp::with_budget(Duration::from_millis(iddeip_ms))),
+        "saa" => Box::new(Saa::default()),
+        "cdp" => Box::new(Cdp),
+        "dup-g" | "dupg" => Box::new(DupG::default()),
+        other => return Err(format!("unknown approach {other:?} (try idde-g, idde-ip, saa, cdp, dup-g)")),
+    })
+}
+
+fn solve(
+    path: Option<&Path>,
+    approach: &str,
+    seed: u64,
+    density: f64,
+    net_seed: u64,
+    iddeip_ms: u64,
+) -> Result<(), String> {
+    let approach = approach_by_name(approach, iddeip_ms)?;
+    let scenario = read_scenario(path)?;
+    let problem = build_problem(scenario, density, net_seed);
+    let t0 = Instant::now();
+    let strategy = approach.solve_seeded(&problem, seed);
+    let elapsed = t0.elapsed();
+    if !problem.is_feasible(&strategy) {
+        return Err(format!("{} produced an infeasible strategy (bug!)", approach.name()));
+    }
+    let metrics = problem.evaluate(&strategy);
+    println!("approach:  {}", approach.name());
+    println!("time:      {elapsed:?}");
+    println!("R_avg:     {:.2} MB/s", metrics.average_data_rate.value());
+    println!("L_avg:     {:.3} ms", metrics.average_delivery_latency.value());
+    println!(
+        "allocated: {}/{} users, {} replicas placed",
+        metrics.allocated_users, metrics.total_users, metrics.placements
+    );
+    println!(
+        "requests:  {} local, {} cloud, {} total",
+        metrics.locally_served_requests, metrics.cloud_served_requests, metrics.total_requests
+    );
+    Ok(())
+}
+
+fn compare(
+    path: Option<&Path>,
+    seed: u64,
+    density: f64,
+    net_seed: u64,
+    iddeip_ms: u64,
+) -> Result<(), String> {
+    let scenario = read_scenario(path)?;
+    let problem = build_problem(scenario, density, net_seed);
+    println!(
+        "{:>8} {:>14} {:>12} {:>12} {:>10}",
+        "approach", "R_avg (MB/s)", "L_avg (ms)", "time", "replicas"
+    );
+    for approach in standard_panel(Duration::from_millis(iddeip_ms)) {
+        let t0 = Instant::now();
+        let strategy = approach.solve_seeded(&problem, seed);
+        let elapsed = t0.elapsed();
+        let metrics = problem.evaluate(&strategy);
+        println!(
+            "{:>8} {:>14.2} {:>12.3} {:>12?} {:>10}",
+            approach.name(),
+            metrics.average_data_rate.value(),
+            metrics.average_delivery_latency.value(),
+            elapsed,
+            metrics.placements
+        );
+    }
+    Ok(())
+}
+
+fn render(
+    path: Option<&Path>,
+    out: Option<&Path>,
+    solve: bool,
+    seed: u64,
+    density: f64,
+    net_seed: u64,
+) -> Result<(), String> {
+    let scenario = read_scenario(path)?;
+    let svg = if solve {
+        let problem = build_problem(scenario, density, net_seed);
+        let strategy = IddeGStrategy::default().solve_seeded(&problem, seed);
+        idde_model::svg::render(
+            &problem.scenario,
+            Some(&strategy.allocation),
+            Some(&strategy.placement),
+            &idde_model::svg::SvgOptions::default(),
+        )
+    } else {
+        idde_model::svg::render(&scenario, None, None, &idde_model::svg::SvgOptions::default())
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(path, svg)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{svg}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approaches_resolve_by_name() {
+        for name in ["idde-g", "idde-ip", "saa", "cdp", "dup-g", "IDDEG".to_lowercase().as_str()] {
+            assert!(approach_by_name(name, 10).is_ok(), "{name}");
+        }
+        assert!(approach_by_name("alphago", 10).is_err());
+    }
+
+    #[test]
+    fn generate_solve_round_trip_via_files() {
+        let dir = std::env::temp_dir().join("idde-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.idde");
+        generate(6, 20, 3, 5, Some(&path)).unwrap();
+        let scenario = read_scenario(Some(&path)).unwrap();
+        assert_eq!(scenario.num_servers(), 6);
+        assert_eq!(scenario.num_users(), 20);
+        solve(Some(&path), "idde-g", 0, 1.0, 1, 100).unwrap();
+        info(Some(&path)).unwrap();
+        let svg_path = dir.join("map.svg");
+        render(Some(&path), Some(&svg_path), true, 0, 1.0, 1).unwrap();
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<line "), "solved render must include spokes");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_generate_is_rejected() {
+        assert!(generate(1000, 10, 2, 1, None).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = read_scenario(Some(Path::new("/definitely/not/here.idde"))).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

@@ -1,0 +1,35 @@
+//! `idde` — the command-line front end of the IDDE workspace.
+//!
+//! ```text
+//! idde generate --servers 30 --users 200 --data 5 --seed 7 --out city.idde
+//! idde info     --scenario city.idde
+//! idde solve    --scenario city.idde --approach idde-g
+//! idde compare  --scenario city.idde --iddeip-ms 500
+//! ```
+//!
+//! Scenarios use the plain-text format of `idde_model::io`; problems are
+//! completed with the paper's §4.2 radio parameters and a seeded random
+//! topology (`--density`, `--net-seed`).
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(command) => match commands::run(command) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! Phase #1 of IDDE-G: the IDDE-U user allocation game.
+//!
+//! Each user is a selfish player choosing an allocation decision
+//! `α_j ∈ δ_j = V_j × C_i ∪ {(0,0)}` to maximise its benefit
+//! `β_{α_{-j}}(α_j)` (Eq. 12). Theorem 3 shows IDDE-U is a potential game,
+//! so best-response dynamics terminate in a Nash equilibrium after finitely
+//! many improvement steps (Theorem 4 bounds them by
+//! `M(Q²_max − Q²_min)/(2·Q_min)`).
+//!
+//! Algorithm 1 (lines 5–21) runs repeated passes: every user computes its
+//! best response; users that can improve *submit update requests*; a winner
+//! commits its move; the game ends when a pass produces no update request.
+//! The winner arbitration is left abstract in the paper ("if u_j is the
+//! winner"), so this module makes it a [`GameConfig`] policy:
+//!
+//! * [`ArbitrationPolicy::ShuffledSequential`] *(default)* — every improving
+//!   user commits immediately during a pass, with the user order reshuffled
+//!   every pass. Each commit is a unilateral improvement step, so the
+//!   potential-game termination argument applies unchanged under the
+//!   uniform-gain analysis of Theorem 3; the per-pass reshuffle additionally
+//!   breaks the rare deterministic best-response cycles that the *full*
+//!   Eq. 12 benefit (whose cross-server term `F` makes the game not an exact
+//!   potential game) can enter with a fixed order.
+//! * [`ArbitrationPolicy::Sequential`] — the same but with a fixed user-id
+//!   order (deterministic; can livelock on adversarial instances, guarded by
+//!   [`GameConfig::max_passes`]).
+//! * [`ArbitrationPolicy::MaxGainWinner`] — the paper-literal reading: one
+//!   winner per pass, the user with the largest benefit gain.
+//! * [`ArbitrationPolicy::RandomWinner`] — one uniformly random improver per
+//!   pass (needs a seeded RNG via [`GameConfig::seed`]).
+//!
+//! The benefit itself is also pluggable ([`BenefitModel`]): the paper's
+//! Eq. 12 (default), or the pure congestion form `p_j / Σ_{t∈U_{i,x}} p_t`
+//! used by the Theorem 3 proof (which assumes uniform gains) — the latter
+//! admits the *exact* potential of [`crate::potential`], which the property
+//! tests exercise.
+
+use idde_model::{ChannelIndex, ServerId, UserId};
+use idde_radio::InterferenceField;
+use rand::Rng as _;
+use rand::SeedableRng as _;
+
+use crate::problem::Problem;
+
+/// How the per-pass winner among improving users is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ArbitrationPolicy {
+    /// Every improving user commits immediately, visiting users in a fresh
+    /// random order each pass (asynchronous best response with random
+    /// serial order). The workspace default: as fast as `Sequential`,
+    /// empirically cycle-free on the full Eq. 12 benefit.
+    #[default]
+    ShuffledSequential,
+    /// Every improving user commits immediately, in fixed user-id order
+    /// (fully deterministic asynchronous best response).
+    Sequential,
+    /// One winner per pass: the user with the largest benefit gain.
+    MaxGainWinner,
+    /// One winner per pass, chosen uniformly at random among improvers.
+    RandomWinner,
+}
+
+/// Which benefit function drives best responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BenefitModel {
+    /// The paper's Eq. 12: `g·p_j / (g·Σ_{t∈U_{i,x}} p_t + F_{i,x,j})`.
+    #[default]
+    PaperEq12,
+    /// The uniform-gain congestion form used in the Theorem 3 proof:
+    /// `p_j / Σ_{t∈U_{i,x}∪{j}} p_t` (cross-server interference ignored).
+    /// Admits the exact potential of [`crate::potential`].
+    Congestion,
+}
+
+/// Whether benefit-improving moves are additionally screened by the
+/// Lyapunov guard.
+///
+/// The full Eq. 12 game (with the cross-server term `F` and heterogeneous
+/// gains) is **not** an exact potential game, and on some instances a pure
+/// Nash equilibrium provably does not exist — best-response dynamics then
+/// cycle forever (the Theorem 3 proof sidesteps this by assuming uniform
+/// gains). [`AcceptanceRule::LyapunovGuarded`] restores a hard termination
+/// guarantee: a move is committed only if it strictly decreases the
+/// lexicographic pair
+///
+/// ```text
+/// Φ(α) = Σ_channels (Σ_{t ∈ U_{i,x}} p_t)²      (co-channel concentration)
+/// T(α) = Σ_j F_{i_j, x_j, j}                     (total cross interference)
+/// ```
+///
+/// (initial allocations are always accepted). Both quantities are bounded
+/// below and each accepted move decreases one of them by a strictly positive
+/// tolerance, so the dynamics terminate; at quiescence no user has an
+/// accepted improving move — an *interference-guarded equilibrium*. On
+/// instances where a pure Nash exists the guard is almost never binding
+/// (fig2 and the tiny fixtures converge to exact Nash equilibria).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AcceptanceRule {
+    /// Screen improving moves with the `(Φ, T)` Lyapunov guard (default —
+    /// guaranteed termination).
+    #[default]
+    LyapunovGuarded,
+    /// Accept any benefit-improving move (paper-literal; may cycle, bounded
+    /// only by [`GameConfig::max_passes`]).
+    BenefitOnly,
+}
+
+/// Tunables of the IDDE-U game engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GameConfig {
+    /// Winner arbitration policy.
+    pub arbitration: ArbitrationPolicy,
+    /// Benefit model driving best responses.
+    pub benefit: BenefitModel,
+    /// Move acceptance rule (Lyapunov guard on/off).
+    pub acceptance: AcceptanceRule,
+    /// Relative improvement a move must achieve to count, guarding against
+    /// floating-point livelock on ties.
+    pub epsilon: f64,
+    /// Hard cap on game passes; `converged = false` in the outcome when hit.
+    /// The potential-game property makes this a safety net, not a tuning
+    /// knob — see Theorem 4.
+    pub max_passes: usize,
+    /// Seed for [`ArbitrationPolicy::RandomWinner`].
+    pub seed: u64,
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        Self {
+            arbitration: ArbitrationPolicy::ShuffledSequential,
+            benefit: BenefitModel::PaperEq12,
+            acceptance: AcceptanceRule::LyapunovGuarded,
+            epsilon: 1e-9,
+            max_passes: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of running the game to (or up to) equilibrium.
+#[derive(Debug)]
+pub struct GameOutcome<'a> {
+    /// The interference field at equilibrium; its allocation is the Phase #1
+    /// profile `α`.
+    pub field: InterferenceField<'a>,
+    /// Number of full passes over the user set.
+    pub passes: usize,
+    /// Number of committed improvement moves (the paper's iteration count
+    /// `Y` of Theorem 4).
+    pub moves: usize,
+    /// Whether the game reached a state with no improving user (always true
+    /// unless `max_passes` was hit).
+    pub converged: bool,
+}
+
+/// The IDDE-U game engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IddeUGame {
+    /// Engine configuration.
+    pub config: GameConfig,
+}
+
+impl IddeUGame {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: GameConfig) -> Self {
+        Self { config }
+    }
+
+    /// Benefit of `user` for decision `(server, channel)` under the
+    /// configured benefit model, evaluated against `field`'s current state.
+    fn benefit_at(
+        &self,
+        field: &InterferenceField<'_>,
+        user: UserId,
+        server: ServerId,
+        channel: ChannelIndex,
+    ) -> f64 {
+        match self.config.benefit {
+            BenefitModel::PaperEq12 => field.benefit_at(user, server, channel),
+            BenefitModel::Congestion => {
+                let scenario = field.scenario();
+                let p = scenario.users[user.index()].power.value();
+                let mut others = field.channel_power(server, channel);
+                if field.allocation().decision(user) == Some((server, channel)) {
+                    others = (others - p).max(0.0);
+                }
+                p / (others + p)
+            }
+        }
+    }
+
+    /// Benefit of `user`'s current decision (0 when unallocated).
+    fn current_benefit(&self, field: &InterferenceField<'_>, user: UserId) -> f64 {
+        match field.allocation().decision(user) {
+            Some((s, x)) => self.benefit_at(field, user, s, x),
+            None => 0.0,
+        }
+    }
+
+    /// Computes `user`'s best response: the decision in `δ_j` with the
+    /// highest benefit (Algorithm 1 lines 7–13). Returns `None` when the
+    /// user has no covering server.
+    pub fn best_response(
+        &self,
+        field: &InterferenceField<'_>,
+        user: UserId,
+    ) -> Option<(ServerId, ChannelIndex, f64)> {
+        let scenario = field.scenario();
+        let mut best: Option<(ServerId, ChannelIndex, f64)> = None;
+        for &server in scenario.coverage.servers_of(user) {
+            for channel in scenario.servers[server.index()].channels() {
+                let b = self.benefit_at(field, user, server, channel);
+                if best.is_none_or(|(_, _, cur)| b > cur) {
+                    best = Some((server, channel, b));
+                }
+            }
+        }
+        best
+    }
+
+    /// Runs the game from the all-unallocated profile.
+    pub fn run<'a>(&self, problem: &'a Problem) -> GameOutcome<'a> {
+        self.run_from(problem.field())
+    }
+
+    /// Runs the game from an arbitrary starting field (used by warm starts
+    /// and by tests that exercise specific initial profiles).
+    pub fn run_from<'a>(&self, mut field: InterferenceField<'a>) -> GameOutcome<'a> {
+        let num_users = field.scenario().num_users();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut passes = 0usize;
+        let mut moves = 0usize;
+        let mut converged = false;
+        let mut order: Vec<u32> = (0..num_users as u32).collect();
+
+        while passes < self.config.max_passes {
+            passes += 1;
+            match self.config.arbitration {
+                ArbitrationPolicy::Sequential | ArbitrationPolicy::ShuffledSequential => {
+                    if self.config.arbitration == ArbitrationPolicy::ShuffledSequential {
+                        use rand::seq::SliceRandom;
+                        order.shuffle(&mut rng);
+                    }
+                    let mut any = false;
+                    for &j in &order {
+                        let user = UserId(j);
+                        if let Some(mv) = self.improving_move(&field, user) {
+                            field.allocate(user, mv.0, mv.1);
+                            moves += 1;
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        converged = true;
+                        break;
+                    }
+                }
+                ArbitrationPolicy::MaxGainWinner | ArbitrationPolicy::RandomWinner => {
+                    // Collect all update requests of this pass.
+                    let mut requests: Vec<(UserId, ServerId, ChannelIndex, f64)> = Vec::new();
+                    for j in 0..num_users {
+                        let user = UserId::from_index(j);
+                        if let Some(req) = self.improving_move_with_gain(&field, user) {
+                            requests.push(req);
+                        }
+                    }
+                    if requests.is_empty() {
+                        converged = true;
+                        break;
+                    }
+                    let (user, s, x, _) = match self.config.arbitration {
+                        ArbitrationPolicy::MaxGainWinner => *requests
+                            .iter()
+                            .max_by(|a, b| a.3.partial_cmp(&b.3).expect("gains are finite"))
+                            .expect("nonempty"),
+                        _ => requests[rng.gen_range(0..requests.len())],
+                    };
+                    field.allocate(user, s, x);
+                    moves += 1;
+                }
+            }
+        }
+
+        GameOutcome { field, passes, moves, converged }
+    }
+
+    /// The user's improving move, if any: its best response when it beats
+    /// the current benefit by more than epsilon (Algorithm 1 line 14).
+    fn improving_move(
+        &self,
+        field: &InterferenceField<'_>,
+        user: UserId,
+    ) -> Option<(ServerId, ChannelIndex)> {
+        self.improving_move_with_gain(field, user).map(|(_, s, x, _)| (s, x))
+    }
+
+    fn improving_move_with_gain(
+        &self,
+        field: &InterferenceField<'_>,
+        user: UserId,
+    ) -> Option<(UserId, ServerId, ChannelIndex, f64)> {
+        let (s, x, best) = self.best_response(field, user)?;
+        let current = self.current_benefit(field, user);
+        let gain = best - current;
+        // Relative epsilon so the threshold scales with the benefit values.
+        if gain > self.config.epsilon * current.abs().max(1e-30) && gain > 0.0 {
+            if self.config.acceptance == AcceptanceRule::LyapunovGuarded
+                && !self.guard_accepts(field, user, s, x)
+            {
+                return None;
+            }
+            Some((user, s, x, gain))
+        } else {
+            None
+        }
+    }
+
+    /// The Lyapunov guard (see module docs): a benefit-improving move is
+    /// committed only if it strictly decreases the lexicographic pair
+    /// `(Φ, T)` — co-channel power concentration first, total cross-server
+    /// interference second. Initial allocations are always accepted.
+    fn guard_accepts(
+        &self,
+        field: &InterferenceField<'_>,
+        user: UserId,
+        server: ServerId,
+        channel: ChannelIndex,
+    ) -> bool {
+        let Some((old_server, old_channel)) = field.allocation().decision(user) else {
+            return true; // allocating an unallocated user always helps
+        };
+        if (old_server, old_channel) == (server, channel) {
+            return false; // no-op
+        }
+        let p = field.scenario().users[user.index()].power.value();
+        let s_old = field.channel_power(old_server, old_channel); // includes p
+        let s_new = field.channel_power(server, channel); // excludes p
+        // ΔΦ of the move for Φ = Σ_c S_c²; see crate::potential.
+        let delta_phi = p * (s_new + p - s_old);
+        let tol = 1e-9 * (s_old + s_new + p).max(1.0);
+        if delta_phi < -tol {
+            return true;
+        }
+        if delta_phi > tol {
+            return false;
+        }
+        // Load-lateral move: require a strict drop of the total received
+        // cross-server interference T = Σ_j F_j.
+        self.delta_cross_interference(field, user, (old_server, old_channel), (server, channel))
+            < -1e-18
+    }
+
+    /// Exact change of `T(α) = Σ_j F_{i_j, x_j, j}` if `user` moves from
+    /// `old` to `new`: the user's own `F` changes, and the user's power
+    /// leaves the `F` of old same-index listeners and enters the `F` of new
+    /// same-index listeners.
+    fn delta_cross_interference(
+        &self,
+        field: &InterferenceField<'_>,
+        user: UserId,
+        old: (ServerId, ChannelIndex),
+        new: (ServerId, ChannelIndex),
+    ) -> f64 {
+        let scenario = field.scenario();
+        let env = field.environment();
+        let p_u = scenario.users[user.index()].power.value();
+        let mut delta = field.cross_interference(user, new.0, new.1)
+            - field.cross_interference(user, old.0, old.1);
+        for s in scenario.server_ids() {
+            let num_channels = scenario.servers[s.index()].num_channels as usize;
+            // Listeners on the old channel index lose u's contribution when
+            // u's old server is one of *their* other covering servers.
+            if old.1.index() < num_channels && old.0 != s {
+                for &t in field.occupants(s, old.1) {
+                    if t != user && scenario.coverage.covers(old.0, t) {
+                        delta -= env.gain(s, user) * p_u;
+                    }
+                }
+            }
+            // Listeners on the new channel index gain u's contribution.
+            if new.1.index() < num_channels && new.0 != s {
+                for &t in field.occupants(s, new.1) {
+                    if t != user && scenario.coverage.covers(new.0, t) {
+                        delta += env.gain(s, user) * p_u;
+                    }
+                }
+            }
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idde_model::testkit;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    use crate::nash::is_nash_equilibrium;
+    use crate::problem::Problem;
+
+    fn problem() -> Problem {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        Problem::standard(testkit::fig2_example(), &mut rng)
+    }
+
+    #[test]
+    fn game_converges_and_allocates_everyone() {
+        let p = problem();
+        let outcome = IddeUGame::default().run(&p);
+        assert!(outcome.converged, "fig2 game must converge");
+        // Every covered user strictly prefers any channel over (0,0).
+        assert_eq!(outcome.field.allocation().num_allocated(), p.scenario.num_users());
+        assert!(outcome.moves >= p.scenario.num_users());
+    }
+
+    #[test]
+    fn equilibrium_is_nash_under_same_benefit() {
+        let p = problem();
+        let game = IddeUGame::default();
+        let outcome = game.run(&p);
+        assert!(is_nash_equilibrium(&game, &outcome.field, 1e-9));
+    }
+
+    #[test]
+    fn all_policies_reach_nash() {
+        let p = problem();
+        for arbitration in [
+            ArbitrationPolicy::ShuffledSequential,
+            ArbitrationPolicy::Sequential,
+            ArbitrationPolicy::MaxGainWinner,
+            ArbitrationPolicy::RandomWinner,
+        ] {
+            let game = IddeUGame::new(GameConfig { arbitration, seed: 3, ..Default::default() });
+            let outcome = game.run(&p);
+            assert!(outcome.converged, "{arbitration:?} did not converge");
+            assert!(
+                is_nash_equilibrium(&game, &outcome.field, 1e-9),
+                "{arbitration:?} did not reach a Nash equilibrium"
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_model_also_converges() {
+        let p = problem();
+        let game = IddeUGame::new(GameConfig {
+            benefit: BenefitModel::Congestion,
+            ..Default::default()
+        });
+        let outcome = game.run(&p);
+        assert!(outcome.converged);
+        assert!(is_nash_equilibrium(&game, &outcome.field, 1e-9));
+    }
+
+    #[test]
+    fn game_spreads_users_over_channels() {
+        // In fig2, interference pushes users apart: at equilibrium no
+        // channel should hold a large share of the users while sibling
+        // channels sit empty.
+        let p = problem();
+        let outcome = IddeUGame::default().run(&p);
+        let field = &outcome.field;
+        for server in p.scenario.server_ids() {
+            let counts: Vec<usize> = p.scenario.servers[server.index()]
+                .channels()
+                .map(|x| field.occupants(server, x).len())
+                .collect();
+            let max = counts.iter().copied().max().unwrap_or(0);
+            let min = counts.iter().copied().min().unwrap_or(0);
+            // Channels of one server are symmetric resources; best-response
+            // users never leave a 2+ imbalance (they would switch to the
+            // emptier channel).
+            assert!(max <= min + 1 || max <= 1, "server {server}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn max_passes_cap_reports_nonconvergence() {
+        let p = problem();
+        let game = IddeUGame::new(GameConfig { max_passes: 1, ..Default::default() });
+        let outcome = game.run(&p);
+        // One pass cannot both move users and verify quiescence.
+        assert!(!outcome.converged);
+    }
+
+    #[test]
+    fn degenerate_scenario_runs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let p = Problem::standard(testkit::degenerate(), &mut rng);
+        let outcome = IddeUGame::default().run(&p);
+        assert!(outcome.converged);
+        // The uncovered user must stay unallocated; the covered one gets a
+        // channel.
+        assert_eq!(outcome.field.allocation().num_allocated(), 1);
+    }
+
+    #[test]
+    fn best_response_is_none_for_uncovered_users() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let p = Problem::standard(testkit::degenerate(), &mut rng);
+        let game = IddeUGame::default();
+        let field = p.field();
+        assert!(game.best_response(&field, UserId(1)).is_none());
+    }
+}

@@ -1,0 +1,131 @@
+//! Algorithm 1: IDDE-G — the two phases glued together.
+
+use std::time::{Duration, Instant};
+
+use crate::delivery::{DeliveryConfig, GreedyDelivery};
+use crate::game::{GameConfig, IddeUGame};
+use crate::problem::Problem;
+use crate::strategy::Strategy;
+
+/// The IDDE-G approach (Algorithm 1): Phase #1 finds a Nash equilibrium of
+/// the IDDE-U game as the user allocation profile; Phase #2 greedily builds
+/// the data delivery profile.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IddeG {
+    /// Phase #1 configuration.
+    pub game: GameConfig,
+    /// Phase #2 configuration.
+    pub delivery: DeliveryConfig,
+}
+
+/// Execution report of one IDDE-G run, for Fig. 7-style timing analyses and
+/// for the theory tests (iteration counts, convergence flags).
+#[derive(Clone, Debug)]
+pub struct IddeGReport {
+    /// The produced strategy `(α, σ)`.
+    pub strategy: Strategy,
+    /// Wall-clock time spent in Phase #1.
+    pub game_time: Duration,
+    /// Wall-clock time spent in Phase #2.
+    pub delivery_time: Duration,
+    /// Best-response passes of Phase #1.
+    pub game_passes: usize,
+    /// Committed improvement moves of Phase #1 (Theorem 4's `Y`).
+    pub game_moves: usize,
+    /// Whether Phase #1 reached quiescence (it always does in practice; see
+    /// `GameConfig::max_passes`).
+    pub game_converged: bool,
+    /// Placements committed by Phase #2.
+    pub delivery_iterations: usize,
+}
+
+impl IddeGReport {
+    /// Total wall-clock time of the run.
+    pub fn total_time(&self) -> Duration {
+        self.game_time + self.delivery_time
+    }
+}
+
+impl IddeG {
+    /// Creates IDDE-G with explicit phase configurations.
+    pub fn new(game: GameConfig, delivery: DeliveryConfig) -> Self {
+        Self { game, delivery }
+    }
+
+    /// Runs Algorithm 1 and returns just the strategy.
+    pub fn solve(&self, problem: &Problem) -> Strategy {
+        self.solve_with_report(problem).strategy
+    }
+
+    /// Runs Algorithm 1 and returns the strategy plus execution statistics.
+    pub fn solve_with_report(&self, problem: &Problem) -> IddeGReport {
+        let t0 = Instant::now();
+        let game_outcome = IddeUGame::new(self.game).run(problem);
+        let game_time = t0.elapsed();
+
+        let allocation = game_outcome.field.into_allocation();
+        let t1 = Instant::now();
+        let delivery_outcome = GreedyDelivery::new(self.delivery).run(problem, &allocation);
+        let delivery_time = t1.elapsed();
+
+        IddeGReport {
+            strategy: Strategy::new(allocation, delivery_outcome.placement),
+            game_time,
+            delivery_time,
+            game_passes: game_outcome.passes,
+            game_moves: game_outcome.moves,
+            game_converged: game_outcome.converged,
+            delivery_iterations: delivery_outcome.iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idde_model::testkit;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn problem(seed: u64) -> Problem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Problem::standard(testkit::fig2_example(), &mut rng)
+    }
+
+    #[test]
+    fn end_to_end_solves_fig2() {
+        let p = problem(1);
+        let report = IddeG::default().solve_with_report(&p);
+        assert!(report.game_converged);
+        assert!(p.is_feasible(&report.strategy));
+        let metrics = p.evaluate(&report.strategy);
+        // Everyone allocated, positive rates, latency far below all-cloud
+        // (storage is ample in fig2).
+        assert_eq!(metrics.allocated_users, p.scenario.num_users());
+        assert!(metrics.average_data_rate.value() > 0.0);
+        let all_cloud =
+            p.all_cloud_latency().value() / p.scenario.requests.total_requests() as f64;
+        assert!(
+            metrics.average_delivery_latency.value() < all_cloud,
+            "{} !< {all_cloud}",
+            metrics.average_delivery_latency.value()
+        );
+    }
+
+    #[test]
+    fn report_times_are_consistent() {
+        let p = problem(2);
+        let report = IddeG::default().solve_with_report(&p);
+        assert_eq!(report.total_time(), report.game_time + report.delivery_time);
+        assert!(report.game_moves > 0);
+        assert!(report.delivery_iterations > 0);
+    }
+
+    #[test]
+    fn solve_is_deterministic() {
+        let p = problem(3);
+        let a = IddeG::default().solve(&p);
+        let b = IddeG::default().solve(&p);
+        assert_eq!(a, b);
+    }
+}

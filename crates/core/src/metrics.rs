@@ -1,0 +1,109 @@
+//! The evaluation metrics of §4.4.
+
+use std::fmt;
+
+use idde_model::{MegaBytesPerSec, Milliseconds};
+
+/// The scores of one strategy on one problem instance.
+///
+/// `average_data_rate` and `average_delivery_latency` are the paper's two
+/// performance metrics (`R_avg`, `L_avg`); the rest are auxiliary statistics
+/// used in reports and tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metrics {
+    /// `R_avg` (Eq. 5) — IDDE Objective #1, higher is better.
+    pub average_data_rate: MegaBytesPerSec,
+    /// `L_avg` (Eq. 9) — IDDE Objective #2, lower is better.
+    pub average_delivery_latency: Milliseconds,
+    /// Users with `α_j ≠ (0,0)`.
+    pub allocated_users: usize,
+    /// Total users `M`.
+    pub total_users: usize,
+    /// Total requests `Σ ζ_{j,k}`.
+    pub total_requests: usize,
+    /// Requests that had to be served from the remote cloud.
+    pub cloud_served_requests: usize,
+    /// Requests served from the user's own edge server (zero-latency hits).
+    pub locally_served_requests: usize,
+    /// Number of `σ_{i,k} = 1` placements.
+    pub placements: usize,
+}
+
+impl Metrics {
+    /// Fraction of requests that fell back to the cloud (0 when there are no
+    /// requests).
+    pub fn cloud_fraction(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            self.cloud_served_requests as f64 / self.total_requests as f64
+        }
+    }
+
+    /// Fraction of users that were allocated to a wireless channel.
+    pub fn allocation_fraction(&self) -> f64 {
+        if self.total_users == 0 {
+            0.0
+        } else {
+            self.allocated_users as f64 / self.total_users as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "R_avg = {:.2} MB/s, L_avg = {:.3} ms ({} / {} users allocated, \
+             {} placements, {:.0}% of {} requests from cloud)",
+            self.average_data_rate.value(),
+            self.average_delivery_latency.value(),
+            self.allocated_users,
+            self.total_users,
+            self.placements,
+            self.cloud_fraction() * 100.0,
+            self.total_requests,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> Metrics {
+        Metrics {
+            average_data_rate: MegaBytesPerSec(120.0),
+            average_delivery_latency: Milliseconds(4.25),
+            allocated_users: 8,
+            total_users: 10,
+            total_requests: 16,
+            cloud_served_requests: 4,
+            locally_served_requests: 6,
+            placements: 12,
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let m = metrics();
+        assert!((m.cloud_fraction() - 0.25).abs() < 1e-12);
+        assert!((m.allocation_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let mut m = metrics();
+        m.total_requests = 0;
+        m.total_users = 0;
+        assert_eq!(m.cloud_fraction(), 0.0);
+        assert_eq!(m.allocation_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_both_objectives() {
+        let s = metrics().to_string();
+        assert!(s.contains("R_avg"), "{s}");
+        assert!(s.contains("L_avg"), "{s}");
+    }
+}

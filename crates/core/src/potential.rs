@@ -1,0 +1,131 @@
+//! The potential function of the IDDE-U game (Theorem 3).
+//!
+//! The paper's Eq. 13 defines a potential over pairwise benefit products;
+//! its Theorem 3 proof evaluates it under the simplification that the
+//! channel gain is uniform across users (`g_{i,x,j} = g`) — in that regime
+//! the benefit comparison `β(α_j) < β(α'_j)` collapses (Eq. 14) to comparing
+//! co-channel power sums, i.e. IDDE-U restricted this way *is* a weighted
+//! singleton congestion game. Such games admit the classic Rosenthal-style
+//! exact potential
+//!
+//! ```text
+//! π(α) = −½ · Σ_channels ( Σ_{u_t ∈ U_{i,x}(α)} p_t )²  +  W · #allocated
+//! ```
+//!
+//! where the `W · #allocated` term (with `W` larger than any possible
+//! quadratic change, mirroring the paper's `T_j` term in Eq. 13) makes
+//! "allocating an unallocated user" a strict potential increase, exactly as
+//! Case 2 of the paper's proof requires.
+//!
+//! A unilateral move of user `j` from channel `a` (load `S_a ∋ p_j`) to
+//! channel `b` (load `S_b ∌ p_j`) changes the quadratic part by
+//! `p_j·(S_a − p_j − S_b)`, which is positive exactly when the move lowers
+//! the user's co-channel power — i.e. exactly when the congestion benefit
+//! improves. The property tests in this module and `tests/theory.rs` verify
+//! this improvement ⇔ potential-increase correspondence on random instances,
+//! which is the machine-checkable core of Theorem 3.
+
+use idde_model::UserId;
+use idde_radio::InterferenceField;
+
+/// The congestion-form benefit used by the Theorem 3 proof:
+/// `β_j = p_j / Σ_{u_t ∈ U_{i,x}(α) ∪ {j}} p_t` (uniform gains, no
+/// cross-server term). Zero for unallocated users.
+pub fn congestion_benefit(field: &InterferenceField<'_>, user: UserId) -> f64 {
+    match field.allocation().decision(user) {
+        Some((s, x)) => {
+            let p = field.scenario().users[user.index()].power.value();
+            let others = (field.channel_power(s, x) - p).max(0.0);
+            p / (others + p)
+        }
+        None => 0.0,
+    }
+}
+
+/// The exact potential of the uniform-gain IDDE-U game (see module docs).
+pub fn congestion_potential(field: &InterferenceField<'_>) -> f64 {
+    let scenario = field.scenario();
+    let mut quad = 0.0;
+    for server in scenario.server_ids() {
+        for channel in scenario.servers[server.index()].channels() {
+            let s = field.channel_power(server, channel);
+            quad += s * s;
+        }
+    }
+    let allocated = field.allocation().num_allocated() as f64;
+    let w = allocation_reward(field);
+    -0.5 * quad + w * allocated
+}
+
+/// The per-allocation reward `W`: strictly larger than any possible change
+/// of the quadratic term, so that allocating a user always increases the
+/// potential (the paper's `T_j` bound plays the same role in Eq. 13).
+fn allocation_reward(field: &InterferenceField<'_>) -> f64 {
+    let total_power: f64 =
+        field.scenario().users.iter().map(|u| u.power.value()).sum();
+    // |Δ quadratic| ≤ p_j·(2·total + p_j) ≤ 3·total² for any single move.
+    3.0 * total_power * total_power + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idde_model::{testkit, ChannelIndex, ServerId};
+    use idde_radio::{RadioEnvironment, RadioParams};
+
+    #[test]
+    fn allocating_a_user_increases_potential() {
+        let scenario = testkit::tiny_overlap();
+        let env = RadioEnvironment::new(&scenario, RadioParams::paper());
+        let mut field = InterferenceField::new(&env, &scenario);
+        let before = congestion_potential(&field);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        let after = congestion_potential(&field);
+        assert!(after > before, "{after} !> {before}");
+    }
+
+    #[test]
+    fn improving_congestion_move_increases_potential() {
+        let scenario = testkit::tiny_overlap();
+        let env = RadioEnvironment::new(&scenario, RadioParams::paper());
+        let mut field = InterferenceField::new(&env, &scenario);
+        // Stack u0 (1 W) and u1 (3 W) on the same channel; u1 then improves
+        // by moving to the empty channel.
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        field.allocate(UserId(1), ServerId(0), ChannelIndex(0));
+        let b_before = congestion_benefit(&field, UserId(1));
+        let pi_before = congestion_potential(&field);
+        field.allocate(UserId(1), ServerId(0), ChannelIndex(1));
+        let b_after = congestion_benefit(&field, UserId(1));
+        let pi_after = congestion_potential(&field);
+        assert!(b_after > b_before);
+        assert!(pi_after > pi_before);
+    }
+
+    #[test]
+    fn worsening_move_decreases_potential() {
+        let scenario = testkit::tiny_overlap();
+        let env = RadioEnvironment::new(&scenario, RadioParams::paper());
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        field.allocate(UserId(1), ServerId(0), ChannelIndex(1));
+        let b_before = congestion_benefit(&field, UserId(1));
+        let pi_before = congestion_potential(&field);
+        // u1 joins u0's channel: strictly worse for u1.
+        field.allocate(UserId(1), ServerId(0), ChannelIndex(0));
+        assert!(congestion_benefit(&field, UserId(1)) < b_before);
+        assert!(congestion_potential(&field) < pi_before);
+    }
+
+    #[test]
+    fn lateral_move_between_empty_channels_keeps_potential() {
+        let scenario = testkit::tiny_overlap();
+        let env = RadioEnvironment::new(&scenario, RadioParams::paper());
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        let pi_before = congestion_potential(&field);
+        field.allocate(UserId(0), ServerId(1), ChannelIndex(1));
+        let pi_after = congestion_potential(&field);
+        assert!((pi_before - pi_after).abs() < 1e-9);
+    }
+}

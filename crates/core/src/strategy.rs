@@ -1,0 +1,46 @@
+//! An IDDE strategy: the pair `(α, σ)` returned by Algorithm 1 line 27.
+
+use idde_model::{Allocation, Placement, Scenario};
+
+/// A complete IDDE strategy — the user allocation profile `α` plus the data
+/// delivery profile `σ`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Strategy {
+    /// The user allocation profile (Phase #1 output).
+    pub allocation: Allocation,
+    /// The data delivery profile (Phase #2 output).
+    pub placement: Placement,
+}
+
+impl Strategy {
+    /// The initial strategy of Algorithm 1 (lines 1–4): every user
+    /// unallocated, no data placed.
+    pub fn empty(scenario: &Scenario) -> Self {
+        Self {
+            allocation: Allocation::unallocated(scenario.num_users()),
+            placement: Placement::empty(scenario.num_servers(), scenario.num_data()),
+        }
+    }
+
+    /// Builds a strategy from explicit profiles.
+    pub fn new(allocation: Allocation, placement: Placement) -> Self {
+        Self { allocation, placement }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idde_model::testkit;
+
+    #[test]
+    fn empty_strategy_dimensions_match_scenario() {
+        let s = testkit::fig2_example();
+        let strategy = Strategy::empty(&s);
+        assert_eq!(strategy.allocation.num_users(), s.num_users());
+        assert_eq!(strategy.placement.num_servers(), s.num_servers());
+        assert_eq!(strategy.placement.num_data(), s.num_data());
+        assert_eq!(strategy.allocation.num_allocated(), 0);
+        assert_eq!(strategy.placement.num_placements(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Loader for the real EUA dataset CSV files.
+//!
+//! The EUA repository (github.com/swinedge/eua-dataset) ships
+//! `edge-servers/site-optus-melbCBD.csv` and `users/users-melbcbd-2018.csv`,
+//! both with `LATITUDE`/`LONGITUDE` columns (the server file carries extra
+//! columns such as `SITE_ID`/`NAME`/`STATE`). When those files are present
+//! on disk, [`load_base_population`] parses them, projects WGS-84
+//! coordinates onto a local metric plane (equirectangular projection around
+//! the centroid — exact enough over a ~2 km CBD), and assigns coverage radii
+//! from the configured range exactly like the synthetic generator.
+//!
+//! When the files are absent (this offline build), callers fall back to
+//! [`crate::SyntheticEua`]; see DESIGN.md's substitution table.
+
+use std::path::Path;
+
+use idde_model::{Point, Rect};
+use rand::Rng;
+
+use crate::population::BasePopulation;
+
+/// Mean Earth radius, metres.
+const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// Parses a `LATITUDE`/`LONGITUDE` CSV (header row required, column order
+/// free, extra columns ignored). Returns `(lat, lon)` pairs in degrees.
+pub fn parse_lat_lon_csv(content: &str) -> Result<Vec<(f64, f64)>, String> {
+    let mut lines = content.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty CSV")?;
+    let columns: Vec<String> =
+        header.split(',').map(|c| c.trim().trim_matches('"').to_ascii_uppercase()).collect();
+    let lat_idx = columns
+        .iter()
+        .position(|c| c == "LATITUDE" || c == "LAT")
+        .ok_or("no LATITUDE column")?;
+    let lon_idx = columns
+        .iter()
+        .position(|c| c == "LONGITUDE" || c == "LON" || c == "LNG")
+        .ok_or("no LONGITUDE column")?;
+    let mut out = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let lat: f64 = fields
+            .get(lat_idx)
+            .ok_or_else(|| format!("line {}: missing latitude", lineno + 2))?
+            .parse()
+            .map_err(|e| format!("line {}: bad latitude: {e}", lineno + 2))?;
+        let lon: f64 = fields
+            .get(lon_idx)
+            .ok_or_else(|| format!("line {}: missing longitude", lineno + 2))?
+            .parse()
+            .map_err(|e| format!("line {}: bad longitude: {e}", lineno + 2))?;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err(format!("line {}: coordinates out of range", lineno + 2));
+        }
+        out.push((lat, lon));
+    }
+    Ok(out)
+}
+
+/// Projects WGS-84 coordinates onto a local metric plane using an
+/// equirectangular projection centred on the point cloud's mean latitude.
+/// Over the ~2 km Melbourne CBD the distortion is centimetres.
+pub fn project_to_plane(coords: &[(f64, f64)]) -> Vec<Point> {
+    if coords.is_empty() {
+        return Vec::new();
+    }
+    let lat0 = coords.iter().map(|c| c.0).sum::<f64>() / coords.len() as f64;
+    let lon0 = coords.iter().map(|c| c.1).sum::<f64>() / coords.len() as f64;
+    let cos_lat0 = lat0.to_radians().cos();
+    coords
+        .iter()
+        .map(|&(lat, lon)| {
+            Point::new(
+                (lon - lon0).to_radians() * cos_lat0 * EARTH_RADIUS_M,
+                (lat - lat0).to_radians() * EARTH_RADIUS_M,
+            )
+        })
+        .collect()
+}
+
+/// Loads a base population from real EUA CSV files. Coverage radii are drawn
+/// uniformly from `coverage_radius_m` with the caller's RNG (the EUA dataset
+/// carries no radii; the EUA literature, like this paper's §4.2, randomises
+/// them).
+///
+/// Returns `Ok(None)` when either file is missing — the caller should then
+/// use the synthetic substitute.
+pub fn load_base_population(
+    servers_csv: &Path,
+    users_csv: &Path,
+    coverage_radius_m: (f64, f64),
+    rng: &mut impl Rng,
+) -> Result<Option<BasePopulation>, String> {
+    if !servers_csv.exists() || !users_csv.exists() {
+        return Ok(None);
+    }
+    let servers_raw = std::fs::read_to_string(servers_csv).map_err(|e| e.to_string())?;
+    let users_raw = std::fs::read_to_string(users_csv).map_err(|e| e.to_string())?;
+    let server_coords = parse_lat_lon_csv(&servers_raw)?;
+    let user_coords = parse_lat_lon_csv(&users_raw)?;
+
+    // Shift both clouds into one positive-quadrant plane.
+    let mut all = server_coords.clone();
+    all.extend(&user_coords);
+    let projected = project_to_plane(&all);
+    let min_x = projected.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    let min_y = projected.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+    let max_x = projected.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+    let max_y = projected.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+    let shift = |p: Point| Point::new(p.x - min_x, p.y - min_y);
+
+    let server_sites: Vec<Point> =
+        projected[..server_coords.len()].iter().map(|&p| shift(p)).collect();
+    let user_sites: Vec<Point> =
+        projected[server_coords.len()..].iter().map(|&p| shift(p)).collect();
+    let coverage_radii_m = (0..server_sites.len())
+        .map(|_| rng.gen_range(coverage_radius_m.0..=coverage_radius_m.1))
+        .collect();
+
+    let population = BasePopulation {
+        area: Rect::with_size(max_x - min_x, max_y - min_y),
+        server_sites,
+        user_sites,
+        coverage_radii_m,
+    };
+    population.validate()?;
+    Ok(Some(population))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const SERVERS: &str = "SITE_ID,NAME,LATITUDE,LONGITUDE,STATE\n\
+                           1,site-a,-37.8136,144.9631,VIC\n\
+                           2,site-b,-37.8150,144.9660,VIC\n";
+    const USERS: &str = "Latitude,Longitude\n-37.8140,144.9640\n-37.8145,144.9650\n-37.8138,144.9635\n";
+
+    #[test]
+    fn parses_headers_case_insensitively_with_extra_columns() {
+        let coords = parse_lat_lon_csv(SERVERS).unwrap();
+        assert_eq!(coords.len(), 2);
+        assert!((coords[0].0 + 37.8136).abs() < 1e-9);
+        assert!((coords[0].1 - 144.9631).abs() < 1e-9);
+        let coords = parse_lat_lon_csv(USERS).unwrap();
+        assert_eq!(coords.len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_lat_lon_csv("").is_err());
+        assert!(parse_lat_lon_csv("FOO,BAR\n1,2\n").is_err());
+        assert!(parse_lat_lon_csv("LATITUDE,LONGITUDE\nnope,3.0\n").is_err());
+        assert!(parse_lat_lon_csv("LATITUDE,LONGITUDE\n95.0,3.0\n").is_err());
+    }
+
+    #[test]
+    fn projection_preserves_small_distances() {
+        // Two points ~157 m apart east-west at the equator.
+        let coords = [(0.0, 0.0), (0.0, 0.001412)];
+        let pts = project_to_plane(&coords);
+        let d = pts[0].distance(pts[1]);
+        assert!((d - 157.0).abs() < 1.0, "d = {d}");
+    }
+
+    #[test]
+    fn loads_population_from_temp_files() {
+        let dir = std::env::temp_dir().join("idde-eua-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sp = dir.join("servers.csv");
+        let up = dir.join("users.csv");
+        std::fs::write(&sp, SERVERS).unwrap();
+        std::fs::write(&up, USERS).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let pop = load_base_population(&sp, &up, (150.0, 300.0), &mut rng)
+            .unwrap()
+            .expect("files exist");
+        assert_eq!(pop.num_server_sites(), 2);
+        assert_eq!(pop.num_user_sites(), 3);
+        assert!(pop.validate().is_ok());
+        // The two server sites are a few hundred metres apart in reality.
+        let d = pop.server_sites[0].distance(pop.server_sites[1]);
+        assert!((100.0..500.0).contains(&d), "d = {d}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_mean_fallback() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let res = load_base_population(
+            Path::new("/nonexistent/a.csv"),
+            Path::new("/nonexistent/b.csv"),
+            (150.0, 300.0),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(res.is_none());
+    }
+}

@@ -1,0 +1,345 @@
+//! Alternative city geographies.
+//!
+//! The default [`crate::SyntheticEua`] mirrors the EUA Melbourne-CBD grid.
+//! Real deployments are not all downtown grids, and the IDDE dynamics —
+//! interference pressure, allocation freedom, collaboration distance —
+//! shift with the spatial layout. This module provides three structurally
+//! different generators behind one [`Geography`] trait so robustness runs
+//! (the `geography_study` binary) can sweep layouts:
+//!
+//! * [`RingCity`] — servers on a ring around a dense centre (classic
+//!   European old town): users concentrate where servers are *not*.
+//! * [`CorridorCity`] — servers along a few parallel arterial strips
+//!   (highway / rail corridors): long thin coverage, neighbours matter.
+//! * [`CampusClusters`] — tight server+user clusters with empty space in
+//!   between (university campuses, business parks): dense local
+//!   interference, expensive inter-cluster collaboration.
+
+use idde_model::{Point, Rect};
+use rand::Rng;
+
+use crate::population::BasePopulation;
+use crate::synthetic::SyntheticEua;
+
+/// A base-population generator for one spatial layout.
+pub trait Geography {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Generates the base population.
+    fn generate(&self, rng: &mut dyn rand::RngCore) -> BasePopulation;
+}
+
+/// The default EUA-like grid city (delegates to [`SyntheticEua`]).
+#[derive(Clone, Debug, Default)]
+pub struct GridCity(pub SyntheticEua);
+
+impl Geography for GridCity {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn generate(&self, mut rng: &mut dyn rand::RngCore) -> BasePopulation {
+        self.0.generate(&mut rng)
+    }
+}
+
+/// Servers on a ring, users biased toward the centre.
+#[derive(Clone, Debug)]
+pub struct RingCity {
+    /// Number of server sites.
+    pub num_servers: usize,
+    /// Number of user sites.
+    pub num_users: usize,
+    /// Ring radius in metres.
+    pub ring_radius_m: f64,
+    /// Radial jitter of server sites, metres.
+    pub ring_jitter_m: f64,
+    /// Coverage radius range.
+    pub coverage_radius_m: (f64, f64),
+}
+
+impl Default for RingCity {
+    fn default() -> Self {
+        Self {
+            num_servers: 125,
+            num_users: 816,
+            ring_radius_m: 600.0,
+            ring_jitter_m: 80.0,
+            coverage_radius_m: (150.0, 300.0),
+        }
+    }
+}
+
+impl Geography for RingCity {
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+
+    fn generate(&self, rng: &mut dyn rand::RngCore) -> BasePopulation {
+        let side = 2.0 * (self.ring_radius_m + self.ring_jitter_m + 200.0);
+        let area = Rect::with_size(side, side);
+        let centre = area.center();
+        let server_sites: Vec<Point> = (0..self.num_servers)
+            .map(|i| {
+                let angle = std::f64::consts::TAU * i as f64 / self.num_servers as f64;
+                let radius = self.ring_radius_m
+                    + rng.gen_range(-self.ring_jitter_m..=self.ring_jitter_m);
+                area.clamp(Point::new(
+                    centre.x + radius * angle.cos(),
+                    centre.y + radius * angle.sin(),
+                ))
+            })
+            .collect();
+        // Users biased toward the centre: radius ∝ sqrt-free uniform draw
+        // times ring radius (denser inside).
+        let user_sites: Vec<Point> = (0..self.num_users)
+            .map(|_| {
+                let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                // Centre-biased but spread enough that the ring's coverage
+                // band still reaches most users (density ∝ r^{-1/4}).
+                let radius = rng.gen_range(0.0..1.0f64).powf(0.75) * self.ring_radius_m * 1.1;
+                area.clamp(Point::new(
+                    centre.x + radius * angle.cos(),
+                    centre.y + radius * angle.sin(),
+                ))
+            })
+            .collect();
+        let coverage_radii_m = (0..self.num_servers)
+            .map(|_| rng.gen_range(self.coverage_radius_m.0..=self.coverage_radius_m.1))
+            .collect();
+        BasePopulation { area, server_sites, user_sites, coverage_radii_m }
+    }
+}
+
+/// Servers along parallel arterial corridors; users spread around them.
+#[derive(Clone, Debug)]
+pub struct CorridorCity {
+    /// Number of server sites.
+    pub num_servers: usize,
+    /// Number of user sites.
+    pub num_users: usize,
+    /// Number of parallel corridors.
+    pub corridors: usize,
+    /// Area width in metres.
+    pub width_m: f64,
+    /// Area height in metres.
+    pub height_m: f64,
+    /// Lateral spread of users around their corridor, metres.
+    pub spread_m: f64,
+    /// Coverage radius range.
+    pub coverage_radius_m: (f64, f64),
+}
+
+impl Default for CorridorCity {
+    fn default() -> Self {
+        Self {
+            num_servers: 125,
+            num_users: 816,
+            corridors: 3,
+            width_m: 2_600.0,
+            height_m: 1_400.0,
+            spread_m: 140.0,
+            coverage_radius_m: (150.0, 300.0),
+        }
+    }
+}
+
+impl Geography for CorridorCity {
+    fn name(&self) -> &'static str {
+        "corridor"
+    }
+
+    fn generate(&self, rng: &mut dyn rand::RngCore) -> BasePopulation {
+        let area = Rect::with_size(self.width_m, self.height_m);
+        let corridor_y = |c: usize| (c as f64 + 0.5) * self.height_m / self.corridors as f64;
+        let per_corridor = self.num_servers.div_ceil(self.corridors);
+        let mut server_sites = Vec::with_capacity(self.num_servers);
+        'outer: for c in 0..self.corridors {
+            for i in 0..per_corridor {
+                if server_sites.len() == self.num_servers {
+                    break 'outer;
+                }
+                let x = (i as f64 + 0.5) * self.width_m / per_corridor as f64
+                    + rng.gen_range(-60.0..=60.0);
+                let y = corridor_y(c) + rng.gen_range(-40.0..=40.0);
+                server_sites.push(area.clamp(Point::new(x, y)));
+            }
+        }
+        let user_sites: Vec<Point> = (0..self.num_users)
+            .map(|_| {
+                let c = rng.gen_range(0..self.corridors);
+                area.clamp(Point::new(
+                    rng.gen_range(0.0..self.width_m),
+                    corridor_y(c) + rng.gen_range(-self.spread_m..=self.spread_m),
+                ))
+            })
+            .collect();
+        let coverage_radii_m = (0..self.num_servers)
+            .map(|_| rng.gen_range(self.coverage_radius_m.0..=self.coverage_radius_m.1))
+            .collect();
+        BasePopulation { area, server_sites, user_sites, coverage_radii_m }
+    }
+}
+
+/// Isolated dense clusters — campuses with empty space between them.
+#[derive(Clone, Debug)]
+pub struct CampusClusters {
+    /// Number of campuses.
+    pub campuses: usize,
+    /// Server sites per campus.
+    pub servers_per_campus: usize,
+    /// User sites per campus.
+    pub users_per_campus: usize,
+    /// Campus radius, metres.
+    pub campus_radius_m: f64,
+    /// Total area side length, metres.
+    pub side_m: f64,
+    /// Coverage radius range.
+    pub coverage_radius_m: (f64, f64),
+}
+
+impl Default for CampusClusters {
+    fn default() -> Self {
+        Self {
+            campuses: 5,
+            servers_per_campus: 25,
+            users_per_campus: 163,
+            campus_radius_m: 260.0,
+            side_m: 3_000.0,
+            coverage_radius_m: (150.0, 300.0),
+        }
+    }
+}
+
+impl Geography for CampusClusters {
+    fn name(&self) -> &'static str {
+        "campus"
+    }
+
+    fn generate(&self, rng: &mut dyn rand::RngCore) -> BasePopulation {
+        let area = Rect::with_size(self.side_m, self.side_m);
+        let margin = self.campus_radius_m + 50.0;
+        let centres: Vec<Point> = (0..self.campuses)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(margin..self.side_m - margin),
+                    rng.gen_range(margin..self.side_m - margin),
+                )
+            })
+            .collect();
+        let around = |centre: Point, rng: &mut dyn rand::RngCore| {
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let radius = rng.gen_range(0.0..1.0f64).sqrt() * self.campus_radius_m;
+            area.clamp(Point::new(
+                centre.x + radius * angle.cos(),
+                centre.y + radius * angle.sin(),
+            ))
+        };
+        let mut server_sites = Vec::new();
+        let mut user_sites = Vec::new();
+        for &centre in &centres {
+            for _ in 0..self.servers_per_campus {
+                let p = around(centre, rng);
+                server_sites.push(p);
+            }
+            for _ in 0..self.users_per_campus {
+                let p = around(centre, rng);
+                user_sites.push(p);
+            }
+        }
+        let coverage_radii_m = (0..server_sites.len())
+            .map(|_| rng.gen_range(self.coverage_radius_m.0..=self.coverage_radius_m.1))
+            .collect();
+        BasePopulation { area, server_sites, user_sites, coverage_radii_m }
+    }
+}
+
+/// All built-in geographies with their default parameters.
+pub fn all_geographies() -> Vec<Box<dyn Geography>> {
+    vec![
+        Box::new(GridCity::default()),
+        Box::new(RingCity::default()),
+        Box::new(CorridorCity::default()),
+        Box::new(CampusClusters::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn all_geographies_produce_valid_populations() {
+        for geography in all_geographies() {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let pop = geography.generate(&mut rng);
+            assert!(pop.validate().is_ok(), "{}", geography.name());
+            assert_eq!(pop.num_server_sites(), 125, "{}", geography.name());
+            assert!(pop.num_user_sites() >= 800, "{}", geography.name());
+            for p in pop.server_sites.iter().chain(&pop.user_sites) {
+                assert!(pop.area.contains(*p), "{} site out of area", geography.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_geography_leaves_most_users_coverable() {
+        for geography in all_geographies() {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let pop = geography.generate(&mut rng);
+            let covered = pop.covered_fraction();
+            assert!(
+                covered > 0.60,
+                "{}: only {covered:.2} of users coverable",
+                geography.name()
+            );
+        }
+    }
+
+    #[test]
+    fn geographies_are_structurally_different() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ring = RingCity::default().generate(&mut rng);
+        let centre = ring.area.center();
+        // Ring servers sit far from the centre…
+        let mean_server_r: f64 = ring
+            .server_sites
+            .iter()
+            .map(|p| p.distance(centre))
+            .sum::<f64>()
+            / ring.server_sites.len() as f64;
+        // …while users sit close.
+        let mean_user_r: f64 =
+            ring.user_sites.iter().map(|p| p.distance(centre)).sum::<f64>()
+                / ring.user_sites.len() as f64;
+        assert!(mean_server_r > mean_user_r * 1.5, "{mean_server_r} vs {mean_user_r}");
+
+        let corridor = CorridorCity::default().generate(&mut rng);
+        // Corridor users hug 3 horizontal lines: their y-values cluster.
+        let ys: Vec<f64> = corridor.user_sites.iter().map(|p| p.y).collect();
+        let corridor_height = corridor.area.height() / 3.0;
+        let near_a_corridor = ys
+            .iter()
+            .filter(|&&y| {
+                (0..3).any(|c| {
+                    let cy = (c as f64 + 0.5) * corridor.area.height() / 3.0;
+                    (y - cy).abs() < corridor_height / 2.0
+                })
+            })
+            .count();
+        assert!(near_a_corridor as f64 > 0.95 * ys.len() as f64);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for geography in all_geographies() {
+            let a = geography.generate(&mut ChaCha8Rng::seed_from_u64(7));
+            let b = geography.generate(&mut ChaCha8Rng::seed_from_u64(7));
+            assert_eq!(a.server_sites, b.server_sites, "{}", geography.name());
+            assert_eq!(a.user_sites, b.user_sites);
+        }
+    }
+}

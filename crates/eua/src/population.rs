@@ -1,0 +1,140 @@
+//! The base population: the pool of server sites and user sites from which
+//! experiment instances are sampled.
+
+use idde_model::{Point, Rect};
+
+/// A pool of candidate edge-server sites and user positions over an area —
+//  the role the EUA dataset plays in the paper.
+#[derive(Clone, Debug)]
+pub struct BasePopulation {
+    /// The geographic area (local metric plane).
+    pub area: Rect,
+    /// Candidate edge-server sites (the EUA base stations).
+    pub server_sites: Vec<Point>,
+    /// Candidate user positions.
+    pub user_sites: Vec<Point>,
+    /// Coverage radius assigned to each server site, in metres (same length
+    /// as `server_sites`).
+    pub coverage_radii_m: Vec<f64>,
+}
+
+impl BasePopulation {
+    /// Validates internal consistency (lengths, finite coordinates,
+    /// positive radii, sites within the area).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.server_sites.len() != self.coverage_radii_m.len() {
+            return Err(format!(
+                "{} server sites but {} radii",
+                self.server_sites.len(),
+                self.coverage_radii_m.len()
+            ));
+        }
+        for (i, p) in self.server_sites.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(format!("server site {i} has non-finite coordinates"));
+            }
+        }
+        for (i, p) in self.user_sites.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(format!("user site {i} has non-finite coordinates"));
+            }
+        }
+        for (i, &r) in self.coverage_radii_m.iter().enumerate() {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(format!("server site {i} has invalid radius {r}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of server sites in the pool.
+    pub fn num_server_sites(&self) -> usize {
+        self.server_sites.len()
+    }
+
+    /// Number of user sites in the pool.
+    pub fn num_user_sites(&self) -> usize {
+        self.user_sites.len()
+    }
+
+    /// Mean number of server sites covering each user site — the headline
+    /// overlap statistic an EUA-like population must reproduce for the IDDE
+    /// game to have realistic allocation freedom.
+    pub fn mean_coverage_degree(&self) -> f64 {
+        if self.user_sites.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for u in &self.user_sites {
+            for (s, &r) in self.server_sites.iter().zip(&self.coverage_radii_m) {
+                if s.distance_sq(*u) <= r * r {
+                    total += 1;
+                }
+            }
+        }
+        total as f64 / self.user_sites.len() as f64
+    }
+
+    /// Fraction of user sites covered by at least one server site.
+    pub fn covered_fraction(&self) -> f64 {
+        if self.user_sites.is_empty() {
+            return 0.0;
+        }
+        let covered = self
+            .user_sites
+            .iter()
+            .filter(|u| {
+                self.server_sites
+                    .iter()
+                    .zip(&self.coverage_radii_m)
+                    .any(|(s, &r)| s.distance_sq(**u) <= r * r)
+            })
+            .count();
+        covered as f64 / self.user_sites.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> BasePopulation {
+        BasePopulation {
+            area: Rect::with_size(100.0, 100.0),
+            server_sites: vec![Point::new(25.0, 50.0), Point::new(75.0, 50.0)],
+            user_sites: vec![
+                Point::new(25.0, 55.0), // covered by s0 only
+                Point::new(50.0, 50.0), // covered by both
+                Point::new(99.0, 1.0),  // covered by none
+            ],
+            coverage_radii_m: vec![30.0, 30.0],
+        }
+    }
+
+    #[test]
+    fn statistics() {
+        let p = pop();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.num_server_sites(), 2);
+        assert_eq!(p.num_user_sites(), 3);
+        assert!((p.mean_coverage_degree() - 1.0).abs() < 1e-12); // (1+2+0)/3
+        assert!((p.covered_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_mismatched_lengths() {
+        let mut p = pop();
+        p.coverage_radii_m.pop();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_radius() {
+        let mut p = pop();
+        p.coverage_radii_m[0] = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = pop();
+        p.coverage_radii_m[1] = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! Drawing experiment instances from a base population (§4.2–§4.3).
+//!
+//! Each repetition of each experiment point samples:
+//!
+//! * `N` server sites (uniform, without replacement), each becoming an edge
+//!   server with 3 channels × 200 MB/s and storage uniform in `[30, 300]` MB;
+//! * `M` users from the base user sites *covered by the sampled servers*
+//!   (the paper allocates every user, so uncovered base users are skipped;
+//!   if the pool runs dry, additional users are re-drawn with jitter near
+//!   covered sites so the experiment stays well-posed);
+//! * `K` data items, sizes uniform from `{30, 60, 90}` MB;
+//! * requests: every user requests 1–2 items, item popularity following a
+//!   Zipf law — real content catalogues are head-heavy, and a head-heavy ζ
+//!   is what makes replica placement interesting.
+
+use idde_model::{
+    MegaBytes, MegaBytesPerSec, Point, Scenario, ScenarioBuilder, Watts,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::population::BasePopulation;
+
+/// A Zipf popularity distribution over `k` items with exponent `s`:
+/// `P(item r) ∝ 1/(r+1)^s`.
+#[derive(Clone, Debug)]
+pub struct ZipfPopularity {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfPopularity {
+    /// Builds the distribution for `k` items with exponent `s ≥ 0`
+    /// (`s = 0` is uniform).
+    pub fn new(k: usize, s: f64) -> Self {
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for r in 0..k {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is over zero items.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples an item index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty distribution");
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+}
+
+/// Instance-sampling configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleConfig {
+    /// Number of edge servers `N` to sample.
+    pub num_servers: usize,
+    /// Number of users `M` to sample.
+    pub num_users: usize,
+    /// Number of data items `K`.
+    pub num_data: usize,
+    /// Channels per server (paper: 3).
+    pub channels_per_server: u16,
+    /// Channel bandwidth (paper: 200 MB/s).
+    pub channel_bandwidth: MegaBytesPerSec,
+    /// Reserved storage range per server (paper: `[30, 300]` MB).
+    pub storage_range_mb: (f64, f64),
+    /// Candidate data sizes (paper: `{30, 60, 90}` MB).
+    pub data_sizes_mb: Vec<f64>,
+    /// User power range (paper: `[1, 5]` W).
+    pub power_range_w: (f64, f64),
+    /// Shannon rate cap `R_{j,max}` (200 MB/s, the channel bandwidth — a
+    /// lone user on a clean channel saturates its mobile-network cap).
+    pub max_rate: MegaBytesPerSec,
+    /// Requests per user range (1–2).
+    pub requests_per_user: (usize, usize),
+    /// Zipf exponent of the data popularity.
+    pub zipf_exponent: f64,
+    /// Heterogeneous-server mode: when set, each sampled server draws its
+    /// channel count uniformly from this inclusive range instead of using
+    /// `channels_per_server` (the §3.1 heterogeneity evaluation).
+    pub channels_range: Option<(u16, u16)>,
+    /// Heterogeneous-server mode: per-server channel bandwidth range
+    /// (MB/s) overriding `channel_bandwidth` when set.
+    pub bandwidth_range_mbps: Option<(f64, f64)>,
+    /// When `true` (default), users are drawn only from base sites covered
+    /// by the sampled servers — the paper's Theorem 5 assumes "all the
+    /// users can be allocated". When `false`, users are drawn uniformly
+    /// from the whole base population; users outside every sampled
+    /// server's coverage stay unallocated (zero rate, cloud-only
+    /// delivery), which strengthens the N/M trends of Figs. 3–4 at the
+    /// cost of higher absolute latencies.
+    pub require_coverage: bool,
+}
+
+impl SampleConfig {
+    /// The paper's §4.2 settings for an `(N, M, K)` experiment point.
+    pub fn paper(num_servers: usize, num_users: usize, num_data: usize) -> Self {
+        Self {
+            num_servers,
+            num_users,
+            num_data,
+            channels_per_server: 3,
+            channel_bandwidth: MegaBytesPerSec(200.0),
+            storage_range_mb: (30.0, 300.0),
+            data_sizes_mb: vec![30.0, 60.0, 90.0],
+            power_range_w: (1.0, 5.0),
+            max_rate: MegaBytesPerSec(200.0),
+            requests_per_user: (1, 2),
+            zipf_exponent: 0.8,
+            channels_range: None,
+            bandwidth_range_mbps: None,
+            require_coverage: true,
+        }
+    }
+
+    /// Draws one scenario from the base population.
+    ///
+    /// Panics if the population has fewer server sites than `num_servers`.
+    pub fn sample(&self, population: &BasePopulation, rng: &mut impl Rng) -> Scenario {
+        assert!(
+            population.num_server_sites() >= self.num_servers,
+            "population has {} server sites, need {}",
+            population.num_server_sites(),
+            self.num_servers
+        );
+        let mut builder = ScenarioBuilder::new().area(population.area);
+
+        // Sample N server sites without replacement.
+        let mut site_indices: Vec<usize> = (0..population.num_server_sites()).collect();
+        site_indices.shuffle(rng);
+        site_indices.truncate(self.num_servers);
+        let mut servers = Vec::with_capacity(self.num_servers);
+        for &i in &site_indices {
+            servers.push((population.server_sites[i], population.coverage_radii_m[i]));
+            let channels = match self.channels_range {
+                Some((lo, hi)) => rng.gen_range(lo..=hi),
+                None => self.channels_per_server,
+            };
+            let bandwidth = match self.bandwidth_range_mbps {
+                Some((lo, hi)) => MegaBytesPerSec(rng.gen_range(lo..=hi)),
+                None => self.channel_bandwidth,
+            };
+            builder.server(
+                population.server_sites[i],
+                population.coverage_radii_m[i],
+                channels,
+                bandwidth,
+                MegaBytes(rng.gen_range(self.storage_range_mb.0..=self.storage_range_mb.1)),
+            );
+        }
+
+        // Candidate users: base user sites covered by ≥ 1 sampled server
+        // (or the whole pool in open-coverage mode).
+        let covered = |p: Point| servers.iter().any(|&(s, r)| s.distance_sq(p) <= r * r);
+        let mut candidates: Vec<Point> = if self.require_coverage {
+            population.user_sites.iter().copied().filter(|&p| covered(p)).collect()
+        } else {
+            population.user_sites.clone()
+        };
+        candidates.shuffle(rng);
+        let mut user_positions: Vec<Point> = Vec::with_capacity(self.num_users);
+        user_positions.extend(candidates.iter().take(self.num_users));
+        // Pool exhausted (large M, small N): densify by jittering around
+        // already-selected positions. This mirrors how crowded the CBD gets
+        // in the M = 350 experiments without leaving anyone uncoverable.
+        while user_positions.len() < self.num_users {
+            let base = if user_positions.is_empty() {
+                servers[rng.gen_range(0..servers.len())].0
+            } else {
+                user_positions[rng.gen_range(0..user_positions.len())]
+            };
+            let p = population.area.clamp(Point::new(
+                base.x + rng.gen_range(-60.0..=60.0),
+                base.y + rng.gen_range(-60.0..=60.0),
+            ));
+            if covered(p) || !self.require_coverage {
+                user_positions.push(p);
+            }
+        }
+        let mut users = Vec::with_capacity(self.num_users);
+        for p in user_positions {
+            users.push(builder.user(
+                p,
+                Watts(rng.gen_range(self.power_range_w.0..=self.power_range_w.1)),
+                self.max_rate,
+            ));
+        }
+
+        // Data catalogue.
+        let mut data = Vec::with_capacity(self.num_data);
+        for _ in 0..self.num_data {
+            let size = self.data_sizes_mb[rng.gen_range(0..self.data_sizes_mb.len())];
+            data.push(builder.data(MegaBytes(size)));
+        }
+
+        // Requests: 1–2 distinct items per user, Zipf popularity.
+        if !data.is_empty() {
+            let zipf = ZipfPopularity::new(data.len(), self.zipf_exponent);
+            let (lo, hi) = self.requests_per_user;
+            for &user in &users {
+                let want = rng.gen_range(lo..=hi).min(data.len());
+                let mut chosen: Vec<usize> = Vec::with_capacity(want);
+                let mut guard = 0;
+                while chosen.len() < want && guard < 64 {
+                    let k = zipf.sample(rng);
+                    if !chosen.contains(&k) {
+                        chosen.push(k);
+                    }
+                    guard += 1;
+                }
+                for k in chosen {
+                    builder.request(user, data[k]);
+                }
+            }
+        }
+
+        builder.build().expect("sampled scenario must validate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticEua;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let z = ZipfPopularity::new(5, 1.0);
+        let mut counts = [0usize; 5];
+        let mut r = rng(1);
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[1] > counts[3], "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let z = ZipfPopularity::new(4, 0.0);
+        let mut counts = [0usize; 4];
+        let mut r = rng(2);
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn sampled_scenario_matches_paper_defaults() {
+        let pop = SyntheticEua::default().generate(&mut rng(3));
+        let s = SampleConfig::paper(30, 200, 5).sample(&pop, &mut rng(4));
+        assert_eq!(s.num_servers(), 30);
+        assert_eq!(s.num_users(), 200);
+        assert_eq!(s.num_data(), 5);
+        assert!(s.validate().is_ok());
+        for server in &s.servers {
+            assert_eq!(server.num_channels, 3);
+            assert_eq!(server.channel_bandwidth.value(), 200.0);
+            assert!((30.0..=300.0).contains(&server.storage.value()));
+        }
+        for user in &s.users {
+            assert!((1.0..=5.0).contains(&user.power.value()));
+            assert_eq!(user.max_rate.value(), 200.0);
+        }
+        for d in &s.data {
+            assert!([30.0, 60.0, 90.0].contains(&d.size.value()));
+        }
+        // Everyone requests 1-2 items.
+        for u in s.user_ids() {
+            let n = s.requests.of_user(u).len();
+            assert!((1..=2).contains(&n), "user {u} has {n} requests");
+        }
+    }
+
+    #[test]
+    fn every_sampled_user_is_covered() {
+        let pop = SyntheticEua::default().generate(&mut rng(5));
+        for (n, m) in [(20usize, 200usize), (30, 350), (50, 50)] {
+            let s = SampleConfig::paper(n, m, 5).sample(&pop, &mut rng(6));
+            assert_eq!(
+                s.coverage.uncovered_users().count(),
+                0,
+                "N={n} M={m} left users uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_freedom_is_realistic() {
+        let pop = SyntheticEua::default().generate(&mut rng(7));
+        let s = SampleConfig::paper(30, 200, 5).sample(&pop, &mut rng(8));
+        let deg = s.coverage.mean_candidates_per_user();
+        assert!((1.2..=8.0).contains(&deg), "mean |V_j| = {deg}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let pop = SyntheticEua::default().generate(&mut rng(9));
+        let a = SampleConfig::paper(25, 100, 4).sample(&pop, &mut rng(10));
+        let b = SampleConfig::paper(25, 100, 4).sample(&pop, &mut rng(10));
+        assert_eq!(a.servers, b.servers);
+        assert_eq!(a.users, b.users);
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn heterogeneous_servers_draw_from_the_ranges() {
+        let pop = SyntheticEua::default().generate(&mut rng(30));
+        let mut cfg = SampleConfig::paper(20, 60, 3);
+        cfg.channels_range = Some((2, 4));
+        cfg.bandwidth_range_mbps = Some((100.0, 300.0));
+        let s = cfg.sample(&pop, &mut rng(31));
+        let mut channel_counts = std::collections::HashSet::new();
+        for server in &s.servers {
+            assert!((2..=4).contains(&server.num_channels));
+            assert!((100.0..=300.0).contains(&server.channel_bandwidth.value()));
+            channel_counts.insert(server.num_channels);
+        }
+        assert!(channel_counts.len() > 1, "20 draws from 2..=4 must vary");
+    }
+
+    #[test]
+    fn open_coverage_mode_leaves_some_users_uncovered() {
+        let pop = SyntheticEua::default().generate(&mut rng(20));
+        let mut cfg = SampleConfig::paper(15, 200, 5);
+        cfg.require_coverage = false;
+        let s = cfg.sample(&pop, &mut rng(21));
+        // With only 15 of 125 sites, a uniform user draw must miss coverage
+        // for a visible share of users.
+        let uncovered = s.coverage.uncovered_users().count();
+        assert!(uncovered > 10, "expected a real uncovered share, got {uncovered}");
+        assert!(uncovered < 200, "someone must still be covered");
+    }
+
+    #[test]
+    fn zero_data_is_legal() {
+        let pop = SyntheticEua::default().generate(&mut rng(11));
+        let s = SampleConfig::paper(10, 20, 0).sample(&pop, &mut rng(12));
+        assert_eq!(s.num_data(), 0);
+        assert!(s.requests.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn oversampling_servers_panics() {
+        let pop = SyntheticEua { num_servers: 5, num_users: 10, ..Default::default() }
+            .generate(&mut rng(13));
+        SampleConfig::paper(10, 5, 2).sample(&pop, &mut rng(14));
+    }
+}

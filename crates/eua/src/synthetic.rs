@@ -1,0 +1,204 @@
+//! The synthetic EUA-like base population (the DESIGN.md substitution for
+//! the real EUA download).
+//!
+//! The published EUA Melbourne-CBD extract used by the paper has 125 edge
+//! server sites and 816 users in roughly a 1.8 km × 1.4 km downtown area.
+//! We reproduce that shape deterministically:
+//!
+//! * **server sites** on a jittered grid — cellular deployments in a CBD are
+//!   roughly regular with local perturbations;
+//! * **user sites** drawn from a mixture of hotspot clusters (Gaussian blobs
+//!   around random centres — malls, stations, campuses) and a uniform
+//!   background;
+//! * **coverage radii** uniform in `[150, 300]` m, which gives users several
+//!   candidate servers in the full population and, after sampling `N ≤ 50`
+//!   of 125 sites, the 2–6 candidates per user the IDDE game needs to be
+//!   interesting.
+
+use idde_model::{Point, Rect};
+use rand::Rng;
+
+use crate::population::BasePopulation;
+
+/// Samples a zero-mean Gaussian via the Box–Muller transform (avoids a
+/// dependency on `rand_distr` for this one distribution).
+fn sample_normal(rng: &mut impl Rng, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generator configuration for the synthetic EUA-like population.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticEua {
+    /// Area width in metres (default 1800, CBD-like).
+    pub width_m: f64,
+    /// Area height in metres (default 1400).
+    pub height_m: f64,
+    /// Number of edge-server sites (EUA: 125).
+    pub num_servers: usize,
+    /// Number of user sites (EUA: 816).
+    pub num_users: usize,
+    /// Grid jitter as a fraction of the grid pitch.
+    pub server_jitter: f64,
+    /// Coverage radius range in metres.
+    pub coverage_radius_m: (f64, f64),
+    /// Number of user hotspots.
+    pub num_hotspots: usize,
+    /// Standard deviation of each hotspot blob, metres.
+    pub hotspot_sigma_m: f64,
+    /// Fraction of users drawn from hotspots (the rest are uniform).
+    pub hotspot_fraction: f64,
+}
+
+impl Default for SyntheticEua {
+    fn default() -> Self {
+        Self {
+            width_m: 1_800.0,
+            height_m: 1_400.0,
+            num_servers: 125,
+            num_users: 816,
+            server_jitter: 0.35,
+            coverage_radius_m: (150.0, 300.0),
+            num_hotspots: 8,
+            hotspot_sigma_m: 120.0,
+            hotspot_fraction: 0.6,
+        }
+    }
+}
+
+impl SyntheticEua {
+    /// Generates the base population.
+    pub fn generate(&self, rng: &mut impl Rng) -> BasePopulation {
+        assert!(self.num_servers > 0, "population needs at least one server site");
+        let area = Rect::with_size(self.width_m, self.height_m);
+
+        // Jittered grid of server sites: choose the most-square grid with at
+        // least `num_servers` cells, then keep the first `num_servers`.
+        let aspect = self.width_m / self.height_m;
+        let rows = ((self.num_servers as f64 / aspect).sqrt().ceil() as usize).max(1);
+        let cols = self.num_servers.div_ceil(rows);
+        let pitch_x = self.width_m / cols as f64;
+        let pitch_y = self.height_m / rows as f64;
+        let mut server_sites = Vec::with_capacity(self.num_servers);
+        'grid: for r in 0..rows {
+            for c in 0..cols {
+                if server_sites.len() == self.num_servers {
+                    break 'grid;
+                }
+                let jx = rng.gen_range(-self.server_jitter..=self.server_jitter) * pitch_x;
+                let jy = rng.gen_range(-self.server_jitter..=self.server_jitter) * pitch_y;
+                let p = Point::new(
+                    (c as f64 + 0.5) * pitch_x + jx,
+                    (r as f64 + 0.5) * pitch_y + jy,
+                );
+                server_sites.push(area.clamp(p));
+            }
+        }
+
+        let coverage_radii_m = (0..self.num_servers)
+            .map(|_| rng.gen_range(self.coverage_radius_m.0..=self.coverage_radius_m.1))
+            .collect();
+
+        // User sites: hotspot mixture + uniform background.
+        let hotspots: Vec<Point> = (0..self.num_hotspots)
+            .map(|_| {
+                Point::new(rng.gen_range(0.0..self.width_m), rng.gen_range(0.0..self.height_m))
+            })
+            .collect();
+        let mut user_sites = Vec::with_capacity(self.num_users);
+        for _ in 0..self.num_users {
+            let p = if !hotspots.is_empty() && rng.gen_bool(self.hotspot_fraction) {
+                let c = hotspots[rng.gen_range(0..hotspots.len())];
+                Point::new(
+                    c.x + sample_normal(rng, self.hotspot_sigma_m),
+                    c.y + sample_normal(rng, self.hotspot_sigma_m),
+                )
+            } else {
+                Point::new(rng.gen_range(0.0..self.width_m), rng.gen_range(0.0..self.height_m))
+            };
+            user_sites.push(area.clamp(p));
+        }
+
+        let population = BasePopulation { area, server_sites, user_sites, coverage_radii_m };
+        debug_assert!(population.validate().is_ok());
+        population
+    }
+
+    /// Convenience: generate the base population and immediately draw one
+    /// experiment scenario with `n` servers, `m` users and `k` data items
+    /// using the paper's §4.2/§4.3 settings (see [`crate::sampling`]).
+    pub fn sample(
+        &self,
+        n: usize,
+        m: usize,
+        k: usize,
+        rng: &mut impl Rng,
+    ) -> idde_model::Scenario {
+        let population = self.generate(rng);
+        crate::sampling::SampleConfig::paper(n, m, k).sample(&population, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn default_matches_eua_shape() {
+        let pop = SyntheticEua::default().generate(&mut rng(1));
+        assert_eq!(pop.num_server_sites(), 125);
+        assert_eq!(pop.num_user_sites(), 816);
+        assert!(pop.validate().is_ok());
+    }
+
+    #[test]
+    fn population_has_realistic_overlap() {
+        let pop = SyntheticEua::default().generate(&mut rng(2));
+        // Nearly every user must be covered; the mean coverage degree with
+        // all 125 sites must sit in the "several candidates" band so that a
+        // 30-of-125 sample still leaves ~2-6 candidates per user.
+        assert!(pop.covered_fraction() > 0.95, "covered = {}", pop.covered_fraction());
+        let deg = pop.mean_coverage_degree();
+        assert!((4.0..=20.0).contains(&deg), "mean coverage degree = {deg}");
+    }
+
+    #[test]
+    fn sites_stay_in_area() {
+        let pop = SyntheticEua::default().generate(&mut rng(3));
+        for p in pop.server_sites.iter().chain(&pop.user_sites) {
+            assert!(pop.area.contains(*p), "{p:?} outside {:?}", pop.area);
+        }
+    }
+
+    #[test]
+    fn radii_respect_configured_range() {
+        let pop = SyntheticEua::default().generate(&mut rng(4));
+        for &r in &pop.coverage_radii_m {
+            assert!((150.0..=300.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticEua::default().generate(&mut rng(5));
+        let b = SyntheticEua::default().generate(&mut rng(5));
+        assert_eq!(a.server_sites, b.server_sites);
+        assert_eq!(a.user_sites, b.user_sites);
+        assert_eq!(a.coverage_radii_m, b.coverage_radii_m);
+    }
+
+    #[test]
+    fn custom_sizes() {
+        let gen = SyntheticEua { num_servers: 10, num_users: 40, ..Default::default() };
+        let pop = gen.generate(&mut rng(6));
+        assert_eq!(pop.num_server_sites(), 10);
+        assert_eq!(pop.num_user_sites(), 40);
+    }
+}

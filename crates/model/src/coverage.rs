@@ -1,0 +1,167 @@
+//! The coverage relation: `V_j` (servers covering user `u_j`) and `U_i`
+//! (users covered by server `v_i`).
+//!
+//! Constraint (1) of the paper restricts every allocation decision
+//! `α_j = (i, x)` to servers `v_i ∈ V_j`. The relation is derived from
+//! geometry (`distance(u_j, v_i) ≤ coverage_radius(v_i)`) and materialised as
+//! two adjacency lists because both directions are hot: the game iterates
+//! `V_j` per user, the interference field iterates `U_i` per server.
+
+use crate::ids::{ServerId, UserId};
+use crate::server::EdgeServer;
+use crate::user::User;
+
+/// Materialised bidirectional coverage adjacency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoverageMap {
+    /// `servers_of[j]` = sorted servers covering user `j` (the paper's `V_j`).
+    servers_of: Vec<Vec<ServerId>>,
+    /// `users_of[i]` = sorted users covered by server `i` (the paper's `U_i`).
+    users_of: Vec<Vec<UserId>>,
+}
+
+impl CoverageMap {
+    /// Computes the coverage relation from server and user geometry.
+    ///
+    /// Complexity is `O(N·M)` distance checks, which is negligible next to
+    /// the allocation game for the paper's scales (`N ≤ 50`, `M ≤ 350`).
+    pub fn compute(servers: &[EdgeServer], users: &[User]) -> Self {
+        let mut servers_of = vec![Vec::new(); users.len()];
+        let mut users_of = vec![Vec::new(); servers.len()];
+        for user in users {
+            for server in servers {
+                if server.covers(user.position) {
+                    servers_of[user.id.index()].push(server.id);
+                    users_of[server.id.index()].push(user.id);
+                }
+            }
+        }
+        Self { servers_of, users_of }
+    }
+
+    /// Builds a coverage map directly from adjacency lists (used by tests and
+    /// by dataset loaders that carry explicit coverage information).
+    pub fn from_adjacency(mut servers_of: Vec<Vec<ServerId>>, num_servers: usize) -> Self {
+        let mut users_of = vec![Vec::new(); num_servers];
+        for (j, vs) in servers_of.iter_mut().enumerate() {
+            vs.sort_unstable();
+            vs.dedup();
+            for &v in vs.iter() {
+                assert!(v.index() < num_servers, "coverage references unknown server {v}");
+                users_of[v.index()].push(UserId::from_index(j));
+            }
+        }
+        Self { servers_of, users_of }
+    }
+
+    /// Servers covering the given user — the paper's `V_j`.
+    #[inline]
+    pub fn servers_of(&self, user: UserId) -> &[ServerId] {
+        &self.servers_of[user.index()]
+    }
+
+    /// Users covered by the given server — the paper's `U_i`.
+    #[inline]
+    pub fn users_of(&self, server: ServerId) -> &[UserId] {
+        &self.users_of[server.index()]
+    }
+
+    /// Whether `v_i ∈ V_j`.
+    #[inline]
+    pub fn covers(&self, server: ServerId, user: UserId) -> bool {
+        self.servers_of[user.index()].binary_search(&server).is_ok()
+    }
+
+    /// Users with an empty `V_j`. Such users can never be allocated
+    /// (constraint (1)) and always retrieve data from the cloud.
+    pub fn uncovered_users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.servers_of
+            .iter()
+            .enumerate()
+            .filter(|(_, vs)| vs.is_empty())
+            .map(|(j, _)| UserId::from_index(j))
+    }
+
+    /// Mean `|V_j|` over all users — a key statistic of EUA-like scenarios
+    /// (how much allocation freedom the game has).
+    pub fn mean_candidates_per_user(&self) -> f64 {
+        if self.servers_of.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.servers_of.iter().map(Vec::len).sum();
+        total as f64 / self.servers_of.len() as f64
+    }
+
+    /// Number of user rows in the relation.
+    pub fn num_users(&self) -> usize {
+        self.servers_of.len()
+    }
+
+    /// Number of server rows in the relation.
+    pub fn num_servers(&self) -> usize {
+        self.users_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::units::{MegaBytes, MegaBytesPerSec, Watts};
+
+    fn server(id: u32, x: f64, y: f64, radius: f64) -> EdgeServer {
+        EdgeServer::new(
+            ServerId(id),
+            Point::new(x, y),
+            radius,
+            3,
+            MegaBytesPerSec(200.0),
+            MegaBytes(100.0),
+        )
+    }
+
+    fn user(id: u32, x: f64, y: f64) -> User {
+        User::new(UserId(id), Point::new(x, y), Watts(1.0), MegaBytesPerSec(200.0))
+    }
+
+    #[test]
+    fn geometric_coverage() {
+        let servers = vec![server(0, 0.0, 0.0, 100.0), server(1, 150.0, 0.0, 100.0)];
+        let users = vec![
+            user(0, 10.0, 0.0),  // only server 0
+            user(1, 75.0, 0.0),  // both (dist 75 and 75)
+            user(2, 160.0, 0.0), // only server 1
+            user(3, 500.0, 0.0), // uncovered
+        ];
+        let cov = CoverageMap::compute(&servers, &users);
+        assert_eq!(cov.servers_of(UserId(0)), &[ServerId(0)]);
+        assert_eq!(cov.servers_of(UserId(1)), &[ServerId(0), ServerId(1)]);
+        assert_eq!(cov.servers_of(UserId(2)), &[ServerId(1)]);
+        assert_eq!(cov.servers_of(UserId(3)), &[] as &[ServerId]);
+        assert_eq!(cov.users_of(ServerId(0)), &[UserId(0), UserId(1)]);
+        assert!(cov.covers(ServerId(1), UserId(2)));
+        assert!(!cov.covers(ServerId(0), UserId(2)));
+        let uncovered: Vec<_> = cov.uncovered_users().collect();
+        assert_eq!(uncovered, vec![UserId(3)]);
+        assert!((cov.mean_candidates_per_user() - 1.0).abs() < 1e-12); // 4 edges / 4 users
+    }
+
+    #[test]
+    fn adjacency_construction_sorts_and_dedups() {
+        let cov = CoverageMap::from_adjacency(
+            vec![vec![ServerId(1), ServerId(0), ServerId(1)], vec![]],
+            2,
+        );
+        assert_eq!(cov.servers_of(UserId(0)), &[ServerId(0), ServerId(1)]);
+        assert_eq!(cov.users_of(ServerId(1)), &[UserId(0)]);
+        assert_eq!(cov.num_users(), 2);
+        assert_eq!(cov.num_servers(), 2);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let cov = CoverageMap::compute(&[], &[]);
+        assert_eq!(cov.mean_candidates_per_user(), 0.0);
+        assert_eq!(cov.uncovered_users().count(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Data items `d_k ∈ D` stored and delivered by the edge storage system.
+
+use crate::ids::DataId;
+use crate::units::MegaBytes;
+
+/// A data item the app vendor may replicate onto edge servers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataItem {
+    /// Dense identifier of this data item.
+    pub id: DataId,
+    /// Size `s_k` of the item. Placement of the item on a server consumes
+    /// this much of the server's reserved storage (constraint (6)).
+    pub size: MegaBytes,
+}
+
+impl DataItem {
+    /// Creates a data item with the given size.
+    pub fn new(id: DataId, size: MegaBytes) -> Self {
+        Self { id, size }
+    }
+
+    /// Validates the physical sanity of the data item.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if !(self.size.is_valid() && self.size.value() > 0.0) {
+            return Err(format!("data {}: size must be positive", self.id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(DataItem::new(DataId(0), MegaBytes(30.0)).validate().is_ok());
+        assert!(DataItem::new(DataId(0), MegaBytes(0.0)).validate().is_err());
+        assert!(DataItem::new(DataId(0), MegaBytes(-1.0)).validate().is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for model construction and validation.
+
+use std::fmt;
+
+/// An error raised while assembling or validating an IDDE scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// An entity failed its physical-sanity validation; the payload names the
+    /// entity and the violated property.
+    InvalidEntity(String),
+    /// The scenario wiring is inconsistent (id gaps, cross-references to
+    /// missing entities, mismatched matrix dimensions…).
+    Inconsistent(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidEntity(msg) => write!(f, "invalid entity: {msg}"),
+            ModelError::Inconsistent(msg) => write!(f, "inconsistent scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_payload() {
+        let e = ModelError::InvalidEntity("server 3: bad radius".into());
+        assert_eq!(e.to_string(), "invalid entity: server 3: bad radius");
+        let e = ModelError::Inconsistent("user 0 out of range".into());
+        assert!(e.to_string().contains("inconsistent"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Planar geometry: positions of servers and users in the simulated area.
+//!
+//! The EUA dataset locates base stations and users by WGS-84 coordinates; for
+//! the IDDE model only *pairwise distances* matter (they drive channel gain
+//! `g = η·H^−loss` and the coverage relation). We therefore work in a local
+//! metric plane: positions are metres east/north of the area origin.
+
+use std::fmt;
+
+/// A point in the local metric plane (metres).
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Metres east of the area origin.
+    pub x: f64,
+    /// Metres north of the area origin.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates in metres.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point, in metres.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance — cheaper when only comparisons are needed.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between two points.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}m, {:.1}m)", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle, used to describe simulation areas.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates; normalises the corner
+    /// order so that `min` is component-wise below `max`.
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// A rectangle anchored at the origin with the given extent in metres.
+    pub fn with_size(width_m: f64, height_m: f64) -> Self {
+        Self::new(Point::new(0.0, 0.0), Point::new(width_m, height_m))
+    }
+
+    /// Width in metres.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in metres.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square metres.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether the rectangle contains the point (inclusive borders).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps a point into the rectangle.
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-0.5, 7.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_halves_the_segment() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        let m = a.midpoint(b);
+        assert_eq!(m, Point::new(5.0, 10.0));
+        assert!((a.distance(m) - b.distance(m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_normalises_corners() {
+        let r = Rect::new(Point::new(5.0, 8.0), Point::new(1.0, 2.0));
+        assert_eq!(r.min, Point::new(1.0, 2.0));
+        assert_eq!(r.max, Point::new(5.0, 8.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 6.0);
+        assert_eq!(r.area(), 24.0);
+    }
+
+    #[test]
+    fn rect_contains_and_clamps() {
+        let r = Rect::with_size(100.0, 50.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(100.0, 50.0)));
+        assert!(!r.contains(Point::new(100.1, 0.0)));
+        let clamped = r.clamp(Point::new(-5.0, 60.0));
+        assert_eq!(clamped, Point::new(0.0, 50.0));
+        assert_eq!(r.center(), Point::new(50.0, 25.0));
+    }
+}

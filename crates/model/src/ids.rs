@@ -1,0 +1,125 @@
+//! Dense integer identifiers for servers, users, data items and channels.
+//!
+//! All entity collections in a [`crate::Scenario`] are stored in `Vec`s and
+//! addressed by these ids, which are thin newtypes over `u32`/`u16`. The
+//! newtypes prevent the classic "passed a user index where a server index was
+//! expected" bug while compiling down to plain integer arithmetic.
+
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Builds an id from a `usize` index (panics if it overflows `u32`).
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                Self(index as u32)
+            }
+
+            /// Returns the id as a `usize`, suitable for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+dense_id! {
+    /// Identifier of an edge server `v_i` (dense index into `Scenario::servers`).
+    ServerId
+}
+
+dense_id! {
+    /// Identifier of a user `u_j` (dense index into `Scenario::users`).
+    UserId
+}
+
+dense_id! {
+    /// Identifier of a data item `d_k` (dense index into `Scenario::data`).
+    DataId
+}
+
+/// Index of a wireless channel `c_{i,x}` *within* its edge server.
+///
+/// The paper indexes channels per server (`x` in `c_{i,x}`); the global
+/// channel identity is the pair `(ServerId, ChannelIndex)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelIndex(pub u16);
+
+impl ChannelIndex {
+    /// Builds a channel index from a `usize` (panics on `u16` overflow in debug).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u16::MAX as usize);
+        Self(index as u16)
+    }
+
+    /// Returns the channel index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ChannelIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChannelIndex({})", self.0)
+    }
+}
+
+impl fmt::Display for ChannelIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_indices() {
+        let s = ServerId::from_index(42);
+        assert_eq!(s.index(), 42);
+        assert_eq!(s, ServerId(42));
+
+        let c = ChannelIndex::from_index(3);
+        assert_eq!(c.index(), 3);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(UserId(1));
+        set.insert(UserId(2));
+        set.insert(UserId(1));
+        assert_eq!(set.len(), 2);
+        assert!(UserId(1) < UserId(2));
+    }
+
+    #[test]
+    fn debug_and_display_formats() {
+        assert_eq!(format!("{:?}", DataId(7)), "DataId(7)");
+        assert_eq!(format!("{}", DataId(7)), "7");
+        assert_eq!(format!("{:?}", ChannelIndex(2)), "ChannelIndex(2)");
+    }
+}

@@ -1,0 +1,289 @@
+//! Plain-text scenario serialisation.
+//!
+//! A human-readable, diff-friendly, line-oriented format so scenarios can be
+//! saved, shared and replayed (the `idde` CLI's `generate`/`solve` round
+//! trip). One record per line, whitespace-separated, `#` comments:
+//!
+//! ```text
+//! # idde scenario v1
+//! area 1800 1400
+//! server 0 120.5 340.0 250.0 3 200 120
+//! user 0 80.0 300.0 2.5 200
+//! data 0 60
+//! request 0 0
+//! ```
+//!
+//! Field order: `server id x y radius channels bandwidth storage`,
+//! `user id x y power max_rate`, `data id size`, `request user data`.
+//! Ids must be dense and in order (they are validated on read).
+
+use std::fmt::Write as _;
+
+use crate::error::ModelError;
+use crate::geometry::{Point, Rect};
+use crate::ids::{DataId, UserId};
+use crate::scenario::{Scenario, ScenarioBuilder};
+use crate::units::{MegaBytes, MegaBytesPerSec, Watts};
+
+/// Magic first line of the format.
+pub const HEADER: &str = "# idde scenario v1";
+
+/// Serialises a scenario to the plain-text format.
+pub fn to_string(scenario: &Scenario) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(
+        out,
+        "area {} {} {} {}",
+        scenario.area.min.x, scenario.area.min.y, scenario.area.max.x, scenario.area.max.y
+    );
+    for s in &scenario.servers {
+        let _ = writeln!(
+            out,
+            "server {} {} {} {} {} {} {}",
+            s.id,
+            s.position.x,
+            s.position.y,
+            s.coverage_radius_m,
+            s.num_channels,
+            s.channel_bandwidth.value(),
+            s.storage.value()
+        );
+    }
+    for u in &scenario.users {
+        let _ = writeln!(
+            out,
+            "user {} {} {} {} {}",
+            u.id,
+            u.position.x,
+            u.position.y,
+            u.power.value(),
+            u.max_rate.value()
+        );
+    }
+    for d in &scenario.data {
+        let _ = writeln!(out, "data {} {}", d.id, d.size.value());
+    }
+    for (u, d) in scenario.requests.pairs() {
+        let _ = writeln!(out, "request {u} {d}");
+    }
+    out
+}
+
+/// Parses a scenario from the plain-text format. The coverage relation is
+/// recomputed from geometry; the result is fully validated.
+pub fn from_str(text: &str) -> Result<Scenario, ModelError> {
+    let mut lines = text.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((_, l)) if l.trim().is_empty() => continue,
+            Some((_, l)) => break l.trim(),
+            None => return Err(ModelError::Inconsistent("empty scenario file".into())),
+        }
+    };
+    if header != HEADER {
+        return Err(ModelError::Inconsistent(format!(
+            "bad header {header:?}, expected {HEADER:?}"
+        )));
+    }
+
+    let mut builder = ScenarioBuilder::new();
+    let mut area: Option<Rect> = None;
+    let mut servers = 0usize;
+    let mut users = 0usize;
+    let mut data = 0usize;
+    let mut requests: Vec<(UserId, DataId)> = Vec::new();
+
+    let bad = |lineno: usize, msg: &str| {
+        ModelError::Inconsistent(format!("line {}: {msg}", lineno + 1))
+    };
+    let parse_f64 = |lineno: usize, field: Option<&&str>, what: &str| -> Result<f64, ModelError> {
+        field
+            .ok_or_else(|| bad(lineno, &format!("missing {what}")))?
+            .parse::<f64>()
+            .map_err(|_| bad(lineno, &format!("bad {what}")))
+    };
+
+    for (lineno, raw) in lines {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "area" => {
+                let x0 = parse_f64(lineno, fields.get(1), "area min x")?;
+                let y0 = parse_f64(lineno, fields.get(2), "area min y")?;
+                let x1 = parse_f64(lineno, fields.get(3), "area max x")?;
+                let y1 = parse_f64(lineno, fields.get(4), "area max y")?;
+                area = Some(Rect::new(Point::new(x0, y0), Point::new(x1, y1)));
+            }
+            "server" => {
+                let id = parse_f64(lineno, fields.get(1), "server id")? as usize;
+                if id != servers {
+                    return Err(bad(lineno, &format!("server id {id} out of order")));
+                }
+                let x = parse_f64(lineno, fields.get(2), "x")?;
+                let y = parse_f64(lineno, fields.get(3), "y")?;
+                let radius = parse_f64(lineno, fields.get(4), "radius")?;
+                let channels = parse_f64(lineno, fields.get(5), "channels")? as u16;
+                let bandwidth = parse_f64(lineno, fields.get(6), "bandwidth")?;
+                let storage = parse_f64(lineno, fields.get(7), "storage")?;
+                builder.server(
+                    Point::new(x, y),
+                    radius,
+                    channels,
+                    MegaBytesPerSec(bandwidth),
+                    MegaBytes(storage),
+                );
+                servers += 1;
+            }
+            "user" => {
+                let id = parse_f64(lineno, fields.get(1), "user id")? as usize;
+                if id != users {
+                    return Err(bad(lineno, &format!("user id {id} out of order")));
+                }
+                let x = parse_f64(lineno, fields.get(2), "x")?;
+                let y = parse_f64(lineno, fields.get(3), "y")?;
+                let power = parse_f64(lineno, fields.get(4), "power")?;
+                let max_rate = parse_f64(lineno, fields.get(5), "max_rate")?;
+                builder.user(Point::new(x, y), Watts(power), MegaBytesPerSec(max_rate));
+                users += 1;
+            }
+            "data" => {
+                let id = parse_f64(lineno, fields.get(1), "data id")? as usize;
+                if id != data {
+                    return Err(bad(lineno, &format!("data id {id} out of order")));
+                }
+                let size = parse_f64(lineno, fields.get(2), "size")?;
+                builder.data(MegaBytes(size));
+                data += 1;
+            }
+            "request" => {
+                let u = parse_f64(lineno, fields.get(1), "request user")? as u32;
+                let d = parse_f64(lineno, fields.get(2), "request data")? as u32;
+                if u as usize >= users {
+                    return Err(bad(lineno, &format!("request references unknown user {u}")));
+                }
+                if d as usize >= data {
+                    return Err(bad(lineno, &format!("request references unknown data {d}")));
+                }
+                requests.push((UserId(u), DataId(d)));
+            }
+            other => return Err(bad(lineno, &format!("unknown record {other:?}"))),
+        }
+    }
+    for (u, d) in requests {
+        builder.request(u, d);
+    }
+    let builder = match area {
+        Some(a) => builder.area(a),
+        None => builder,
+    };
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        for scenario in [testkit::fig2_example(), testkit::tiny_overlap(), testkit::degenerate()] {
+            let text = to_string(&scenario);
+            let parsed = from_str(&text).expect("round trip must parse");
+            assert_eq!(parsed.servers, scenario.servers);
+            assert_eq!(parsed.users, scenario.users);
+            assert_eq!(parsed.data, scenario.data);
+            assert_eq!(parsed.requests, scenario.requests);
+            assert_eq!(parsed.coverage, scenario.coverage);
+            assert_eq!(parsed.area, scenario.area);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let scenario = testkit::tiny_overlap();
+        let mut text = to_string(&scenario);
+        text = text.replace(
+            "data 0",
+            "\n# catalogue starts here\ndata 0",
+        );
+        text.push_str("\n   \n# trailing comment\n");
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed.data, scenario.data);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str("").is_err());
+        assert!(from_str("not a header\n").is_err());
+        assert!(from_str(HEADER).is_ok(), "empty scenario is legal");
+        let bad_record = format!("{HEADER}\nfrobnicate 1 2 3\n");
+        assert!(from_str(&bad_record).is_err());
+        let out_of_order = format!("{HEADER}\nserver 5 0 0 100 1 200 30\n");
+        assert!(from_str(&out_of_order).is_err());
+        let dangling_request = format!("{HEADER}\nrequest 0 0\n");
+        assert!(from_str(&dangling_request).is_err());
+        let short_server = format!("{HEADER}\nserver 0 1.0 2.0\n");
+        assert!(from_str(&short_server).is_err());
+        let bad_number = format!("{HEADER}\ndata 0 many\n");
+        assert!(from_str(&bad_number).is_err());
+    }
+
+    #[test]
+    fn random_scenarios_round_trip() {
+        use crate::geometry::Point;
+        use crate::scenario::ScenarioBuilder;
+        use crate::units::{MegaBytes, MegaBytesPerSec, Watts};
+        use rand::{Rng, SeedableRng};
+
+        for seed in 0..25u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut b = ScenarioBuilder::new();
+            let n = rng.gen_range(1..8);
+            let m = rng.gen_range(0..12);
+            let k = rng.gen_range(0..5);
+            for _ in 0..n {
+                b.server(
+                    Point::new(rng.gen_range(-500.0..500.0), rng.gen_range(-500.0..500.0)),
+                    rng.gen_range(50.0..400.0),
+                    rng.gen_range(1..5),
+                    MegaBytesPerSec(rng.gen_range(50.0..400.0)),
+                    MegaBytes(rng.gen_range(0.0..300.0)),
+                );
+            }
+            let mut users = Vec::new();
+            for _ in 0..m {
+                users.push(b.user(
+                    Point::new(rng.gen_range(-500.0..500.0), rng.gen_range(-500.0..500.0)),
+                    Watts(rng.gen_range(0.5..5.0)),
+                    MegaBytesPerSec(rng.gen_range(50.0..400.0)),
+                ));
+            }
+            let mut data = Vec::new();
+            for _ in 0..k {
+                data.push(b.data(MegaBytes(rng.gen_range(1.0..100.0))));
+            }
+            for &u in &users {
+                if !data.is_empty() && rng.gen_bool(0.7) {
+                    b.request(u, data[rng.gen_range(0..data.len())]);
+                }
+            }
+            let scenario = b.build().unwrap();
+            let parsed = from_str(&to_string(&scenario)).unwrap();
+            assert_eq!(parsed.servers, scenario.servers, "seed {seed}");
+            assert_eq!(parsed.users, scenario.users, "seed {seed}");
+            assert_eq!(parsed.data, scenario.data, "seed {seed}");
+            assert_eq!(parsed.requests, scenario.requests, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let text = format!("{HEADER}\n\nwhatever\n");
+        let err = from_str(&text).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+}

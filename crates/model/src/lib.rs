@@ -1,0 +1,61 @@
+//! # idde-model — the IDDE problem vocabulary
+//!
+//! This crate defines the entities of the *Interference-aware Data Delivery at
+//! the network Edge* (IDDE) problem exactly as formulated in §2 of the paper:
+//!
+//! * [`EdgeServer`]s `V = {v_1, …, v_N}` with wireless channels, coverage
+//!   radii and reserved storage `A_i`,
+//! * [`User`]s `U = {u_1, …, u_M}` with transmission powers `p_j` and Shannon
+//!   rate caps `R_{j,max}`,
+//! * [`DataItem`]s `D = {d_1, …, d_K}` with sizes `s_k`,
+//! * the request matrix `ζ_{j,k}` ([`RequestMatrix`]),
+//! * the coverage relation `V_j` / `U_i` ([`CoverageMap`]),
+//! * the two decision profiles of an IDDE strategy: the *user allocation
+//!   profile* `α` ([`Allocation`]) and the *data delivery profile* `σ`
+//!   ([`Placement`]).
+//!
+//! Everything downstream (the wireless substrate, the network substrate, the
+//! IDDE-G algorithm and all baselines) builds on these types, so this crate is
+//! deliberately dependency-light and allocation-conscious: profiles are flat
+//! vectors indexed by dense integer ids, coverage is stored in CSR-like
+//! adjacency form, and all invariants are checked by [`Scenario::validate`].
+//!
+//! ## Units
+//!
+//! | Quantity | Unit |
+//! |---|---|
+//! | positions, distances, radii | metres |
+//! | transmit power `p_j`, noise `ω` | watts |
+//! | bandwidth `B`, data rates `R` | MB/s (the paper's "MBps") |
+//! | data sizes `s_k`, storage `A_i` | MB |
+//! | latencies | milliseconds |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coverage;
+pub mod data;
+pub mod error;
+pub mod geometry;
+pub mod ids;
+pub mod io;
+pub mod profile;
+pub mod requests;
+pub mod scenario;
+pub mod server;
+pub mod svg;
+pub mod testkit;
+pub mod units;
+pub mod user;
+
+pub use coverage::CoverageMap;
+pub use data::DataItem;
+pub use error::ModelError;
+pub use geometry::{Point, Rect};
+pub use ids::{ChannelIndex, DataId, ServerId, UserId};
+pub use profile::{Allocation, AllocationDecision, Placement};
+pub use requests::RequestMatrix;
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use server::EdgeServer;
+pub use units::{MegaBytes, MegaBytesPerSec, Milliseconds, Watts};
+pub use user::User;

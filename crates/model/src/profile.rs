@@ -1,0 +1,269 @@
+//! The two halves of an IDDE strategy: the user allocation profile `α`
+//! (Definition 1) and the data delivery profile `σ` (Definition 2).
+
+use crate::ids::{ChannelIndex, DataId, ServerId, UserId};
+use crate::scenario::Scenario;
+use crate::units::MegaBytes;
+
+/// A single user allocation decision `α_j`.
+///
+/// The paper encodes "not allocated" as `α_j = (0,0)`; we use `Option` so the
+/// unallocated state cannot collide with a real `(server 0, channel 0)`
+/// decision.
+pub type AllocationDecision = Option<(ServerId, ChannelIndex)>;
+
+/// The user allocation profile `α = {α_1, …, α_M}`.
+///
+/// Indexed by dense [`UserId`]; `None` means the user is not allocated to any
+/// channel and must retrieve all data from the cloud.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Allocation {
+    decisions: Vec<AllocationDecision>,
+}
+
+impl Allocation {
+    /// The all-unallocated profile for `num_users` users (the initial state
+    /// of Algorithm 1, lines 1–2).
+    pub fn unallocated(num_users: usize) -> Self {
+        Self { decisions: vec![None; num_users] }
+    }
+
+    /// Builds a profile from explicit decisions.
+    pub fn from_decisions(decisions: Vec<AllocationDecision>) -> Self {
+        Self { decisions }
+    }
+
+    /// The decision `α_j` for a user.
+    #[inline]
+    pub fn decision(&self, user: UserId) -> AllocationDecision {
+        self.decisions[user.index()]
+    }
+
+    /// Sets the decision `α_j`, returning the previous one.
+    #[inline]
+    pub fn set(&mut self, user: UserId, decision: AllocationDecision) -> AllocationDecision {
+        std::mem::replace(&mut self.decisions[user.index()], decision)
+    }
+
+    /// The serving server of a user, if allocated.
+    #[inline]
+    pub fn server_of(&self, user: UserId) -> Option<ServerId> {
+        self.decisions[user.index()].map(|(s, _)| s)
+    }
+
+    /// Number of users in the profile.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Number of allocated users.
+    pub fn num_allocated(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Iterator over `(user, decision)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, AllocationDecision)> + '_ {
+        self.decisions.iter().enumerate().map(|(j, &d)| (UserId::from_index(j), d))
+    }
+
+    /// Users allocated to channel `c_{i,x}` — the paper's `U_{i,x}(α)`.
+    ///
+    /// This is a linear scan; hot algorithmic code should maintain its own
+    /// channel occupancy index (see `idde-radio`'s interference field) and
+    /// use this only for verification.
+    pub fn users_on_channel(
+        &self,
+        server: ServerId,
+        channel: ChannelIndex,
+    ) -> impl Iterator<Item = UserId> + '_ {
+        self.decisions.iter().enumerate().filter_map(move |(j, &d)| match d {
+            Some((s, x)) if s == server && x == channel => Some(UserId::from_index(j)),
+            _ => None,
+        })
+    }
+
+    /// Checks constraint (1): every allocated user is allocated to a server
+    /// covering it, on a channel that server actually exposes.
+    pub fn respects_coverage(&self, scenario: &Scenario) -> bool {
+        self.iter().all(|(user, decision)| match decision {
+            None => true,
+            Some((server, channel)) => {
+                scenario.coverage.covers(server, user)
+                    && channel.index() < scenario.servers[server.index()].num_channels as usize
+            }
+        })
+    }
+}
+
+/// The data delivery profile `σ = {σ_{1,1}, …, σ_{N,K}}`.
+///
+/// `σ_{i,k} = 1` means data `d_k` is delivered to (stored on) edge server
+/// `v_i`. The cloud implicitly stores everything (Eq. 7). Stored as a dense
+/// row-major bit matrix plus per-server used-storage accumulators so that the
+/// storage constraint (6) can be checked in O(1) per placement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Placement {
+    num_servers: usize,
+    num_data: usize,
+    /// Row-major `num_servers × num_data` bitmap.
+    stored: Vec<bool>,
+    /// Used storage per server, in MB.
+    used: Vec<f64>,
+}
+
+impl Placement {
+    /// The empty profile (`σ ← ∅`, Algorithm 1 line 3).
+    pub fn empty(num_servers: usize, num_data: usize) -> Self {
+        Self {
+            num_servers,
+            num_data,
+            stored: vec![false; num_servers * num_data],
+            used: vec![0.0; num_servers],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, server: ServerId, data: DataId) -> usize {
+        debug_assert!(server.index() < self.num_servers);
+        debug_assert!(data.index() < self.num_data);
+        server.index() * self.num_data + data.index()
+    }
+
+    /// The value of `σ_{i,k}`.
+    #[inline]
+    pub fn stores(&self, server: ServerId, data: DataId) -> bool {
+        self.stored[self.idx(server, data)]
+    }
+
+    /// Storage currently used on a server.
+    #[inline]
+    pub fn used(&self, server: ServerId) -> MegaBytes {
+        MegaBytes(self.used[server.index()])
+    }
+
+    /// Marks `σ_{i,k} = 1`, accounting `size` of storage. Returns `false`
+    /// (and changes nothing) when the item was already stored there.
+    pub fn place(&mut self, server: ServerId, data: DataId, size: MegaBytes) -> bool {
+        let idx = self.idx(server, data);
+        if self.stored[idx] {
+            return false;
+        }
+        self.stored[idx] = true;
+        self.used[server.index()] += size.value();
+        true
+    }
+
+    /// Clears `σ_{i,k}`, releasing `size` of storage. Returns `false` when
+    /// the item was not stored there.
+    pub fn remove(&mut self, server: ServerId, data: DataId, size: MegaBytes) -> bool {
+        let idx = self.idx(server, data);
+        if !self.stored[idx] {
+            return false;
+        }
+        self.stored[idx] = false;
+        self.used[server.index()] -= size.value();
+        true
+    }
+
+    /// Servers currently storing the given data item.
+    pub fn servers_with(&self, data: DataId) -> impl Iterator<Item = ServerId> + '_ {
+        let k = data.index();
+        let num_data = self.num_data;
+        (0..self.num_servers)
+            .filter(move |i| self.stored[i * num_data + k])
+            .map(ServerId::from_index)
+    }
+
+    /// Data items currently stored on the given server.
+    pub fn data_on(&self, server: ServerId) -> impl Iterator<Item = DataId> + '_ {
+        let row = server.index() * self.num_data;
+        (0..self.num_data).filter(move |k| self.stored[row + k]).map(DataId::from_index)
+    }
+
+    /// Total number of placements (`Σ σ_{i,k}`).
+    pub fn num_placements(&self) -> usize {
+        self.stored.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of server rows.
+    #[inline]
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of data columns.
+    #[inline]
+    pub fn num_data(&self) -> usize {
+        self.num_data
+    }
+
+    /// Checks the storage constraint (6): `Σ_k σ_{i,k}·s_k ≤ A_i` for all
+    /// servers, recomputing used storage from scratch.
+    pub fn respects_storage(&self, scenario: &Scenario) -> bool {
+        scenario.servers.iter().all(|server| {
+            let used: f64 = self
+                .data_on(server.id)
+                .map(|d| scenario.data[d.index()].size.value())
+                .sum();
+            // Tolerate f64 accumulation noise of the incremental counters.
+            used <= server.storage.value() + 1e-9
+                && (used - self.used[server.id.index()]).abs() < 1e-6
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_basics() {
+        let mut alloc = Allocation::unallocated(3);
+        assert_eq!(alloc.num_allocated(), 0);
+        assert_eq!(alloc.decision(UserId(1)), None);
+
+        let prev = alloc.set(UserId(1), Some((ServerId(2), ChannelIndex(0))));
+        assert_eq!(prev, None);
+        assert_eq!(alloc.server_of(UserId(1)), Some(ServerId(2)));
+        assert_eq!(alloc.num_allocated(), 1);
+
+        let on: Vec<_> = alloc.users_on_channel(ServerId(2), ChannelIndex(0)).collect();
+        assert_eq!(on, vec![UserId(1)]);
+        let off: Vec<_> = alloc.users_on_channel(ServerId(2), ChannelIndex(1)).collect();
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn allocation_iter_covers_all_users() {
+        let mut alloc = Allocation::unallocated(2);
+        alloc.set(UserId(0), Some((ServerId(0), ChannelIndex(1))));
+        let collected: Vec<_> = alloc.iter().collect();
+        assert_eq!(
+            collected,
+            vec![(UserId(0), Some((ServerId(0), ChannelIndex(1)))), (UserId(1), None)]
+        );
+    }
+
+    #[test]
+    fn placement_tracks_storage() {
+        let mut p = Placement::empty(2, 3);
+        assert!(p.place(ServerId(0), DataId(1), MegaBytes(30.0)));
+        assert!(!p.place(ServerId(0), DataId(1), MegaBytes(30.0)), "double placement");
+        assert!(p.stores(ServerId(0), DataId(1)));
+        assert!(!p.stores(ServerId(1), DataId(1)));
+        assert_eq!(p.used(ServerId(0)).value(), 30.0);
+        assert_eq!(p.num_placements(), 1);
+
+        assert!(p.place(ServerId(0), DataId(2), MegaBytes(60.0)));
+        assert_eq!(p.used(ServerId(0)).value(), 90.0);
+        let on: Vec<_> = p.data_on(ServerId(0)).collect();
+        assert_eq!(on, vec![DataId(1), DataId(2)]);
+        let with: Vec<_> = p.servers_with(DataId(1)).collect();
+        assert_eq!(with, vec![ServerId(0)]);
+
+        assert!(p.remove(ServerId(0), DataId(1), MegaBytes(30.0)));
+        assert!(!p.remove(ServerId(0), DataId(1), MegaBytes(30.0)));
+        assert_eq!(p.used(ServerId(0)).value(), 60.0);
+    }
+}

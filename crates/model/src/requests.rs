@@ -1,0 +1,170 @@
+//! The request matrix `ζ_{j,k}` — which user requests which data.
+//!
+//! `ζ_{j,k} ∈ {0,1}` indicates whether user `u_j` requests data `d_k`
+//! (Eq. 9). The matrix is sparse in practice (each user requests one or two
+//! items in the paper's illustration), so we store it in CSR form twice: by
+//! user (to evaluate a user's delivery latency) and by data item (so Phase #2
+//! of IDDE-G can rescore only the candidates of the data item it just placed).
+
+use crate::ids::{DataId, UserId};
+
+/// Sparse binary request matrix with row (per-user) and column (per-data)
+/// adjacency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestMatrix {
+    num_users: usize,
+    num_data: usize,
+    /// CSR by user: `by_user[j]` = sorted data ids requested by user `j`.
+    by_user: Vec<Vec<DataId>>,
+    /// CSR by data: `by_data[k]` = sorted user ids requesting data `k`.
+    by_data: Vec<Vec<UserId>>,
+    /// Total number of `(j,k)` request pairs — the denominator of Eq. 9.
+    total: usize,
+}
+
+impl RequestMatrix {
+    /// Builds the matrix from a list of `(user, data)` request pairs.
+    /// Duplicate pairs are collapsed (ζ is binary).
+    pub fn from_pairs(
+        num_users: usize,
+        num_data: usize,
+        pairs: impl IntoIterator<Item = (UserId, DataId)>,
+    ) -> Self {
+        let mut by_user: Vec<Vec<DataId>> = vec![Vec::new(); num_users];
+        let mut by_data: Vec<Vec<UserId>> = vec![Vec::new(); num_data];
+        for (u, d) in pairs {
+            assert!(u.index() < num_users, "request references unknown user {u}");
+            assert!(d.index() < num_data, "request references unknown data {d}");
+            by_user[u.index()].push(d);
+        }
+        let mut total = 0;
+        for (j, reqs) in by_user.iter_mut().enumerate() {
+            reqs.sort_unstable();
+            reqs.dedup();
+            total += reqs.len();
+            for &d in reqs.iter() {
+                by_data[d.index()].push(UserId::from_index(j));
+            }
+        }
+        Self { num_users, num_data, by_user, by_data, total }
+    }
+
+    /// The value of `ζ_{j,k}`.
+    #[inline]
+    pub fn requests(&self, user: UserId, data: DataId) -> bool {
+        self.by_user[user.index()].binary_search(&data).is_ok()
+    }
+
+    /// Data items requested by the given user (sorted).
+    #[inline]
+    pub fn of_user(&self, user: UserId) -> &[DataId] {
+        &self.by_user[user.index()]
+    }
+
+    /// Users requesting the given data item (sorted).
+    #[inline]
+    pub fn of_data(&self, data: DataId) -> &[UserId] {
+        &self.by_data[data.index()]
+    }
+
+    /// Total number of request pairs `Σ_j Σ_k ζ_{j,k}`.
+    #[inline]
+    pub fn total_requests(&self) -> usize {
+        self.total
+    }
+
+    /// Number of user rows.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of data columns.
+    #[inline]
+    pub fn num_data(&self) -> usize {
+        self.num_data
+    }
+
+    /// Iterator over all `(user, data)` request pairs in row-major order.
+    pub fn pairs(&self) -> impl Iterator<Item = (UserId, DataId)> + '_ {
+        self.by_user.iter().enumerate().flat_map(|(j, reqs)| {
+            reqs.iter().map(move |&d| (UserId::from_index(j), d))
+        })
+    }
+
+    /// Returns `true` when no user requests anything — a degenerate but legal
+    /// scenario (the delivery phase then has nothing to do).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> RequestMatrix {
+        // The Fig. 2 example: 9 users, 4 data items.
+        // d1: u1,u6,u8; d2: u3,u5,u9; d3: u2,u6; d4: u4. (0-based here)
+        RequestMatrix::from_pairs(
+            9,
+            4,
+            [
+                (UserId(0), DataId(0)),
+                (UserId(5), DataId(0)),
+                (UserId(7), DataId(0)),
+                (UserId(2), DataId(1)),
+                (UserId(4), DataId(1)),
+                (UserId(8), DataId(1)),
+                (UserId(1), DataId(2)),
+                (UserId(5), DataId(2)),
+                (UserId(3), DataId(3)),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookups_match_construction() {
+        let m = matrix();
+        assert!(m.requests(UserId(0), DataId(0)));
+        assert!(!m.requests(UserId(0), DataId(1)));
+        assert_eq!(m.of_user(UserId(5)), &[DataId(0), DataId(2)]);
+        assert_eq!(m.of_data(DataId(1)), &[UserId(2), UserId(4), UserId(8)]);
+        assert_eq!(m.total_requests(), 9);
+        assert_eq!(m.num_users(), 9);
+        assert_eq!(m.num_data(), 4);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let m = RequestMatrix::from_pairs(
+            2,
+            2,
+            [(UserId(0), DataId(0)), (UserId(0), DataId(0)), (UserId(1), DataId(1))],
+        );
+        assert_eq!(m.total_requests(), 2);
+        assert_eq!(m.of_user(UserId(0)), &[DataId(0)]);
+    }
+
+    #[test]
+    fn pairs_round_trip() {
+        let m = matrix();
+        let pairs: Vec<_> = m.pairs().collect();
+        assert_eq!(pairs.len(), m.total_requests());
+        let rebuilt = RequestMatrix::from_pairs(9, 4, pairs);
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = RequestMatrix::from_pairs(3, 2, []);
+        assert!(m.is_empty());
+        assert_eq!(m.of_user(UserId(2)), &[] as &[DataId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown user")]
+    fn out_of_range_user_panics() {
+        RequestMatrix::from_pairs(1, 1, [(UserId(5), DataId(0))]);
+    }
+}

@@ -1,0 +1,342 @@
+//! The [`Scenario`]: one complete IDDE problem instance.
+//!
+//! A scenario bundles the cloud, the edge servers `V`, the users `U`, the
+//! data catalogue `D`, the request matrix `ζ` and the derived coverage
+//! relation. It deliberately does **not** contain the network topology or the
+//! radio parameters — those live in `idde-net` and `idde-radio` so each
+//! substrate can be tested and swapped independently; `idde-core` assembles
+//! all three into a solvable problem.
+
+use crate::coverage::CoverageMap;
+use crate::data::DataItem;
+use crate::error::ModelError;
+use crate::geometry::Rect;
+use crate::ids::{DataId, ServerId, UserId};
+use crate::requests::RequestMatrix;
+use crate::server::EdgeServer;
+use crate::units::MegaBytes;
+use crate::user::User;
+
+/// One complete IDDE problem instance.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The simulated area (for reporting and dataset generation).
+    pub area: Rect,
+    /// Edge servers `V = {v_1, …, v_N}`.
+    pub servers: Vec<EdgeServer>,
+    /// Users `U = {u_1, …, u_M}`.
+    pub users: Vec<User>,
+    /// Data items `D = {d_1, …, d_K}`.
+    pub data: Vec<DataItem>,
+    /// The request matrix `ζ_{j,k}`.
+    pub requests: RequestMatrix,
+    /// Derived coverage relation (`V_j` / `U_i`).
+    pub coverage: CoverageMap,
+}
+
+impl Scenario {
+    /// Number of edge servers `N`.
+    #[inline]
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of users `M`.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of data items `K`.
+    #[inline]
+    pub fn num_data(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total reserved storage `Σ_i A_i` across the edge storage system.
+    pub fn total_storage(&self) -> MegaBytes {
+        self.servers.iter().map(|s| s.storage).sum()
+    }
+
+    /// Largest data size `s_max = max{s_k}` (used by Theorem 7's bound).
+    pub fn max_data_size(&self) -> MegaBytes {
+        self.data
+            .iter()
+            .map(|d| d.size)
+            .fold(MegaBytes::ZERO, |a, b| if b.value() > a.value() { b } else { a })
+    }
+
+    /// Total number of wireless channels `Σ_i |C_i|` in the system.
+    pub fn total_channels(&self) -> usize {
+        self.servers.iter().map(|s| s.num_channels as usize).sum()
+    }
+
+    /// Iterator over all server ids.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> {
+        (0..self.servers.len() as u32).map(ServerId)
+    }
+
+    /// Iterator over all user ids.
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> {
+        (0..self.users.len() as u32).map(UserId)
+    }
+
+    /// Iterator over all data ids.
+    pub fn data_ids(&self) -> impl Iterator<Item = DataId> {
+        (0..self.data.len() as u32).map(DataId)
+    }
+
+    /// Full consistency validation: entity sanity, dense id sequencing,
+    /// matrix dimensions and coverage wiring.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (i, s) in self.servers.iter().enumerate() {
+            if s.id.index() != i {
+                return Err(ModelError::Inconsistent(format!(
+                    "server at position {i} carries id {}",
+                    s.id
+                )));
+            }
+            s.validate().map_err(ModelError::InvalidEntity)?;
+        }
+        for (j, u) in self.users.iter().enumerate() {
+            if u.id.index() != j {
+                return Err(ModelError::Inconsistent(format!(
+                    "user at position {j} carries id {}",
+                    u.id
+                )));
+            }
+            u.validate().map_err(ModelError::InvalidEntity)?;
+        }
+        for (k, d) in self.data.iter().enumerate() {
+            if d.id.index() != k {
+                return Err(ModelError::Inconsistent(format!(
+                    "data at position {k} carries id {}",
+                    d.id
+                )));
+            }
+            d.validate().map_err(ModelError::InvalidEntity)?;
+        }
+        if self.requests.num_users() != self.users.len()
+            || self.requests.num_data() != self.data.len()
+        {
+            return Err(ModelError::Inconsistent(format!(
+                "request matrix is {}×{} but scenario has {} users and {} data items",
+                self.requests.num_users(),
+                self.requests.num_data(),
+                self.users.len(),
+                self.data.len()
+            )));
+        }
+        if self.coverage.num_users() != self.users.len()
+            || self.coverage.num_servers() != self.servers.len()
+        {
+            return Err(ModelError::Inconsistent(
+                "coverage map dimensions do not match the scenario".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Scenario`]s.
+///
+/// Ids are assigned densely in insertion order. `build()` computes the
+/// coverage relation from geometry (unless one was supplied explicitly) and
+/// validates the result.
+#[derive(Debug, Default)]
+pub struct ScenarioBuilder {
+    area: Option<Rect>,
+    servers: Vec<EdgeServer>,
+    users: Vec<User>,
+    data: Vec<DataItem>,
+    requests: Vec<(UserId, DataId)>,
+    coverage: Option<CoverageMap>,
+}
+
+impl ScenarioBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the simulation area (defaults to the bounding box of all
+    /// entities, padded by the largest coverage radius).
+    pub fn area(mut self, area: Rect) -> Self {
+        self.area = Some(area);
+        self
+    }
+
+    /// Adds an edge server, assigning it the next dense id. Returns the id.
+    pub fn server(
+        &mut self,
+        position: crate::geometry::Point,
+        coverage_radius_m: f64,
+        num_channels: u16,
+        channel_bandwidth: crate::units::MegaBytesPerSec,
+        storage: MegaBytes,
+    ) -> ServerId {
+        let id = ServerId::from_index(self.servers.len());
+        self.servers.push(EdgeServer::new(
+            id,
+            position,
+            coverage_radius_m,
+            num_channels,
+            channel_bandwidth,
+            storage,
+        ));
+        id
+    }
+
+    /// Adds a user, assigning it the next dense id. Returns the id.
+    pub fn user(
+        &mut self,
+        position: crate::geometry::Point,
+        power: crate::units::Watts,
+        max_rate: crate::units::MegaBytesPerSec,
+    ) -> UserId {
+        let id = UserId::from_index(self.users.len());
+        self.users.push(User::new(id, position, power, max_rate));
+        id
+    }
+
+    /// Adds a data item, assigning it the next dense id. Returns the id.
+    pub fn data(&mut self, size: MegaBytes) -> DataId {
+        let id = DataId::from_index(self.data.len());
+        self.data.push(DataItem::new(id, size));
+        id
+    }
+
+    /// Records that `user` requests `data` (`ζ_{j,k} = 1`).
+    pub fn request(&mut self, user: UserId, data: DataId) -> &mut Self {
+        self.requests.push((user, data));
+        self
+    }
+
+    /// Supplies an explicit coverage map instead of computing it from
+    /// geometry (useful for tests and abstract instances).
+    pub fn coverage(mut self, coverage: CoverageMap) -> Self {
+        self.coverage = Some(coverage);
+        self
+    }
+
+    /// Finalises and validates the scenario.
+    pub fn build(self) -> Result<Scenario, ModelError> {
+        let area = self.area.unwrap_or_else(|| {
+            let mut min_x = f64::INFINITY;
+            let mut min_y = f64::INFINITY;
+            let mut max_x = f64::NEG_INFINITY;
+            let mut max_y = f64::NEG_INFINITY;
+            let mut pad = 0.0f64;
+            for s in &self.servers {
+                min_x = min_x.min(s.position.x);
+                min_y = min_y.min(s.position.y);
+                max_x = max_x.max(s.position.x);
+                max_y = max_y.max(s.position.y);
+                pad = pad.max(s.coverage_radius_m);
+            }
+            for u in &self.users {
+                min_x = min_x.min(u.position.x);
+                min_y = min_y.min(u.position.y);
+                max_x = max_x.max(u.position.x);
+                max_y = max_y.max(u.position.y);
+            }
+            if min_x > max_x {
+                // No entities at all: degenerate empty area.
+                return Rect::with_size(0.0, 0.0);
+            }
+            Rect::new(
+                crate::geometry::Point::new(min_x - pad, min_y - pad),
+                crate::geometry::Point::new(max_x + pad, max_y + pad),
+            )
+        });
+        let coverage = self
+            .coverage
+            .unwrap_or_else(|| CoverageMap::compute(&self.servers, &self.users));
+        let requests =
+            RequestMatrix::from_pairs(self.users.len(), self.data.len(), self.requests);
+        let scenario =
+            Scenario { area, servers: self.servers, users: self.users, data: self.data, requests, coverage };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::units::{MegaBytesPerSec, Watts};
+
+    use crate::testkit::fig2_example;
+
+    #[test]
+    fn fig2_example_is_consistent() {
+        let s = fig2_example();
+        assert_eq!(s.num_servers(), 4);
+        assert_eq!(s.num_users(), 9);
+        assert_eq!(s.num_data(), 4);
+        assert_eq!(s.requests.total_requests(), 9);
+        assert_eq!(s.total_channels(), 8);
+        assert!((s.total_storage().value() - 480.0).abs() < 1e-9);
+        assert_eq!(s.max_data_size().value(), 60.0);
+        // Every user must be covered by at least one server.
+        assert_eq!(s.coverage.uncovered_users().count(), 0);
+        // u7 (index 6) must be covered by both v3 and v4 as in the paper's
+        // interference discussion.
+        let v7 = s.coverage.servers_of(UserId(6));
+        assert!(v7.contains(&ServerId(2)) && v7.contains(&ServerId(3)), "V_7 = {v7:?}");
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = ScenarioBuilder::new();
+        let s0 = b.server(Point::new(0.0, 0.0), 100.0, 1, MegaBytesPerSec(100.0), MegaBytes(10.0));
+        let s1 = b.server(Point::new(1.0, 0.0), 100.0, 1, MegaBytesPerSec(100.0), MegaBytes(10.0));
+        assert_eq!((s0, s1), (ServerId(0), ServerId(1)));
+        let u0 = b.user(Point::new(0.0, 0.0), Watts(1.0), MegaBytesPerSec(10.0));
+        assert_eq!(u0, UserId(0));
+        let d0 = b.data(MegaBytes(5.0));
+        assert_eq!(d0, DataId(0));
+        let s = b.build().unwrap();
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn default_area_covers_entities() {
+        let mut b = ScenarioBuilder::new();
+        b.server(Point::new(500.0, 500.0), 120.0, 1, MegaBytesPerSec(100.0), MegaBytes(10.0));
+        b.user(Point::new(450.0, 520.0), Watts(1.0), MegaBytesPerSec(10.0));
+        let s = b.build().unwrap();
+        assert!(s.area.contains(Point::new(500.0, 500.0)));
+        assert!(s.area.contains(Point::new(450.0, 520.0)));
+        // Area is padded by the coverage radius.
+        assert!(s.area.width() >= 240.0);
+    }
+
+    #[test]
+    fn empty_scenario_is_legal() {
+        let s = ScenarioBuilder::new().build().unwrap();
+        assert_eq!(s.num_servers(), 0);
+        assert_eq!(s.num_users(), 0);
+        assert_eq!(s.total_storage().value(), 0.0);
+        assert_eq!(s.max_data_size().value(), 0.0);
+    }
+
+    #[test]
+    fn validation_catches_mismatched_request_matrix() {
+        let mut b = ScenarioBuilder::new();
+        b.user(Point::new(0.0, 0.0), Watts(1.0), MegaBytesPerSec(10.0));
+        let mut s = b.build().unwrap();
+        s.requests = RequestMatrix::from_pairs(5, 0, []);
+        assert!(matches!(s.validate(), Err(ModelError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn validation_catches_id_gaps() {
+        let mut b = ScenarioBuilder::new();
+        b.server(Point::new(0.0, 0.0), 100.0, 1, MegaBytesPerSec(100.0), MegaBytes(10.0));
+        let mut s = b.build().unwrap();
+        s.servers[0].id = ServerId(7);
+        assert!(matches!(s.validate(), Err(ModelError::Inconsistent(_))));
+    }
+}

@@ -1,0 +1,133 @@
+//! Edge servers `v_i ∈ V` and their wireless channels `c_{i,x} ∈ C_i`.
+
+use crate::geometry::Point;
+use crate::ids::{ChannelIndex, ServerId};
+use crate::units::{MegaBytes, MegaBytesPerSec};
+
+/// An edge server in the edge storage system.
+///
+/// Each server owns a set of wireless channels (the paper's `C_i`): users
+/// within `coverage_radius_m` of the server may be allocated to any of those
+/// channels by the user allocation profile `α`. The server also reserves
+/// `storage_mb` (the paper's `A_i`) of storage for the app vendor, into which
+/// the data delivery profile `σ` may place data items.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeServer {
+    /// Dense identifier of this server.
+    pub id: ServerId,
+    /// Position in the local metric plane.
+    pub position: Point,
+    /// Wireless coverage radius in metres; users outside it cannot be
+    /// allocated to this server (constraint (1) of the paper).
+    pub coverage_radius_m: f64,
+    /// Number of wireless channels `|C_i|` this server exposes.
+    pub num_channels: u16,
+    /// Bandwidth `B_{i,x}` of each channel. The paper gives every channel the
+    /// same bandwidth (200 MB/s in §4.2); heterogeneous-per-channel systems
+    /// can still be modelled by splitting servers.
+    pub channel_bandwidth: MegaBytesPerSec,
+    /// Storage space `A_i` reserved on this server by the app vendor.
+    pub storage: MegaBytes,
+}
+
+impl EdgeServer {
+    /// Creates a server with explicit parameters.
+    pub fn new(
+        id: ServerId,
+        position: Point,
+        coverage_radius_m: f64,
+        num_channels: u16,
+        channel_bandwidth: MegaBytesPerSec,
+        storage: MegaBytes,
+    ) -> Self {
+        Self { id, position, coverage_radius_m, num_channels, channel_bandwidth, storage }
+    }
+
+    /// Whether the given point lies inside this server's wireless coverage.
+    #[inline]
+    pub fn covers(&self, p: Point) -> bool {
+        self.position.distance_sq(p) <= self.coverage_radius_m * self.coverage_radius_m
+    }
+
+    /// Iterator over this server's channel indices `x = 0..|C_i|`.
+    pub fn channels(&self) -> impl Iterator<Item = ChannelIndex> + '_ {
+        (0..self.num_channels).map(ChannelIndex)
+    }
+
+    /// Validates the physical sanity of the server parameters.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if !self.position.is_finite() {
+            return Err(format!("server {}: non-finite position", self.id));
+        }
+        if !(self.coverage_radius_m.is_finite() && self.coverage_radius_m > 0.0) {
+            return Err(format!("server {}: coverage radius must be positive", self.id));
+        }
+        if self.num_channels == 0 {
+            return Err(format!("server {}: must expose at least one channel", self.id));
+        }
+        if !(self.channel_bandwidth.is_valid() && self.channel_bandwidth.value() > 0.0) {
+            return Err(format!("server {}: channel bandwidth must be positive", self.id));
+        }
+        if !self.storage.is_valid() {
+            return Err(format!("server {}: invalid storage capacity", self.id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> EdgeServer {
+        EdgeServer::new(
+            ServerId(0),
+            Point::new(100.0, 100.0),
+            150.0,
+            3,
+            MegaBytesPerSec(200.0),
+            MegaBytes(120.0),
+        )
+    }
+
+    #[test]
+    fn coverage_is_a_closed_disc() {
+        let s = server();
+        assert!(s.covers(Point::new(100.0, 100.0)));
+        assert!(s.covers(Point::new(250.0, 100.0))); // exactly on the border
+        assert!(!s.covers(Point::new(250.1, 100.0)));
+    }
+
+    #[test]
+    fn channels_enumerate_all_indices() {
+        let s = server();
+        let xs: Vec<_> = s.channels().collect();
+        assert_eq!(xs, vec![ChannelIndex(0), ChannelIndex(1), ChannelIndex(2)]);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_servers() {
+        let mut s = server();
+        assert!(s.validate().is_ok());
+
+        s.num_channels = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = server();
+        s.coverage_radius_m = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = server();
+        s.channel_bandwidth = MegaBytesPerSec(0.0);
+        assert!(s.validate().is_err());
+
+        let mut s = server();
+        s.storage = MegaBytes(-3.0);
+        assert!(s.validate().is_err());
+
+        // Zero storage is legal: a server can relay but not cache.
+        let mut s = server();
+        s.storage = MegaBytes(0.0);
+        assert!(s.validate().is_ok());
+    }
+}

@@ -1,0 +1,227 @@
+//! SVG rendering of scenarios and strategies.
+//!
+//! Produces a self-contained SVG map of an edge storage system: coverage
+//! discs, server sites (sized by reserved storage), users (colored by
+//! allocation), allocation spokes and replica badges. Useful for debugging
+//! placements, for papers/slides, and for the CLI's `render` subcommand.
+//!
+//! The output is deterministic — byte-identical for identical inputs — so
+//! renders can be snapshot-tested.
+
+use std::fmt::Write as _;
+
+use crate::ids::ServerId;
+use crate::profile::{Allocation, Placement};
+use crate::scenario::Scenario;
+
+/// Rendering options.
+#[derive(Clone, Debug)]
+pub struct SvgOptions {
+    /// Output width in pixels (height follows the area's aspect ratio).
+    pub width_px: f64,
+    /// Draw coverage discs.
+    pub coverage: bool,
+    /// Draw allocation spokes (requires an allocation).
+    pub spokes: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self { width_px: 900.0, coverage: true, spokes: true }
+    }
+}
+
+/// Distinct fill colors assigned to servers round-robin.
+const SERVER_COLORS: &[&str] = &[
+    "#1b6ca8", "#c0392b", "#1e8449", "#8e44ad", "#d68910", "#148f77", "#7b241c", "#2e4053",
+];
+
+/// Renders the scenario (and optionally a strategy's profiles) as SVG.
+pub fn render(
+    scenario: &Scenario,
+    allocation: Option<&Allocation>,
+    placement: Option<&Placement>,
+    options: &SvgOptions,
+) -> String {
+    let area = scenario.area;
+    let (w, h) = (area.width().max(1.0), area.height().max(1.0));
+    let scale = options.width_px / w;
+    let width_px = options.width_px;
+    let height_px = h * scale;
+    let x = |v: f64| (v - area.min.x) * scale;
+    // SVG y grows downward; flip so north is up.
+    let y = |v: f64| height_px - (v - area.min.y) * scale;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.0}" height="{height_px:.0}" viewBox="0 0 {width_px:.0} {height_px:.0}">"#
+    );
+    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fafafa"/>"##);
+
+    let color_of = |s: ServerId| SERVER_COLORS[s.index() % SERVER_COLORS.len()];
+
+    // Coverage discs first (underneath everything).
+    if options.coverage {
+        for server in &scenario.servers {
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="{}" fill-opacity="0.07" stroke="{}" stroke-opacity="0.35" stroke-dasharray="4 4"/>"#,
+                x(server.position.x),
+                y(server.position.y),
+                server.coverage_radius_m * scale,
+                color_of(server.id),
+                color_of(server.id),
+            );
+        }
+    }
+
+    // Allocation spokes.
+    if options.spokes {
+        if let Some(allocation) = allocation {
+            for (user, decision) in allocation.iter() {
+                if let Some((server, _)) = decision {
+                    let u = scenario.users[user.index()].position;
+                    let s = scenario.servers[server.index()].position;
+                    let _ = writeln!(
+                        svg,
+                        r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-opacity="0.45" stroke-width="1"/>"#,
+                        x(u.x),
+                        y(u.y),
+                        x(s.x),
+                        y(s.y),
+                        color_of(server),
+                    );
+                }
+            }
+        }
+    }
+
+    // Users: colored by serving server, grey crosses when unallocated.
+    for user in &scenario.users {
+        let decision = allocation.and_then(|a| a.decision(user.id));
+        match decision {
+            Some((server, _)) => {
+                let _ = writeln!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{}"/>"#,
+                    x(user.position.x),
+                    y(user.position.y),
+                    color_of(server),
+                );
+            }
+            None => {
+                let (cx, cy) = (x(user.position.x), y(user.position.y));
+                let _ = writeln!(
+                    svg,
+                    r##"<path d="M {:.1} {:.1} l 6 6 m 0 -6 l -6 6" stroke="#666" stroke-width="1.5"/>"##,
+                    cx - 3.0,
+                    cy - 3.0,
+                );
+            }
+        }
+    }
+
+    // Servers: squares sized by storage, with replica badges.
+    for server in &scenario.servers {
+        let side = 8.0 + (server.storage.value() / 300.0) * 8.0;
+        let (cx, cy) = (x(server.position.x), y(server.position.y));
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="{side:.1}" height="{side:.1}" fill="{}" stroke="#222"/>"##,
+            cx - side / 2.0,
+            cy - side / 2.0,
+            color_of(server.id),
+        );
+        if let Some(placement) = placement {
+            let items: Vec<String> =
+                placement.data_on(server.id).map(|d| format!("d{}", d.0)).collect();
+            if !items.is_empty() {
+                let _ = writeln!(
+                    svg,
+                    r##"<text x="{:.1}" y="{:.1}" font-size="9" font-family="monospace" fill="#222">{}</text>"##,
+                    cx + side / 2.0 + 2.0,
+                    cy + 3.0,
+                    items.join(","),
+                );
+            }
+        }
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="10" font-family="monospace" font-weight="bold" fill="#111">v{}</text>"##,
+            cx - side / 2.0,
+            cy - side / 2.0 - 3.0,
+            server.id.0,
+        );
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ChannelIndex, DataId, UserId};
+    use crate::testkit;
+    use crate::units::MegaBytes;
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let scenario = testkit::fig2_example();
+        let svg = render(&scenario, None, None, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One coverage circle + one square + one label per server.
+        assert_eq!(svg.matches("<rect x=").count(), scenario.num_servers());
+        assert_eq!(svg.matches("stroke-dasharray").count(), scenario.num_servers());
+        // One dot or cross per user (all unallocated here → crosses).
+        assert_eq!(svg.matches("<path d=").count(), scenario.num_users());
+    }
+
+    #[test]
+    fn allocation_draws_spokes_and_colored_users() {
+        let scenario = testkit::fig2_example();
+        let mut allocation = Allocation::unallocated(scenario.num_users());
+        allocation.set(UserId(0), Some((ServerId(0), ChannelIndex(0))));
+        allocation.set(UserId(5), Some((ServerId(2), ChannelIndex(1))));
+        let svg = render(&scenario, Some(&allocation), None, &SvgOptions::default());
+        assert_eq!(svg.matches("<line ").count(), 2);
+        assert_eq!(svg.matches(r#"r="3""#).count(), 2);
+        assert_eq!(svg.matches("<path d=").count(), scenario.num_users() - 2);
+    }
+
+    #[test]
+    fn placement_draws_replica_badges() {
+        let scenario = testkit::fig2_example();
+        let mut placement = Placement::empty(scenario.num_servers(), scenario.num_data());
+        placement.place(ServerId(1), DataId(0), MegaBytes(60.0));
+        placement.place(ServerId(1), DataId(2), MegaBytes(60.0));
+        let svg = render(&scenario, None, Some(&placement), &SvgOptions::default());
+        assert!(svg.contains(">d0,d2</text>"), "{svg}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let scenario = testkit::tiny_overlap();
+        let a = render(&scenario, None, None, &SvgOptions::default());
+        let b = render(&scenario, None, None, &SvgOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn options_disable_layers() {
+        let scenario = testkit::tiny_overlap();
+        let options = SvgOptions { coverage: false, spokes: false, ..Default::default() };
+        let svg = render(&scenario, None, None, &options);
+        assert_eq!(svg.matches("stroke-dasharray").count(), 0);
+        assert_eq!(svg.matches("<line ").count(), 0);
+    }
+
+    #[test]
+    fn degenerate_empty_scenario_renders() {
+        let scenario = crate::scenario::ScenarioBuilder::new().build().unwrap();
+        let svg = render(&scenario, None, None, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+    }
+}

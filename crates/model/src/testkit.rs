@@ -1,0 +1,125 @@
+//! Deterministic fixture scenarios shared by tests across the workspace.
+//!
+//! These are *not* the evaluation workloads (see `idde-eua` for EUA-like
+//! scenario generation); they are small, hand-laid-out instances whose
+//! geometry is easy to reason about in unit tests.
+
+use crate::geometry::Point;
+use crate::ids::{DataId, UserId};
+use crate::scenario::{Scenario, ScenarioBuilder};
+use crate::units::{MegaBytes, MegaBytesPerSec, Watts};
+
+/// The running example of the paper's Fig. 2: 4 edge servers, 9 users and 4
+/// data items, with the request pattern from the figure caption
+/// (`d1 ← {u1,u6,u8}`, `d2 ← {u3,u5,u9}`, `d3 ← {u2,u6}`, `d4 ← {u4}`).
+///
+/// Geometry is chosen so the coverage relation matches the figure: e.g. `u7`
+/// is covered by both `v3` and `v4`, which drives the paper's interference
+/// discussion.
+pub fn fig2_example() -> Scenario {
+    let mut b = ScenarioBuilder::new();
+    let _v = [
+        b.server(Point::new(200.0, 600.0), 250.0, 2, MegaBytesPerSec(200.0), MegaBytes(120.0)),
+        b.server(Point::new(200.0, 200.0), 250.0, 2, MegaBytesPerSec(200.0), MegaBytes(120.0)),
+        b.server(Point::new(550.0, 450.0), 250.0, 2, MegaBytesPerSec(200.0), MegaBytes(120.0)),
+        b.server(Point::new(900.0, 300.0), 250.0, 2, MegaBytesPerSec(200.0), MegaBytes(120.0)),
+    ];
+    let mk_user = |b: &mut ScenarioBuilder, x: f64, y: f64| {
+        b.user(Point::new(x, y), Watts(2.0), MegaBytesPerSec(200.0))
+    };
+    let u = [
+        mk_user(&mut b, 150.0, 700.0),
+        mk_user(&mut b, 120.0, 420.0),
+        mk_user(&mut b, 300.0, 550.0),
+        mk_user(&mut b, 180.0, 120.0),
+        mk_user(&mut b, 360.0, 300.0),
+        mk_user(&mut b, 600.0, 500.0),
+        mk_user(&mut b, 720.0, 380.0),
+        mk_user(&mut b, 950.0, 380.0),
+        mk_user(&mut b, 980.0, 200.0),
+    ];
+    let d: Vec<DataId> = (0..4).map(|_| b.data(MegaBytes(60.0))).collect();
+    b.request(u[0], d[0]);
+    b.request(u[5], d[0]);
+    b.request(u[7], d[0]);
+    b.request(u[2], d[1]);
+    b.request(u[4], d[1]);
+    b.request(u[8], d[1]);
+    b.request(u[1], d[2]);
+    b.request(u[5], d[2]);
+    b.request(u[3], d[3]);
+    b.build().expect("fig2 example must validate")
+}
+
+/// A minimal two-server, three-user, two-data scenario where every user is
+/// covered by both servers — maximal allocation freedom in a tiny space,
+/// convenient for exhaustive cross-checks.
+pub fn tiny_overlap() -> Scenario {
+    let mut b = ScenarioBuilder::new();
+    b.server(Point::new(0.0, 0.0), 500.0, 2, MegaBytesPerSec(200.0), MegaBytes(60.0));
+    b.server(Point::new(300.0, 0.0), 500.0, 2, MegaBytesPerSec(200.0), MegaBytes(60.0));
+    let u0 = b.user(Point::new(50.0, 10.0), Watts(1.0), MegaBytesPerSec(200.0));
+    let u1 = b.user(Point::new(150.0, -20.0), Watts(3.0), MegaBytesPerSec(200.0));
+    let u2 = b.user(Point::new(260.0, 15.0), Watts(5.0), MegaBytesPerSec(200.0));
+    let d0 = b.data(MegaBytes(30.0));
+    let d1 = b.data(MegaBytes(60.0));
+    b.request(u0, d0);
+    b.request(u1, d0);
+    b.request(u1, d1);
+    b.request(u2, d1);
+    b.build().expect("tiny_overlap must validate")
+}
+
+/// A pathological scenario: one isolated user that no server covers, one
+/// server with zero storage, and a data item nobody requests. Exercises the
+/// degenerate paths (cloud-only users, relay-only servers, dead catalogue
+/// entries).
+pub fn degenerate() -> Scenario {
+    let mut b = ScenarioBuilder::new();
+    b.server(Point::new(0.0, 0.0), 100.0, 1, MegaBytesPerSec(200.0), MegaBytes(0.0));
+    let u0 = b.user(Point::new(10.0, 0.0), Watts(1.0), MegaBytesPerSec(200.0));
+    let _u1 = b.user(Point::new(10_000.0, 0.0), Watts(1.0), MegaBytesPerSec(200.0));
+    let d0 = b.data(MegaBytes(30.0));
+    let _d1 = b.data(MegaBytes(90.0));
+    b.request(u0, d0);
+    b.build().expect("degenerate must validate")
+}
+
+/// Users of [`fig2_example`] by paper numbering: `user(1)` is the paper's
+/// `u_1` (dense id 0).
+pub fn fig2_user(paper_index: u32) -> UserId {
+    assert!((1..=9).contains(&paper_index));
+    UserId(paper_index - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ServerId;
+
+    #[test]
+    fn fig2_has_expected_shape() {
+        let s = fig2_example();
+        assert_eq!((s.num_servers(), s.num_users(), s.num_data()), (4, 9, 4));
+        assert_eq!(s.requests.total_requests(), 9);
+        assert_eq!(s.coverage.uncovered_users().count(), 0);
+        let v7 = s.coverage.servers_of(fig2_user(7));
+        assert!(v7.contains(&ServerId(2)) && v7.contains(&ServerId(3)));
+    }
+
+    #[test]
+    fn tiny_overlap_has_full_freedom() {
+        let s = tiny_overlap();
+        for j in s.user_ids() {
+            assert_eq!(s.coverage.servers_of(j).len(), 2);
+        }
+    }
+
+    #[test]
+    fn degenerate_exposes_edge_cases() {
+        let s = degenerate();
+        assert_eq!(s.coverage.uncovered_users().count(), 1);
+        assert_eq!(s.servers[0].storage.value(), 0.0);
+        assert!(s.requests.of_data(crate::ids::DataId(1)).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Lightweight unit newtypes.
+//!
+//! The IDDE formulation mixes four dimensioned quantity families (sizes,
+//! rates, powers, latencies). The hot algorithmic code works on raw `f64`s
+//! for speed, but *boundaries* — scenario construction, reporting, public
+//! results — use these newtypes so that a latency can never silently be fed
+//! where a rate was expected.
+//!
+//! All newtypes are `#[repr(transparent)]` wrappers over `f64` with zero
+//! runtime cost.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[repr(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Wraps a raw value.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Unwraps to the raw `f64`.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Zero of this unit.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns `true` when the value is finite and non-negative —
+            /// every physical quantity in the IDDE model must satisfy this.
+            #[inline]
+            pub fn is_valid(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4}{}", self.0, $suffix)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*}{}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{:.2}{}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit! {
+    /// A data volume in megabytes (data sizes `s_k`, storage capacities `A_i`).
+    MegaBytes, "MB"
+}
+
+unit! {
+    /// A data rate in megabytes per second (channel bandwidth `B_{i,x}`,
+    /// user data rates `R_j`, link transmission speeds).
+    MegaBytesPerSec, "MB/s"
+}
+
+unit! {
+    /// A transmit power in watts (user powers `p_j`, noise `ω`).
+    Watts, "W"
+}
+
+unit! {
+    /// A latency in milliseconds (delivery latencies `L_{j,k}`, `L_avg`).
+    Milliseconds, "ms"
+}
+
+impl MegaBytes {
+    /// Transfer time of this volume over a link of the given speed.
+    ///
+    /// `MB / (MB/s) = s`, converted to milliseconds.
+    #[inline]
+    pub fn transfer_time(self, speed: MegaBytesPerSec) -> Milliseconds {
+        Milliseconds(self.0 / speed.0 * 1_000.0)
+    }
+}
+
+impl Watts {
+    /// Converts a dBm value (decibel-milliwatts) into watts.
+    ///
+    /// The paper specifies the additive white Gaussian noise as
+    /// `ω = −174 dBm`; this helper performs the standard conversion
+    /// `W = 10^((dBm − 30)/10)`.
+    #[inline]
+    pub fn from_dbm(dbm: f64) -> Self {
+        Watts(10f64.powf((dbm - 30.0) / 10.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_hand_calculation() {
+        // 30 MB over a 600 MB/s cloud link = 50 ms (paper §4.2 values).
+        let t = MegaBytes(30.0).transfer_time(MegaBytesPerSec(600.0));
+        assert!((t.value() - 50.0).abs() < 1e-9);
+
+        // 90 MB over a 6000 MB/s edge link = 15 ms.
+        let t = MegaBytes(90.0).transfer_time(MegaBytesPerSec(6000.0));
+        assert!((t.value() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_conversion() {
+        // 0 dBm = 1 mW.
+        assert!((Watts::from_dbm(0.0).value() - 1e-3).abs() < 1e-12);
+        // 30 dBm = 1 W.
+        assert!((Watts::from_dbm(30.0).value() - 1.0).abs() < 1e-9);
+        // −174 dBm ≈ 3.98e-21 W (thermal noise floor used by the paper).
+        let noise = Watts::from_dbm(-174.0).value();
+        assert!(noise > 3.9e-21 && noise < 4.1e-21, "noise = {noise:e}");
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Milliseconds(2.0) + Milliseconds(3.0);
+        assert_eq!(a.value(), 5.0);
+        assert!(Milliseconds(1.0) < Milliseconds(2.0));
+        let s: Milliseconds = [Milliseconds(1.0), Milliseconds(2.5)].into_iter().sum();
+        assert!((s.value() - 3.5).abs() < 1e-12);
+        assert_eq!((MegaBytes(10.0) * 2.0).value(), 20.0);
+        assert_eq!((MegaBytes(10.0) / 2.0).value(), 5.0);
+        assert_eq!((MegaBytes(10.0) - MegaBytes(4.0)).value(), 6.0);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(MegaBytes(0.0).is_valid());
+        assert!(!MegaBytes(-1.0).is_valid());
+        assert!(!MegaBytes(f64::NAN).is_valid());
+        assert!(!MegaBytes(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(format!("{}", MegaBytes(1.5)), "1.50MB");
+        assert_eq!(format!("{:.0}", Milliseconds(12.3)), "12ms");
+        assert_eq!(format!("{:?}", Watts(2.0)), "2.0000W");
+    }
+}

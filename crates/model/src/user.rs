@@ -1,0 +1,68 @@
+//! Users `u_j ∈ U` requesting data from the edge storage system.
+
+use crate::geometry::Point;
+use crate::ids::UserId;
+use crate::units::{MegaBytesPerSec, Watts};
+
+/// A mobile user.
+///
+/// Users access edge servers over wireless channels; their transmission power
+/// `p_j` determines both their own received signal strength and the
+/// interference they inflict on co-channel users (Eq. 2 of the paper). Each
+/// user also carries a Shannon cap `R_{j,max}` on its achievable data rate
+/// (Eq. 4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct User {
+    /// Dense identifier of this user.
+    pub id: UserId,
+    /// Position in the local metric plane.
+    pub position: Point,
+    /// Signal transmission power `p_j` required by this user.
+    pub power: Watts,
+    /// Maximum achievable data rate `R_{j,max}` under the Shannon capacity
+    /// constraint of the user's mobile network.
+    pub max_rate: MegaBytesPerSec,
+}
+
+impl User {
+    /// Creates a user with explicit parameters.
+    pub fn new(id: UserId, position: Point, power: Watts, max_rate: MegaBytesPerSec) -> Self {
+        Self { id, position, power, max_rate }
+    }
+
+    /// Validates the physical sanity of the user parameters.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if !self.position.is_finite() {
+            return Err(format!("user {}: non-finite position", self.id));
+        }
+        if !(self.power.is_valid() && self.power.value() > 0.0) {
+            return Err(format!("user {}: transmission power must be positive", self.id));
+        }
+        if !(self.max_rate.is_valid() && self.max_rate.value() > 0.0) {
+            return Err(format!("user {}: maximum data rate must be positive", self.id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_accepts_reasonable_users() {
+        let u = User::new(UserId(3), Point::new(1.0, 2.0), Watts(2.5), MegaBytesPerSec(200.0));
+        assert!(u.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonpositive_power_or_rate() {
+        let mut u = User::new(UserId(0), Point::new(0.0, 0.0), Watts(0.0), MegaBytesPerSec(200.0));
+        assert!(u.validate().is_err());
+        u.power = Watts(1.0);
+        u.max_rate = MegaBytesPerSec(0.0);
+        assert!(u.validate().is_err());
+        u.max_rate = MegaBytesPerSec(f64::NAN);
+        assert!(u.validate().is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Random topology generation (§4.2–§4.3 of the paper).
+//!
+//! The paper generates `density · N` links "randomly to connect edge
+//! servers", with link speeds uniform in `[2000, 6000]` MB/s and a 600 MB/s
+//! edge–cloud speed. A uniformly random multigraph with `density·N ≥ N`
+//! links is almost always connected but not guaranteed to be; since Eq. 8
+//! always allows cloud fallback, disconnection is *legal*, merely
+//! latency-expensive. We support both modes:
+//!
+//! * `ensure_connected = true` (default): first a random spanning tree
+//!   (`N − 1` links, uniformly random via random-permutation attachment),
+//!   then the remaining `density·N − (N−1)` links uniformly at random among
+//!   unused server pairs. This matches the spirit of "connect edge servers"
+//!   and keeps runs comparable across repetitions.
+//! * `ensure_connected = false`: all `density·N` links uniformly at random —
+//!   the literal reading, used in robustness tests.
+
+use idde_model::{MegaBytesPerSec, ServerId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{EdgeGraph, Link};
+use crate::topology::Topology;
+
+/// Configuration for random topology generation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopologyConfig {
+    /// Network density: the generated link count is `⌊density · N⌋`
+    /// (clamped to the simple-graph maximum `N(N−1)/2`).
+    pub density: f64,
+    /// Minimum link transmission speed (paper: 2000 MB/s).
+    pub min_link_speed: MegaBytesPerSec,
+    /// Maximum link transmission speed (paper: 6000 MB/s).
+    pub max_link_speed: MegaBytesPerSec,
+    /// Edge–cloud transmission speed (paper: 600 MB/s).
+    pub cloud_speed: MegaBytesPerSec,
+    /// Whether to seed the topology with a random spanning tree.
+    pub ensure_connected: bool,
+}
+
+impl TopologyConfig {
+    /// The paper's §4.2 settings at the given density.
+    pub fn paper(density: f64) -> Self {
+        Self {
+            density,
+            min_link_speed: MegaBytesPerSec(2_000.0),
+            max_link_speed: MegaBytesPerSec(6_000.0),
+            cloud_speed: MegaBytesPerSec(600.0),
+            ensure_connected: true,
+        }
+    }
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self::paper(1.0)
+    }
+}
+
+/// Generates a random edge topology over `num_servers` servers.
+pub fn generate_topology(
+    num_servers: usize,
+    config: &TopologyConfig,
+    rng: &mut impl Rng,
+) -> Topology {
+    assert!(config.density >= 0.0, "density must be non-negative");
+    assert!(
+        config.min_link_speed.value() > 0.0
+            && config.max_link_speed.value() >= config.min_link_speed.value(),
+        "invalid link speed range"
+    );
+    let n = num_servers;
+    let max_simple_links = n.saturating_sub(1) * n / 2;
+    let target_links = ((config.density * n as f64).floor() as usize).min(max_simple_links);
+
+    let mut links: Vec<Link> = Vec::with_capacity(target_links);
+    let mut used = std::collections::HashSet::<(u32, u32)>::new();
+    let speed = |rng: &mut dyn rand::RngCore| {
+        MegaBytesPerSec(rng.gen_range(config.min_link_speed.value()..=config.max_link_speed.value()))
+    };
+
+    if config.ensure_connected && n > 1 {
+        // Uniform random spanning tree by random-permutation attachment:
+        // each node (after the first) links to a uniformly random earlier
+        // node in a shuffled order.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        for idx in 1..n {
+            let a = order[idx];
+            let b = order[rng.gen_range(0..idx)];
+            let key = (a.min(b), a.max(b));
+            used.insert(key);
+            links.push(Link { a: ServerId(a), b: ServerId(b), speed: speed(rng) });
+            if links.len() >= target_links.max(n - 1) {
+                // The tree itself may already exceed a tiny target; we always
+                // complete the tree so the graph is connected.
+                continue;
+            }
+        }
+    }
+
+    // Fill the remaining budget with uniformly random unused pairs.
+    let mut guard = 0usize;
+    while links.len() < target_links && used.len() < max_simple_links {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if used.insert(key) {
+            links.push(Link { a: ServerId(a), b: ServerId(b), speed: speed(rng) });
+        }
+        guard += 1;
+        if guard > 100 * max_simple_links.max(16) {
+            break; // dense corner: fall back rather than spin
+        }
+    }
+
+    Topology::new(EdgeGraph::new(n, links), config.cloud_speed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let c = TopologyConfig::paper(1.4);
+        assert_eq!(c.density, 1.4);
+        assert_eq!(c.min_link_speed.value(), 2000.0);
+        assert_eq!(c.max_link_speed.value(), 6000.0);
+        assert_eq!(c.cloud_speed.value(), 600.0);
+        assert!(c.ensure_connected);
+    }
+
+    #[test]
+    fn link_count_matches_density() {
+        for &n in &[10usize, 30, 50] {
+            for &density in &[1.0, 1.8, 3.0] {
+                let t = generate_topology(n, &TopologyConfig::paper(density), &mut rng(7));
+                let expected = (density * n as f64).floor() as usize;
+                assert_eq!(t.graph().num_links(), expected, "n={n} density={density}");
+            }
+        }
+    }
+
+    #[test]
+    fn connected_mode_yields_connected_graphs() {
+        for seed in 0..20 {
+            let t = generate_topology(30, &TopologyConfig::paper(1.0), &mut rng(seed));
+            assert!(t.graph().is_connected(), "seed {seed} produced a disconnected graph");
+        }
+    }
+
+    #[test]
+    fn speeds_respect_bounds() {
+        let t = generate_topology(40, &TopologyConfig::paper(2.0), &mut rng(3));
+        for l in t.graph().links() {
+            assert!(l.speed.value() >= 2000.0 && l.speed.value() <= 6000.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate_topology(25, &TopologyConfig::paper(1.8), &mut rng(11));
+        let b = generate_topology(25, &TopologyConfig::paper(1.8), &mut rng(11));
+        assert_eq!(a.graph().links(), b.graph().links());
+    }
+
+    #[test]
+    fn unconnected_mode_is_legal() {
+        let mut c = TopologyConfig::paper(0.2);
+        c.ensure_connected = false;
+        let t = generate_topology(20, &c, &mut rng(5));
+        assert_eq!(t.graph().num_links(), 4);
+        // Nothing to assert about connectivity — just must not panic.
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let t = generate_topology(0, &TopologyConfig::paper(1.0), &mut rng(0));
+        assert_eq!(t.graph().num_links(), 0);
+        let t = generate_topology(1, &TopologyConfig::paper(3.0), &mut rng(0));
+        assert_eq!(t.graph().num_links(), 0);
+        let t = generate_topology(2, &TopologyConfig::paper(3.0), &mut rng(0));
+        assert_eq!(t.graph().num_links(), 1); // clamped to the simple-graph max
+    }
+}

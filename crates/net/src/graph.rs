@@ -1,0 +1,171 @@
+//! The undirected weighted graph of high-speed links between edge servers.
+
+use idde_model::{MegaBytesPerSec, ServerId};
+
+/// A bidirectional high-speed link between two adjacent edge servers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// One endpoint.
+    pub a: ServerId,
+    /// The other endpoint.
+    pub b: ServerId,
+    /// Transmission speed of the link.
+    pub speed: MegaBytesPerSec,
+}
+
+impl Link {
+    /// Per-megabyte traversal cost of this link, in ms/MB.
+    #[inline]
+    pub fn unit_cost(&self) -> f64 {
+        1_000.0 / self.speed.value()
+    }
+}
+
+/// Adjacency-list graph over the edge servers of a scenario.
+///
+/// Stored as a CSR-style structure: one flat `Vec` of (neighbour, unit-cost)
+/// pairs plus per-node offsets, which keeps Dijkstra's inner loop cache
+/// friendly.
+#[derive(Clone, Debug)]
+pub struct EdgeGraph {
+    num_nodes: usize,
+    links: Vec<Link>,
+    /// CSR offsets into `neighbors`; length `num_nodes + 1`.
+    offsets: Vec<usize>,
+    /// Flat adjacency: `(neighbor, unit_cost_ms_per_mb)`.
+    neighbors: Vec<(u32, f64)>,
+}
+
+impl EdgeGraph {
+    /// Builds the graph from an explicit link list. Self-loops are rejected;
+    /// parallel links are kept (Dijkstra simply uses the cheaper one).
+    pub fn new(num_nodes: usize, links: Vec<Link>) -> Self {
+        for l in &links {
+            assert!(l.a != l.b, "self-loop on server {}", l.a);
+            assert!(l.a.index() < num_nodes && l.b.index() < num_nodes, "link endpoint out of range");
+            assert!(l.speed.value() > 0.0, "link speed must be positive");
+        }
+        let mut degree = vec![0usize; num_nodes];
+        for l in &links {
+            degree[l.a.index()] += 1;
+            degree[l.b.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut acc = 0usize;
+        for d in &degree {
+            offsets.push(acc);
+            acc += d;
+        }
+        offsets.push(acc);
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![(0u32, 0.0f64); acc];
+        for l in &links {
+            let c = l.unit_cost();
+            neighbors[cursor[l.a.index()]] = (l.b.0, c);
+            cursor[l.a.index()] += 1;
+            neighbors[cursor[l.b.index()]] = (l.a.0, c);
+            cursor[l.b.index()] += 1;
+        }
+        Self { num_nodes, links, offsets, neighbors }
+    }
+
+    /// A graph with no links at all (servers can only talk to the cloud).
+    pub fn disconnected(num_nodes: usize) -> Self {
+        Self::new(num_nodes, Vec::new())
+    }
+
+    /// Number of nodes (edge servers).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link list.
+    #[inline]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Neighbours of a node with per-MB link costs.
+    #[inline]
+    pub fn neighbors(&self, node: ServerId) -> &[(u32, f64)] {
+        &self.neighbors[self.offsets[node.index()]..self.offsets[node.index() + 1]]
+    }
+
+    /// Whether every node can reach every other node over links.
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for &(m, _) in self.neighbors(ServerId(n)) {
+                if !seen[m as usize] {
+                    seen[m as usize] = true;
+                    count += 1;
+                    stack.push(m);
+                }
+            }
+        }
+        count == self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(a: u32, b: u32, speed: f64) -> Link {
+        Link { a: ServerId(a), b: ServerId(b), speed: MegaBytesPerSec(speed) }
+    }
+
+    #[test]
+    fn unit_cost_is_ms_per_mb() {
+        // 4000 MB/s → 0.25 ms per MB.
+        assert!((link(0, 1, 4000.0).unit_cost() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_is_bidirectional() {
+        let g = EdgeGraph::new(3, vec![link(0, 1, 2000.0), link(1, 2, 4000.0)]);
+        assert_eq!(g.num_links(), 2);
+        assert_eq!(g.neighbors(ServerId(0)).len(), 1);
+        assert_eq!(g.neighbors(ServerId(1)).len(), 2);
+        assert_eq!(g.neighbors(ServerId(2)).len(), 1);
+        let (n, c) = g.neighbors(ServerId(2))[0];
+        assert_eq!(n, 1);
+        assert!((c - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let g = EdgeGraph::new(3, vec![link(0, 1, 2000.0), link(1, 2, 4000.0)]);
+        assert!(g.is_connected());
+        let g = EdgeGraph::new(3, vec![link(0, 1, 2000.0)]);
+        assert!(!g.is_connected());
+        assert!(EdgeGraph::disconnected(1).is_connected());
+        assert!(EdgeGraph::disconnected(0).is_connected());
+        assert!(!EdgeGraph::disconnected(2).is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        EdgeGraph::new(2, vec![link(0, 0, 2000.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        EdgeGraph::new(2, vec![link(0, 5, 2000.0)]);
+    }
+}

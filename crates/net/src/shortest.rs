@@ -1,0 +1,350 @@
+//! All-pairs lowest-latency paths.
+//!
+//! `L_{k,o,i}` in the paper is the *lowest* latency of delivering `d_k` from
+//! `v_o` to `v_i` over the edge graph. Because the per-link latency is
+//! `s_k · unit_cost`, one all-pairs unit-cost computation serves every data
+//! item. For the paper's scales (`N ≤ 125`) we run Dijkstra from every
+//! source; a Floyd–Warshall implementation is kept as a differential-testing
+//! oracle.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use idde_model::ServerId;
+
+use crate::graph::EdgeGraph;
+
+/// Cost of an unreachable pair (disconnected components).
+pub const UNREACHABLE: f64 = f64::INFINITY;
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost: reverse the comparison. Costs are never NaN
+        // (link speeds are validated positive), so partial_cmp is total here.
+        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra; returns per-node unit costs in ms/MB.
+pub fn dijkstra(graph: &EdgeGraph, source: ServerId) -> Vec<f64> {
+    let n = graph.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    if source.index() >= n {
+        return dist;
+    }
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::with_capacity(n);
+    heap.push(HeapEntry { cost: 0.0, node: source.0 });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node as usize] {
+            continue; // stale entry
+        }
+        for &(next, w) in graph.neighbors(ServerId(node)) {
+            let candidate = cost + w;
+            if candidate < dist[next as usize] {
+                dist[next as usize] = candidate;
+                heap.push(HeapEntry { cost: candidate, node: next });
+            }
+        }
+    }
+    dist
+}
+
+/// Like [`dijkstra`] / [`widest_path`], but also reconstructs the actual
+/// node sequence of the best path to `target` (inclusive of both
+/// endpoints). `minimax = true` selects the widest-path (pipelined) metric.
+/// Returns `None` when `target` is unreachable.
+pub fn best_path(
+    graph: &EdgeGraph,
+    source: ServerId,
+    target: ServerId,
+    minimax: bool,
+) -> Option<Vec<ServerId>> {
+    let n = graph.num_nodes();
+    if source.index() >= n || target.index() >= n {
+        return None;
+    }
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent: Vec<Option<u32>> = vec![None; n];
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::with_capacity(n);
+    heap.push(HeapEntry { cost: 0.0, node: source.0 });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node as usize] {
+            continue;
+        }
+        for &(next, w) in graph.neighbors(ServerId(node)) {
+            let candidate = if minimax { cost.max(w) } else { cost + w };
+            if candidate < dist[next as usize] {
+                dist[next as usize] = candidate;
+                parent[next as usize] = Some(node);
+                heap.push(HeapEntry { cost: candidate, node: next });
+            }
+        }
+    }
+    if source != target && parent[target.index()].is_none() {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cursor = target;
+    while cursor != source {
+        cursor = ServerId(parent[cursor.index()].expect("parents chain back to the source"));
+        path.push(cursor);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// All-pairs unit costs via repeated Dijkstra. Row `o`, column `i` is the
+/// cheapest `v_o → v_i` unit cost in ms/MB ([`UNREACHABLE`] if disconnected).
+pub fn all_pairs_dijkstra(graph: &EdgeGraph) -> Vec<Vec<f64>> {
+    (0..graph.num_nodes())
+        .map(|s| dijkstra(graph, ServerId::from_index(s)))
+        .collect()
+}
+
+/// Single-source *widest path* (maximum bottleneck speed): returns, per
+/// node, the per-MB cost `1000 / bottleneck_speed` of the path whose
+/// slowest link is fastest. This is the pipelined-transfer cost model: a
+/// large object streamed in chunks through a path of fast links is gated by
+/// the slowest link, not by the hop count.
+pub fn widest_path(graph: &EdgeGraph, source: ServerId) -> Vec<f64> {
+    let n = graph.num_nodes();
+    let mut cost = vec![UNREACHABLE; n];
+    if source.index() >= n {
+        return cost;
+    }
+    cost[source.index()] = 0.0;
+    let mut heap = BinaryHeap::with_capacity(n);
+    heap.push(HeapEntry { cost: 0.0, node: source.0 });
+    while let Some(HeapEntry { cost: c, node }) = heap.pop() {
+        if c > cost[node as usize] {
+            continue; // stale
+        }
+        for &(next, w) in graph.neighbors(ServerId(node)) {
+            // Path cost = worst (largest) per-MB link cost along the path.
+            let candidate = c.max(w);
+            if candidate < cost[next as usize] {
+                cost[next as usize] = candidate;
+                heap.push(HeapEntry { cost: candidate, node: next });
+            }
+        }
+    }
+    cost
+}
+
+/// All-pairs widest-path unit costs (see [`widest_path`]).
+pub fn all_pairs_widest(graph: &EdgeGraph) -> Vec<Vec<f64>> {
+    (0..graph.num_nodes())
+        .map(|s| widest_path(graph, ServerId::from_index(s)))
+        .collect()
+}
+
+/// All-pairs widest-path costs via the Floyd–Warshall minimax recurrence —
+/// the differential-testing oracle for [`all_pairs_widest`].
+#[allow(clippy::needless_range_loop)] // triple-index Floyd–Warshall reads clearest as written
+pub fn all_pairs_widest_floyd_warshall(graph: &EdgeGraph) -> Vec<Vec<f64>> {
+    let n = graph.num_nodes();
+    let mut dist = vec![vec![UNREACHABLE; n]; n];
+    for (i, row) in dist.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for l in graph.links() {
+        let (a, b, c) = (l.a.index(), l.b.index(), l.unit_cost());
+        if c < dist[a][b] {
+            dist[a][b] = c;
+            dist[b][a] = c;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = dist[i][k];
+            if dik == UNREACHABLE {
+                continue;
+            }
+            for j in 0..n {
+                let through = dik.max(dist[k][j]);
+                if through < dist[i][j] {
+                    dist[i][j] = through;
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs unit costs via Floyd–Warshall — the differential-testing oracle
+/// for [`all_pairs_dijkstra`]. O(N³); only used in tests and verification.
+#[allow(clippy::needless_range_loop)] // triple-index Floyd–Warshall reads clearest as written
+pub fn all_pairs_floyd_warshall(graph: &EdgeGraph) -> Vec<Vec<f64>> {
+    let n = graph.num_nodes();
+    let mut dist = vec![vec![UNREACHABLE; n]; n];
+    for (i, row) in dist.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for l in graph.links() {
+        let (a, b, c) = (l.a.index(), l.b.index(), l.unit_cost());
+        if c < dist[a][b] {
+            dist[a][b] = c;
+            dist[b][a] = c;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = dist[i][k];
+            if dik == UNREACHABLE {
+                continue;
+            }
+            for j in 0..n {
+                let through = dik + dist[k][j];
+                if through < dist[i][j] {
+                    dist[i][j] = through;
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Link;
+    use idde_model::MegaBytesPerSec;
+
+    fn link(a: u32, b: u32, speed: f64) -> Link {
+        Link { a: ServerId(a), b: ServerId(b), speed: MegaBytesPerSec(speed) }
+    }
+
+    #[test]
+    fn line_graph_costs_accumulate() {
+        // 0 -(2000)- 1 -(4000)- 2 : unit costs 0.5 and 0.25 ms/MB.
+        let g = EdgeGraph::new(3, vec![link(0, 1, 2000.0), link(1, 2, 4000.0)]);
+        let d = dijkstra(&g, ServerId(0));
+        assert_eq!(d[0], 0.0);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+        assert!((d[2] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortcut_beats_direct_slow_link() {
+        // Direct 0-2 at 2000 (0.5), detour 0-1-2 at 6000+6000 (0.333…).
+        let g = EdgeGraph::new(
+            3,
+            vec![link(0, 2, 2000.0), link(0, 1, 6000.0), link(1, 2, 6000.0)],
+        );
+        let d = dijkstra(&g, ServerId(0));
+        assert!((d[2] - 2.0 / 6.0 * 1.0).abs() < 1e-9, "d[2] = {}", d[2]);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_unreachable() {
+        let g = EdgeGraph::new(4, vec![link(0, 1, 2000.0), link(2, 3, 2000.0)]);
+        let d = all_pairs_dijkstra(&g);
+        assert_eq!(d[0][2], UNREACHABLE);
+        assert_eq!(d[3][1], UNREACHABLE);
+        assert!(d[0][1].is_finite());
+    }
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall_on_fixed_graph() {
+        let g = EdgeGraph::new(
+            5,
+            vec![
+                link(0, 1, 2000.0),
+                link(1, 2, 3000.0),
+                link(2, 3, 4000.0),
+                link(3, 4, 5000.0),
+                link(4, 0, 6000.0),
+                link(1, 3, 2500.0),
+            ],
+        );
+        let a = all_pairs_dijkstra(&g);
+        let b = all_pairs_floyd_warshall(&g);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((a[i][j] - b[i][j]).abs() < 1e-9, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_links_use_the_cheaper_one() {
+        let g = EdgeGraph::new(2, vec![link(0, 1, 2000.0), link(0, 1, 6000.0)]);
+        let d = dijkstra(&g, ServerId(0));
+        assert!((d[1] - 1000.0 / 6000.0).abs() < 1e-12);
+        let fw = all_pairs_floyd_warshall(&g);
+        assert!((fw[0][1] - d[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn widest_path_prefers_fast_bottlenecks() {
+        // 0-2 direct at 3000 (0.333 ms/MB); 0-1-2 at 5000+4000 → bottleneck
+        // 4000 (0.25 ms/MB): the two-hop path wins under the pipelined model.
+        let g = EdgeGraph::new(
+            3,
+            vec![link(0, 2, 3000.0), link(0, 1, 5000.0), link(1, 2, 4000.0)],
+        );
+        let w = widest_path(&g, ServerId(0));
+        assert_eq!(w[0], 0.0);
+        assert!((w[1] - 0.2).abs() < 1e-12);
+        assert!((w[2] - 0.25).abs() < 1e-12);
+        // …whereas the store-and-forward model prefers the direct link.
+        let d = dijkstra(&g, ServerId(0));
+        assert!((d[2] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn widest_dijkstra_matches_widest_floyd_warshall() {
+        let g = EdgeGraph::new(
+            6,
+            vec![
+                link(0, 1, 2000.0),
+                link(1, 2, 3000.0),
+                link(2, 3, 4500.0),
+                link(3, 4, 5000.0),
+                link(4, 5, 2500.0),
+                link(5, 0, 6000.0),
+                link(1, 4, 3500.0),
+                link(2, 5, 2200.0),
+            ],
+        );
+        let a = all_pairs_widest(&g);
+        let b = all_pairs_widest_floyd_warshall(&g);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((a[i][j] - b[i][j]).abs() < 1e-9, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn widest_path_unreachable_and_self() {
+        let g = EdgeGraph::new(3, vec![link(0, 1, 2000.0)]);
+        let w = widest_path(&g, ServerId(0));
+        assert_eq!(w[0], 0.0);
+        assert!(w[1].is_finite());
+        assert_eq!(w[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = EdgeGraph::disconnected(0);
+        assert!(all_pairs_dijkstra(&g).is_empty());
+        assert!(all_pairs_floyd_warshall(&g).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! The [`Topology`] façade: edge graph + cloud, with the all-pairs
+//! unit-cost matrix pre-computed, answering the latency queries of Eq. 8.
+
+use idde_model::{DataId, MegaBytes, MegaBytesPerSec, Milliseconds, Placement, ServerId};
+
+use crate::graph::EdgeGraph;
+use crate::shortest::{all_pairs_dijkstra, all_pairs_widest, UNREACHABLE};
+
+/// How the latency of a multi-hop edge-to-edge path is computed.
+///
+/// The paper specifies per-link transmission speeds but not the transfer
+/// discipline; both readings are implemented (DESIGN.md finding #2):
+///
+/// * [`PathModel::Pipelined`] *(default)* — the object is streamed in
+///   chunks, so a path is gated by its slowest link:
+///   `unit_cost = 1000 / max-bottleneck-speed` (widest path). This is how
+///   modern bulk transfer over a fast metro fabric behaves, and it
+///   reproduces the paper's Fig. 3(b) trend (latency falls as `N` grows).
+/// * [`PathModel::StoreAndForward`] — each hop fully receives the object
+///   before forwarding: `unit_cost = Σ 1000/speed` (classic shortest path).
+///   Under this reading longer topologies at larger `N` cancel the storage
+///   gains and the Fig. 3(b) trend flattens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PathModel {
+    /// Bottleneck-gated streaming transfers (widest path).
+    #[default]
+    Pipelined,
+    /// Hop-by-hop full-object relays (additive shortest path).
+    StoreAndForward,
+}
+
+/// Where a delivery was sourced from (useful for reporting and tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliverySource {
+    /// Delivered from an edge server already storing the data (possibly the
+    /// target server itself, at zero latency).
+    Edge(ServerId),
+    /// Delivered from the app vendor's remote cloud (Eq. 7).
+    Cloud,
+}
+
+/// The network topology of one edge storage system instance.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    graph: EdgeGraph,
+    cloud_speed: MegaBytesPerSec,
+    path_model: PathModel,
+    /// `unit_cost[o][i]` = cheapest `v_o → v_i` cost in ms/MB.
+    unit_cost: Vec<Vec<f64>>,
+}
+
+impl Topology {
+    /// Builds the topology with the default [`PathModel::Pipelined`] costs.
+    pub fn new(graph: EdgeGraph, cloud_speed: MegaBytesPerSec) -> Self {
+        Self::with_model(graph, cloud_speed, PathModel::default())
+    }
+
+    /// Builds the topology with an explicit path cost model.
+    pub fn with_model(
+        graph: EdgeGraph,
+        cloud_speed: MegaBytesPerSec,
+        path_model: PathModel,
+    ) -> Self {
+        assert!(cloud_speed.value() > 0.0, "cloud speed must be positive");
+        let unit_cost = match path_model {
+            PathModel::Pipelined => all_pairs_widest(&graph),
+            PathModel::StoreAndForward => all_pairs_dijkstra(&graph),
+        };
+        Self { graph, cloud_speed, path_model, unit_cost }
+    }
+
+    /// The path cost model in use.
+    #[inline]
+    pub fn path_model(&self) -> PathModel {
+        self.path_model
+    }
+
+    /// The underlying link graph.
+    #[inline]
+    pub fn graph(&self) -> &EdgeGraph {
+        &self.graph
+    }
+
+    /// The edge–cloud transmission speed.
+    #[inline]
+    pub fn cloud_speed(&self) -> MegaBytesPerSec {
+        self.cloud_speed
+    }
+
+    /// Cheapest edge-to-edge unit cost in ms/MB ([`UNREACHABLE`] when the
+    /// servers are in different components).
+    #[inline]
+    pub fn unit_cost(&self, from: ServerId, to: ServerId) -> f64 {
+        self.unit_cost[from.index()][to.index()]
+    }
+
+    /// `L_{k,o,i}`: lowest latency of delivering a data item of size `size`
+    /// from `v_o` to `v_i` through the edge storage system.
+    #[inline]
+    pub fn edge_latency(&self, size: MegaBytes, from: ServerId, to: ServerId) -> Milliseconds {
+        Milliseconds(size.value() * self.unit_cost(from, to))
+    }
+
+    /// Latency of delivering a data item of size `size` from the cloud.
+    #[inline]
+    pub fn cloud_latency(&self, size: MegaBytes) -> Milliseconds {
+        size.transfer_time(self.cloud_speed)
+    }
+
+    /// Eq. 8: the delivery latency of data `data` to a user allocated to
+    /// `target`, given the delivery profile `σ` — the minimum over all edge
+    /// servers storing the data and the cloud. Also returns the chosen
+    /// source. The latency constraint (edge never slower than cloud) holds
+    /// by construction of the `min`.
+    pub fn delivery_latency(
+        &self,
+        placement: &Placement,
+        data: DataId,
+        size: MegaBytes,
+        target: ServerId,
+    ) -> (Milliseconds, DeliverySource) {
+        let mut best = self.cloud_latency(size).value();
+        let mut source = DeliverySource::Cloud;
+        let row = target.index();
+        for origin in placement.servers_with(data) {
+            let cost = self.unit_cost[origin.index()][row];
+            if cost == UNREACHABLE {
+                continue;
+            }
+            let latency = size.value() * cost;
+            if latency < best {
+                best = latency;
+                source = DeliverySource::Edge(origin);
+            }
+        }
+        (Milliseconds(best), source)
+    }
+
+    /// Convenience for Phase #2 scoring: the latency (ms) of serving `size`
+    /// MB to `target` given a pre-extracted list of storing servers — same
+    /// semantics as [`Self::delivery_latency`] without the `Placement` walk.
+    pub fn delivery_latency_from(
+        &self,
+        origins: &[ServerId],
+        size: MegaBytes,
+        target: ServerId,
+    ) -> Milliseconds {
+        let mut best = self.cloud_latency(size).value();
+        let row = target.index();
+        for &origin in origins {
+            let cost = self.unit_cost[origin.index()][row];
+            if cost != UNREACHABLE {
+                best = best.min(size.value() * cost);
+            }
+        }
+        Milliseconds(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Link;
+
+    fn topo() -> Topology {
+        // 0 -(3000)- 1 -(6000)- 2, cloud at 600. Store-and-forward costs so
+        // the hand-computed sums below hold.
+        let g = EdgeGraph::new(
+            3,
+            vec![
+                Link { a: ServerId(0), b: ServerId(1), speed: MegaBytesPerSec(3000.0) },
+                Link { a: ServerId(1), b: ServerId(2), speed: MegaBytesPerSec(6000.0) },
+            ],
+        );
+        Topology::with_model(g, MegaBytesPerSec(600.0), PathModel::StoreAndForward)
+    }
+
+    #[test]
+    fn latency_queries() {
+        let t = topo();
+        assert_eq!(t.path_model(), PathModel::StoreAndForward);
+        // 60 MB: cloud = 100 ms; 0→1 = 20 ms; 0→2 = 30 ms; self = 0 ms.
+        let s = MegaBytes(60.0);
+        assert!((t.cloud_latency(s).value() - 100.0).abs() < 1e-9);
+        assert!((t.edge_latency(s, ServerId(0), ServerId(1)).value() - 20.0).abs() < 1e-9);
+        assert!((t.edge_latency(s, ServerId(0), ServerId(2)).value() - 30.0).abs() < 1e-9);
+        assert_eq!(t.edge_latency(s, ServerId(1), ServerId(1)).value(), 0.0);
+    }
+
+    #[test]
+    fn pipelined_model_uses_the_bottleneck() {
+        // Same line graph under the default pipelined model: 0→2 is gated
+        // by the 3000 MB/s link, i.e. 20 ms for 60 MB instead of 30 ms.
+        let g = EdgeGraph::new(
+            3,
+            vec![
+                Link { a: ServerId(0), b: ServerId(1), speed: MegaBytesPerSec(3000.0) },
+                Link { a: ServerId(1), b: ServerId(2), speed: MegaBytesPerSec(6000.0) },
+            ],
+        );
+        let t = Topology::new(g, MegaBytesPerSec(600.0));
+        assert_eq!(t.path_model(), PathModel::Pipelined);
+        let s = MegaBytes(60.0);
+        assert!((t.edge_latency(s, ServerId(0), ServerId(2)).value() - 20.0).abs() < 1e-9);
+        assert!((t.edge_latency(s, ServerId(0), ServerId(1)).value() - 20.0).abs() < 1e-9);
+        assert_eq!(t.edge_latency(s, ServerId(2), ServerId(2)).value(), 0.0);
+    }
+
+    #[test]
+    fn delivery_prefers_nearest_replica() {
+        let t = topo();
+        let mut p = Placement::empty(3, 1);
+        let s = MegaBytes(60.0);
+
+        // Nothing placed: cloud wins.
+        let (lat, src) = t.delivery_latency(&p, DataId(0), s, ServerId(2));
+        assert_eq!(src, DeliverySource::Cloud);
+        assert!((lat.value() - 100.0).abs() < 1e-9);
+
+        // Replica at 0: delivered 0→2 in 30 ms.
+        p.place(ServerId(0), DataId(0), s);
+        let (lat, src) = t.delivery_latency(&p, DataId(0), s, ServerId(2));
+        assert_eq!(src, DeliverySource::Edge(ServerId(0)));
+        assert!((lat.value() - 30.0).abs() < 1e-9);
+
+        // Replica also at 2: local hit, zero latency.
+        p.place(ServerId(2), DataId(0), s);
+        let (lat, src) = t.delivery_latency(&p, DataId(0), s, ServerId(2));
+        assert_eq!(src, DeliverySource::Edge(ServerId(2)));
+        assert_eq!(lat.value(), 0.0);
+    }
+
+    #[test]
+    fn edge_never_slower_than_cloud() {
+        // Latency constraint of Eq. 8: the min always includes the cloud.
+        let g = EdgeGraph::new(
+            2,
+            vec![Link { a: ServerId(0), b: ServerId(1), speed: MegaBytesPerSec(100.0) }],
+        );
+        let t = Topology::new(g, MegaBytesPerSec(600.0));
+        let mut p = Placement::empty(2, 1);
+        p.place(ServerId(0), DataId(0), MegaBytes(60.0));
+        // The only replica is over a pathologically slow 100 MB/s link
+        // (600 ms); the cloud (100 ms) must win.
+        let (lat, src) = t.delivery_latency(&p, DataId(0), MegaBytes(60.0), ServerId(1));
+        assert_eq!(src, DeliverySource::Cloud);
+        assert!((lat.value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_replicas_fall_back_to_cloud() {
+        let g = EdgeGraph::disconnected(2);
+        let t = Topology::new(g, MegaBytesPerSec(600.0));
+        let mut p = Placement::empty(2, 1);
+        p.place(ServerId(0), DataId(0), MegaBytes(30.0));
+        let (lat, src) = t.delivery_latency(&p, DataId(0), MegaBytes(30.0), ServerId(1));
+        assert_eq!(src, DeliverySource::Cloud);
+        assert!((lat.value() - 50.0).abs() < 1e-9);
+        // …but the storing server itself is a zero-latency hit.
+        let (lat, src) = t.delivery_latency(&p, DataId(0), MegaBytes(30.0), ServerId(0));
+        assert_eq!(src, DeliverySource::Edge(ServerId(0)));
+        assert_eq!(lat.value(), 0.0);
+    }
+
+    #[test]
+    fn delivery_latency_from_matches_placement_walk() {
+        let t = topo();
+        let mut p = Placement::empty(3, 1);
+        p.place(ServerId(0), DataId(0), MegaBytes(60.0));
+        p.place(ServerId(1), DataId(0), MegaBytes(60.0));
+        let origins: Vec<_> = p.servers_with(DataId(0)).collect();
+        for target in [ServerId(0), ServerId(1), ServerId(2)] {
+            let (a, _) = t.delivery_latency(&p, DataId(0), MegaBytes(60.0), target);
+            let b = t.delivery_latency_from(&origins, MegaBytes(60.0), target);
+            assert!((a.value() - b.value()).abs() < 1e-12);
+        }
+    }
+}

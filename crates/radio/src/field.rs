@@ -1,0 +1,489 @@
+//! The incremental interference field.
+//!
+//! Best-response dynamics (Phase #1 of IDDE-G) repeatedly ask: *"what would
+//! user `u_j`'s SINR / benefit be if it moved to channel `c_{i,x}`?"*. A
+//! naive implementation rescans the whole allocation profile per query; the
+//! [`InterferenceField`] instead maintains, per wireless channel,
+//!
+//! * the occupant list `U_{i,x}(α)`, and
+//! * the occupant power sum `Σ_{u_t ∈ U_{i,x}(α)} p_t`,
+//!
+//! updated in O(occupancy) on every move, so each hypothetical query costs
+//! `O(|V_j| · occupancy)` — dominated by the cross-server interference term
+//! `F_{i,x,j}` which genuinely needs per-occupant gains.
+//!
+//! All SINR/rate/benefit formulas live here so that the IDDE-G game, the
+//! baselines and the metric evaluation share one implementation of Eqs. 2–5
+//! and 12.
+
+use idde_model::{
+    Allocation, ChannelIndex, MegaBytesPerSec, Scenario, ServerId, UserId,
+};
+
+use crate::rate::capped_rate;
+use crate::RadioEnvironment;
+
+/// Incrementally maintained per-channel occupancy and interference state for
+/// one allocation profile `α`.
+#[derive(Clone, Debug)]
+pub struct InterferenceField<'a> {
+    scenario: &'a Scenario,
+    env: &'a RadioEnvironment,
+    /// `channel_offset[i]` = index of server `i`'s first channel in the flat
+    /// per-channel arrays; the last element is the total channel count.
+    channel_offset: Vec<usize>,
+    /// Occupants of each global channel.
+    occupants: Vec<Vec<UserId>>,
+    /// Occupant power sums per global channel, in watts.
+    power_sum: Vec<f64>,
+    /// The profile `α` this field mirrors.
+    alloc: Allocation,
+}
+
+impl<'a> InterferenceField<'a> {
+    /// Creates the field for the all-unallocated profile.
+    pub fn new(env: &'a RadioEnvironment, scenario: &'a Scenario) -> Self {
+        let mut channel_offset = Vec::with_capacity(scenario.num_servers() + 1);
+        let mut total = 0usize;
+        for s in &scenario.servers {
+            channel_offset.push(total);
+            total += s.num_channels as usize;
+        }
+        channel_offset.push(total);
+        Self {
+            scenario,
+            env,
+            channel_offset,
+            occupants: vec![Vec::new(); total],
+            power_sum: vec![0.0; total],
+            alloc: Allocation::unallocated(scenario.num_users()),
+        }
+    }
+
+    /// Creates the field mirroring an existing allocation profile.
+    pub fn from_allocation(
+        env: &'a RadioEnvironment,
+        scenario: &'a Scenario,
+        alloc: &Allocation,
+    ) -> Self {
+        let mut field = Self::new(env, scenario);
+        for (user, decision) in alloc.iter() {
+            if let Some((server, channel)) = decision {
+                field.allocate(user, server, channel);
+            }
+        }
+        field
+    }
+
+    #[inline]
+    fn global(&self, server: ServerId, channel: ChannelIndex) -> usize {
+        let idx = self.channel_offset[server.index()] + channel.index();
+        debug_assert!(idx < self.channel_offset[server.index() + 1]);
+        idx
+    }
+
+    /// The allocation profile mirrored by this field.
+    #[inline]
+    pub fn allocation(&self) -> &Allocation {
+        &self.alloc
+    }
+
+    /// Consumes the field, returning the profile.
+    pub fn into_allocation(self) -> Allocation {
+        self.alloc
+    }
+
+    /// The scenario this field is built over.
+    #[inline]
+    pub fn scenario(&self) -> &'a Scenario {
+        self.scenario
+    }
+
+    /// The radio environment this field is built over.
+    #[inline]
+    pub fn environment(&self) -> &'a RadioEnvironment {
+        self.env
+    }
+
+    /// Current occupants `U_{i,x}(α)` of a channel.
+    #[inline]
+    pub fn occupants(&self, server: ServerId, channel: ChannelIndex) -> &[UserId] {
+        &self.occupants[self.global(server, channel)]
+    }
+
+    /// Current occupant power sum `Σ_{u_t ∈ U_{i,x}(α)} p_t`, in watts.
+    #[inline]
+    pub fn channel_power(&self, server: ServerId, channel: ChannelIndex) -> f64 {
+        self.power_sum[self.global(server, channel)]
+    }
+
+    /// Moves `user` to channel `c_{i,x}` (removing it from its previous
+    /// channel first). Panics in debug builds if the server does not cover
+    /// the user (constraint (1)) or the channel does not exist.
+    pub fn allocate(&mut self, user: UserId, server: ServerId, channel: ChannelIndex) {
+        debug_assert!(
+            self.scenario.coverage.covers(server, user),
+            "constraint (1): server {server} does not cover user {user}"
+        );
+        debug_assert!(
+            channel.index() < self.scenario.servers[server.index()].num_channels as usize,
+            "server {server} has no channel {channel}"
+        );
+        self.deallocate(user);
+        let g = self.global(server, channel);
+        let p = self.scenario.users[user.index()].power.value();
+        self.occupants[g].push(user);
+        self.power_sum[g] += p;
+        self.alloc.set(user, Some((server, channel)));
+    }
+
+    /// Removes `user` from its channel, if allocated.
+    pub fn deallocate(&mut self, user: UserId) {
+        if let Some((server, channel)) = self.alloc.set(user, None) {
+            let g = self.global(server, channel);
+            let p = self.scenario.users[user.index()].power.value();
+            let pos = self.occupants[g]
+                .iter()
+                .position(|&u| u == user)
+                .expect("field out of sync: allocated user missing from occupant list");
+            self.occupants[g].swap_remove(pos);
+            self.power_sum[g] -= p;
+            if self.occupants[g].is_empty() {
+                // Snap accumulated float error to exact zero on empty channels.
+                self.power_sum[g] = 0.0;
+            }
+        }
+    }
+
+    /// Cross-server interference `F_{i,x,j}` (Eq. 2): interference received
+    /// by user `j` on channel `x` of server `i` from users allocated to
+    /// channel `x` of the *other* servers covering `j`.
+    ///
+    /// `u_j` itself is excluded — the query is always "as if `j` were (only)
+    /// on `c_{i,x}`".
+    pub fn cross_interference(&self, user: UserId, server: ServerId, channel: ChannelIndex) -> f64 {
+        let mut f = 0.0;
+        for &other in self.scenario.coverage.servers_of(user) {
+            if other == server {
+                continue;
+            }
+            if channel.index() >= self.scenario.servers[other.index()].num_channels as usize {
+                continue;
+            }
+            for &t in self.occupants(other, channel) {
+                if t == user {
+                    continue;
+                }
+                f += self.env.gain(server, t) * self.scenario.users[t.index()].power.value();
+            }
+        }
+        f
+    }
+
+    /// Power of the *other* occupants of `c_{i,x}` under the hypothesis that
+    /// `user` is allocated there: `Σ_{u_t ∈ U_{i,x}(α) \ u_j} p_t`.
+    #[inline]
+    fn co_channel_power_excluding(
+        &self,
+        user: UserId,
+        server: ServerId,
+        channel: ChannelIndex,
+    ) -> f64 {
+        let g = self.global(server, channel);
+        let mut sum = self.power_sum[g];
+        if self.alloc.decision(user) == Some((server, channel)) {
+            sum -= self.scenario.users[user.index()].power.value();
+            if sum < 0.0 {
+                sum = 0.0;
+            }
+        }
+        sum
+    }
+
+    /// SINR `r_{i,x,j}` (Eq. 2) of `user` *as if* allocated to `c_{i,x}`
+    /// with every other user unchanged. When the user is already there, this
+    /// is its actual SINR.
+    pub fn sinr_at(&self, user: UserId, server: ServerId, channel: ChannelIndex) -> f64 {
+        let g = self.env.gain(server, user);
+        let p = self.scenario.users[user.index()].power.value();
+        let own = g * self.co_channel_power_excluding(user, server, channel);
+        let cross = self.cross_interference(user, server, channel);
+        let noise = self.env.params.noise.value();
+        g * p / (own + cross + noise)
+    }
+
+    /// Actual SINR of `user` at its current decision; `None` if unallocated.
+    pub fn sinr(&self, user: UserId) -> Option<f64> {
+        self.alloc.decision(user).map(|(s, x)| self.sinr_at(user, s, x))
+    }
+
+    /// Data rate `R_{i,x,j}` capped by `R_{j,max}` (Eqs. 3–4) of `user` as
+    /// if allocated to `c_{i,x}`.
+    pub fn rate_at(
+        &self,
+        user: UserId,
+        server: ServerId,
+        channel: ChannelIndex,
+    ) -> MegaBytesPerSec {
+        let sinr = self.sinr_at(user, server, channel);
+        capped_rate(
+            self.scenario.servers[server.index()].channel_bandwidth,
+            sinr,
+            self.scenario.users[user.index()].max_rate,
+        )
+    }
+
+    /// Actual data rate `R_j` (Eq. 4): the capped Shannon rate at the
+    /// current decision, or zero when unallocated (the indicator in Eq. 4).
+    pub fn rate(&self, user: UserId) -> MegaBytesPerSec {
+        match self.alloc.decision(user) {
+            Some((s, x)) => self.rate_at(user, s, x),
+            None => MegaBytesPerSec::ZERO,
+        }
+    }
+
+    /// Average data rate `R_ave` (Eq. 5) — IDDE Objective #1.
+    pub fn average_rate(&self) -> MegaBytesPerSec {
+        let m = self.scenario.num_users();
+        if m == 0 {
+            return MegaBytesPerSec::ZERO;
+        }
+        let total: f64 = self.scenario.user_ids().map(|u| self.rate(u).value()).sum();
+        MegaBytesPerSec(total / m as f64)
+    }
+
+    /// The benefit `β_{α_{-j}}(α_j)` (Eq. 12) of `user` for the decision
+    /// `α_j = (i, x)`, evaluated against the current profile of the other
+    /// users. Note Eq. 12 *includes* the user's own power in the denominator
+    /// and omits the noise term.
+    pub fn benefit_at(&self, user: UserId, server: ServerId, channel: ChannelIndex) -> f64 {
+        let g = self.env.gain(server, user);
+        let p = self.scenario.users[user.index()].power.value();
+        let others = self.co_channel_power_excluding(user, server, channel);
+        let cross = self.cross_interference(user, server, channel);
+        g * p / (g * (others + p) + cross)
+    }
+
+    /// Benefit of the user's current decision; zero when unallocated (an
+    /// unallocated user always gains by taking any feasible channel).
+    pub fn benefit(&self, user: UserId) -> f64 {
+        match self.alloc.decision(user) {
+            Some((s, x)) => self.benefit_at(user, s, x),
+            None => 0.0,
+        }
+    }
+
+    /// Verifies the incremental state against a from-scratch rebuild; used
+    /// by tests and debug assertions.
+    pub fn consistency_check(&self) -> bool {
+        let rebuilt = Self::from_allocation(self.env, self.scenario, &self.alloc);
+        for g in 0..self.power_sum.len() {
+            if (self.power_sum[g] - rebuilt.power_sum[g]).abs() > 1e-9 {
+                return false;
+            }
+            let mut a = self.occupants[g].clone();
+            let mut b = rebuilt.occupants[g].clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            if a != b {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RadioParams;
+    use idde_model::testkit;
+
+    fn setup(scenario: &Scenario) -> RadioEnvironment {
+        RadioEnvironment::new(scenario, RadioParams::paper())
+    }
+
+    #[test]
+    fn allocate_and_deallocate_track_power_sums() {
+        let scenario = testkit::tiny_overlap();
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        field.allocate(UserId(1), ServerId(0), ChannelIndex(0));
+        assert_eq!(field.occupants(ServerId(0), ChannelIndex(0)).len(), 2);
+        // Powers from testkit::tiny_overlap: u0 = 1 W, u1 = 3 W.
+        assert!((field.channel_power(ServerId(0), ChannelIndex(0)) - 4.0).abs() < 1e-12);
+
+        // Moving u1 to the other server updates both channels.
+        field.allocate(UserId(1), ServerId(1), ChannelIndex(0));
+        assert!((field.channel_power(ServerId(0), ChannelIndex(0)) - 1.0).abs() < 1e-12);
+        assert!((field.channel_power(ServerId(1), ChannelIndex(0)) - 3.0).abs() < 1e-12);
+
+        field.deallocate(UserId(0));
+        assert_eq!(field.channel_power(ServerId(0), ChannelIndex(0)), 0.0);
+        assert!(field.consistency_check());
+    }
+
+    #[test]
+    fn lone_user_rate_is_capped() {
+        let scenario = testkit::tiny_overlap();
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        // No co-channel users and no cross interference: SINR is limited only
+        // by the −174 dBm noise floor, so the Shannon cap must bind.
+        let r = field.rate(UserId(0));
+        assert_eq!(r.value(), scenario.users[0].max_rate.value());
+        assert!(field.sinr(UserId(0)).unwrap() > 1e9);
+    }
+
+    #[test]
+    fn co_channel_user_reduces_rate() {
+        let scenario = testkit::tiny_overlap();
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        let alone = field.rate(UserId(0)).value();
+        field.allocate(UserId(1), ServerId(0), ChannelIndex(0));
+        let shared = field.rate(UserId(0)).value();
+        assert!(
+            shared < alone,
+            "co-channel interference must reduce the rate ({shared} !< {alone})"
+        );
+        // Separate channels on the same server restore a high rate (only the
+        // cross-server term could interfere, and server 1 is empty).
+        field.allocate(UserId(1), ServerId(0), ChannelIndex(1));
+        assert_eq!(field.rate(UserId(0)).value(), alone);
+    }
+
+    #[test]
+    fn cross_server_interference_on_same_channel_index() {
+        let scenario = testkit::tiny_overlap();
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        let alone = field.sinr(UserId(0)).unwrap();
+
+        // u1 on the *other* server, same channel index: F > 0 because both
+        // servers cover u0 in tiny_overlap.
+        field.allocate(UserId(1), ServerId(1), ChannelIndex(0));
+        let f = field.cross_interference(UserId(0), ServerId(0), ChannelIndex(0));
+        assert!(f > 0.0);
+        assert!(field.sinr(UserId(0)).unwrap() < alone);
+
+        // Different channel index: no cross-server term in the paper's model.
+        field.allocate(UserId(1), ServerId(1), ChannelIndex(1));
+        assert_eq!(field.cross_interference(UserId(0), ServerId(0), ChannelIndex(0)), 0.0);
+        assert_eq!(field.sinr(UserId(0)).unwrap(), alone);
+    }
+
+    #[test]
+    fn hypothetical_queries_do_not_mutate() {
+        let scenario = testkit::fig2_example();
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        let before = field.allocation().clone();
+        let _ = field.sinr_at(UserId(1), ServerId(0), ChannelIndex(0));
+        let _ = field.benefit_at(UserId(1), ServerId(0), ChannelIndex(1));
+        let _ = field.rate_at(UserId(2), ServerId(0), ChannelIndex(0));
+        assert_eq!(field.allocation(), &before);
+        assert!(field.consistency_check());
+    }
+
+    #[test]
+    fn sinr_at_handles_current_channel_self_exclusion() {
+        let scenario = testkit::tiny_overlap();
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        // Hypothetical "move to where I already am" must equal actual SINR
+        // and must not double-count the user's own power.
+        let actual = field.sinr(UserId(0)).unwrap();
+        let hypothetical = field.sinr_at(UserId(0), ServerId(0), ChannelIndex(0));
+        assert_eq!(actual, hypothetical);
+    }
+
+    #[test]
+    fn unallocated_users_have_zero_rate_and_benefit() {
+        let scenario = testkit::fig2_example();
+        let env = setup(&scenario);
+        let field = InterferenceField::new(&env, &scenario);
+        assert_eq!(field.rate(UserId(3)).value(), 0.0);
+        assert_eq!(field.benefit(UserId(3)), 0.0);
+        assert_eq!(field.sinr(UserId(3)), None);
+        assert_eq!(field.average_rate().value(), 0.0);
+    }
+
+    #[test]
+    fn average_rate_averages_over_all_users() {
+        let scenario = testkit::tiny_overlap();
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
+        field.allocate(UserId(1), ServerId(0), ChannelIndex(1));
+        // u2 stays unallocated; M = 3 divides the sum regardless.
+        let expected =
+            (field.rate(UserId(0)).value() + field.rate(UserId(1)).value()) / 3.0;
+        assert!((field.average_rate().value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benefit_prefers_empty_channels() {
+        let scenario = testkit::tiny_overlap();
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(1), ServerId(0), ChannelIndex(0));
+        // For u0, joining the occupied channel must yield a lower benefit
+        // than the empty channel of the same server.
+        let occupied = field.benefit_at(UserId(0), ServerId(0), ChannelIndex(0));
+        let empty = field.benefit_at(UserId(0), ServerId(0), ChannelIndex(1));
+        assert!(empty > occupied);
+    }
+
+    #[test]
+    fn sinr_matches_the_eq2_hand_calculation() {
+        // Two users sharing (v0, c0), a third on (v1, c0) — every term of
+        // Eq. 2 computed by hand for user 0.
+        let scenario = testkit::tiny_overlap();
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(0)); // p = 1 W
+        field.allocate(UserId(1), ServerId(0), ChannelIndex(0)); // p = 3 W
+        field.allocate(UserId(2), ServerId(1), ChannelIndex(0)); // p = 5 W
+
+        let g00 = env.gain(ServerId(0), UserId(0));
+        let g02 = env.gain(ServerId(0), UserId(2));
+        let p0 = scenario.users[0].power.value();
+        let p1 = scenario.users[1].power.value();
+        let p2 = scenario.users[2].power.value();
+        let noise = env.params.noise.value();
+        // Own-channel interference: g_{0,0,0}·p_1; cross-server term:
+        // g between v0 and the interferer u2 times p_2 (v1 covers u0 in
+        // tiny_overlap, so it contributes).
+        let expected = g00 * p0 / (g00 * p1 + g02 * p2 + noise);
+        let actual = field.sinr(UserId(0)).unwrap();
+        assert!(
+            ((actual - expected) / expected).abs() < 1e-12,
+            "Eq. 2 mismatch: {actual} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn from_allocation_round_trips() {
+        let scenario = testkit::fig2_example();
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+        field.allocate(UserId(0), ServerId(0), ChannelIndex(1));
+        field.allocate(UserId(5), ServerId(2), ChannelIndex(0));
+        field.allocate(UserId(6), ServerId(3), ChannelIndex(0));
+        let alloc = field.allocation().clone();
+        let rebuilt = InterferenceField::from_allocation(&env, &scenario, &alloc);
+        assert_eq!(rebuilt.allocation(), &alloc);
+        assert!(rebuilt.consistency_check());
+        for u in scenario.user_ids() {
+            assert_eq!(field.rate(u).value(), rebuilt.rate(u).value());
+        }
+    }
+}

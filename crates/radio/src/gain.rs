@@ -1,0 +1,161 @@
+//! Channel gain models and the pre-computed gain table.
+//!
+//! The paper uses the distance power-law `g_{i,x,j} = η · H_{i,j}^{-loss}`
+//! and explicitly notes that "the SINR can be calculated based on other
+//! wireless communication models … without impacting the IDDE problem
+//! fundamentally". We therefore expose the gain law behind the [`GainModel`]
+//! trait, with [`PowerLaw`] as the paper's default and [`LogDistance`] as an
+//! alternative used in robustness tests.
+
+use idde_model::{Scenario, ServerId, UserId};
+
+/// A distance-driven channel gain law.
+pub trait GainModel {
+    /// Gain for a transmitter–receiver separation of `distance_m` metres.
+    /// Must be finite, positive and non-increasing in distance.
+    fn gain(&self, distance_m: f64) -> f64;
+}
+
+/// The paper's power law `g = η · H^{-loss}` (with a minimum-distance clamp
+/// so co-located endpoints stay finite).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLaw {
+    /// Frequency-dependent factor `η`.
+    pub eta: f64,
+    /// Path-loss exponent.
+    pub loss_exponent: f64,
+    /// Distances below this clamp (metres) are treated as the clamp.
+    pub min_distance_m: f64,
+}
+
+impl PowerLaw {
+    /// Power law with the given η and loss exponent and a 1 m clamp.
+    pub fn new(eta: f64, loss_exponent: f64) -> Self {
+        Self { eta, loss_exponent, min_distance_m: 1.0 }
+    }
+}
+
+impl GainModel for PowerLaw {
+    #[inline]
+    fn gain(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(self.min_distance_m);
+        self.eta * d.powf(-self.loss_exponent)
+    }
+}
+
+/// A log-distance shadowing-free path-loss law, expressed as a linear gain:
+/// `g = g0 · (d0 / d)^γ` with reference gain `g0` at reference distance
+/// `d0`. Equivalent in shape to [`PowerLaw`] but parameterised the way the
+/// wireless literature usually does; used to demonstrate model-pluggability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogDistance {
+    /// Gain at the reference distance.
+    pub reference_gain: f64,
+    /// Reference distance `d0` (metres).
+    pub reference_distance_m: f64,
+    /// Path-loss exponent `γ`.
+    pub exponent: f64,
+}
+
+impl Default for LogDistance {
+    fn default() -> Self {
+        Self { reference_gain: 1e-3, reference_distance_m: 10.0, exponent: 3.5 }
+    }
+}
+
+impl GainModel for LogDistance {
+    #[inline]
+    fn gain(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(self.reference_distance_m * 1e-3);
+        self.reference_gain * (self.reference_distance_m / d).powf(self.exponent)
+    }
+}
+
+/// Dense `N × M` table of pre-computed channel gains.
+///
+/// Gain is queried on every SINR evaluation of every best-response scan —
+/// millions of times per solve — so it is computed once per scenario.
+#[derive(Clone, Debug)]
+pub struct GainTable {
+    num_users: usize,
+    /// Row-major `[server][user]` gains.
+    values: Vec<f64>,
+}
+
+impl GainTable {
+    /// Computes all server–user gains of the scenario under the given model.
+    pub fn compute(scenario: &Scenario, model: &dyn GainModel) -> Self {
+        let num_users = scenario.num_users();
+        let mut values = Vec::with_capacity(scenario.num_servers() * num_users);
+        for server in &scenario.servers {
+            for user in &scenario.users {
+                values.push(model.gain(server.position.distance(user.position)));
+            }
+        }
+        Self { num_users, values }
+    }
+
+    /// The gain `g_{i,·,j}`.
+    #[inline]
+    pub fn get(&self, server: ServerId, user: UserId) -> f64 {
+        self.values[server.index() * self.num_users + user.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idde_model::testkit;
+
+    #[test]
+    fn power_law_matches_formula() {
+        let m = PowerLaw::new(1.0, 3.0);
+        assert!((m.gain(100.0) - 1e-6).abs() < 1e-12);
+        assert!((m.gain(10.0) - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_clamps_tiny_distances() {
+        let m = PowerLaw::new(1.0, 3.0);
+        assert_eq!(m.gain(0.0), 1.0);
+        assert_eq!(m.gain(0.5), 1.0);
+        assert!(m.gain(0.0).is_finite());
+    }
+
+    #[test]
+    fn gain_laws_are_monotone_decreasing() {
+        let pl = PowerLaw::new(1.0, 3.0);
+        let ld = LogDistance::default();
+        let mut prev_pl = f64::INFINITY;
+        let mut prev_ld = f64::INFINITY;
+        for d in [1.0, 5.0, 20.0, 100.0, 400.0, 1600.0] {
+            let g_pl = pl.gain(d);
+            let g_ld = ld.gain(d);
+            assert!(g_pl > 0.0 && g_pl.is_finite());
+            assert!(g_ld > 0.0 && g_ld.is_finite());
+            assert!(g_pl <= prev_pl);
+            assert!(g_ld <= prev_ld);
+            prev_pl = g_pl;
+            prev_ld = g_ld;
+        }
+    }
+
+    #[test]
+    fn log_distance_reference_point() {
+        let ld = LogDistance::default();
+        assert!((ld.gain(10.0) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_matches_direct_evaluation() {
+        let scenario = testkit::fig2_example();
+        let model = PowerLaw::new(1.0, 3.0);
+        let table = GainTable::compute(&scenario, &model);
+        for s in &scenario.servers {
+            for u in &scenario.users {
+                let expected = model.gain(s.position.distance(u.position));
+                assert_eq!(table.get(s.id, u.id), expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # idde-radio — the "last mile" wireless substrate
+//!
+//! Implements §2.2 of the paper: the user–server communication model that
+//! makes the IDDE problem *interference-aware*.
+//!
+//! * Channel gain `g_{i,x,j} = η · H_{i,j}^{-loss}` — [`gain`] (with
+//!   alternative path-loss laws, since the paper notes the SINR model is
+//!   pluggable),
+//! * SINR `r_{i,x,j}` (Eq. 2) including the cross-server interference field
+//!   `F_{i,x,j}`,
+//! * Shannon data rate `R_{i,x,j} = B·log2(1 + r)` (Eq. 3) and the capped
+//!   user rate `R_j` (Eq. 4),
+//! * average data rate `R_ave` (Eq. 5) — IDDE Objective #1,
+//! * the benefit function `β_{α_{-j}}(α_j)` (Eq. 12) that drives the IDDE-U
+//!   game,
+//! * an **incremental interference field** ([`InterferenceField`]) that keeps
+//!   per-channel occupancy and power sums up to date in O(1) per move so
+//!   best-response scans are cheap. This is one of the design choices
+//!   benchmarked by `bench_ablation` in `idde-bench`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod field;
+pub mod gain;
+pub mod params;
+pub mod rate;
+
+pub use field::InterferenceField;
+pub use gain::{GainModel, GainTable, LogDistance, PowerLaw};
+pub use params::RadioParams;
+pub use rate::{capped_rate, shannon_rate};
+
+use idde_model::Scenario;
+
+/// The fully pre-computed wireless environment of a scenario: radio
+/// parameters plus the dense server×user channel gain table.
+///
+/// Channel gain in the paper depends only on the server–user distance (all
+/// channels of a server share it), so the table is `N × M`.
+#[derive(Clone, Debug)]
+pub struct RadioEnvironment {
+    /// The radio parameters (η, loss exponent, noise ω).
+    pub params: RadioParams,
+    /// Pre-computed channel gains.
+    pub gains: GainTable,
+}
+
+impl RadioEnvironment {
+    /// Builds the environment for a scenario using the paper's power-law
+    /// gain model with the given parameters.
+    pub fn new(scenario: &Scenario, params: RadioParams) -> Self {
+        let model = PowerLaw::new(params.eta, params.loss_exponent);
+        Self::with_model(scenario, params, &model)
+    }
+
+    /// Builds the environment with an explicit gain model (e.g.
+    /// [`LogDistance`]) — the paper's "other wireless communication models".
+    pub fn with_model(scenario: &Scenario, params: RadioParams, model: &dyn GainModel) -> Self {
+        Self { params, gains: GainTable::compute(scenario, model) }
+    }
+
+    /// Channel gain `g_{i,·,j}` between server `i` and user `j`.
+    #[inline]
+    pub fn gain(&self, server: idde_model::ServerId, user: idde_model::UserId) -> f64 {
+        self.gains.get(server, user)
+    }
+}

@@ -1,0 +1,48 @@
+//! Radio parameters of the user–server communication model (§2.2, §4.2).
+
+use idde_model::Watts;
+
+/// Parameters of the wireless channel model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadioParams {
+    /// Frequency-dependent factor `η` of the channel gain. The paper's
+    /// experiments use `η = 1`.
+    pub eta: f64,
+    /// Path-loss exponent. The paper's experiments use `loss = 3`.
+    pub loss_exponent: f64,
+    /// Additive white Gaussian noise `ω`, in watts. The paper specifies
+    /// `−174 dBm`.
+    pub noise: Watts,
+    /// Minimum distance (metres) used when evaluating the gain law, so a
+    /// user standing exactly on a server does not produce an infinite gain.
+    pub min_distance_m: f64,
+}
+
+impl RadioParams {
+    /// The paper's §4.2 settings: `η = 1`, `loss = 3`, `ω = −174 dBm`.
+    pub fn paper() -> Self {
+        Self { eta: 1.0, loss_exponent: 3.0, noise: Watts::from_dbm(-174.0), min_distance_m: 1.0 }
+    }
+}
+
+impl Default for RadioParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        let p = RadioParams::paper();
+        assert_eq!(p.eta, 1.0);
+        assert_eq!(p.loss_exponent, 3.0);
+        let noise = p.noise.value();
+        assert!(noise > 3.9e-21 && noise < 4.1e-21, "ω = {noise:e}");
+        assert_eq!(p.min_distance_m, 1.0);
+        assert_eq!(RadioParams::default(), p);
+    }
+}

@@ -1,0 +1,66 @@
+//! Shannon data rates (Eqs. 3–5).
+
+use idde_model::MegaBytesPerSec;
+
+/// The Shannon rate `R = B · log2(1 + sinr)` (Eq. 3).
+#[inline]
+pub fn shannon_rate(bandwidth: MegaBytesPerSec, sinr: f64) -> MegaBytesPerSec {
+    debug_assert!(sinr >= 0.0, "SINR must be non-negative, got {sinr}");
+    MegaBytesPerSec(bandwidth.value() * (1.0 + sinr).log2())
+}
+
+/// The capped user rate `R_j = min(R_max, R)` (Eq. 4).
+#[inline]
+pub fn capped_rate(
+    bandwidth: MegaBytesPerSec,
+    sinr: f64,
+    max_rate: MegaBytesPerSec,
+) -> MegaBytesPerSec {
+    let r = shannon_rate(bandwidth, sinr);
+    if r.value() > max_rate.value() {
+        max_rate
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: MegaBytesPerSec = MegaBytesPerSec(200.0);
+
+    #[test]
+    fn zero_sinr_means_zero_rate() {
+        assert_eq!(shannon_rate(B, 0.0).value(), 0.0);
+    }
+
+    #[test]
+    fn unit_sinr_doubles_capacity_argument() {
+        // log2(1+1) = 1 → R = B.
+        assert!((shannon_rate(B, 1.0).value() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_is_monotone_in_sinr() {
+        let mut prev = -1.0;
+        for sinr in [0.0, 0.1, 0.5, 1.0, 3.0, 10.0, 1e6] {
+            let r = shannon_rate(B, sinr).value();
+            assert!(r > prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn cap_binds_for_huge_sinr() {
+        let max = MegaBytesPerSec(200.0);
+        // An interference-free user has astronomically large SINR; the
+        // Shannon cap of the mobile network must bind (Eq. 4).
+        let r = capped_rate(B, 1e14, max);
+        assert_eq!(r.value(), 200.0);
+        // Low SINR: the cap must not bind.
+        let r = capped_rate(B, 0.5, max);
+        assert!((r.value() - 200.0 * 1.5f64.log2()).abs() < 1e-9);
+        assert!(r.value() < max.value());
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-experiment aggregate analysis — the §4.5.1 style summary
+//! statistics the paper quotes ("the average advantage of IDDE-G in terms
+//! of data rate is 9.20% over IDDE-IP, 53.27% over SAA, …").
+
+use crate::runner::SetResult;
+
+/// The mean advantage of one approach over another, aggregated over every
+/// point of every supplied set, exactly like the paper's §4.5.1 averages.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Advantage {
+    /// The reference approach (the paper's IDDE-G).
+    pub subject: String,
+    /// The compared approach.
+    pub against: String,
+    /// Mean relative rate advantage: `(R_subject − R_against) / R_against`,
+    /// averaged over points (positive = subject is better).
+    pub rate_advantage: f64,
+    /// Mean relative latency advantage:
+    /// `(L_against − L_subject) / L_against` (positive = subject is
+    /// better, i.e. lower latency).
+    pub latency_advantage: f64,
+}
+
+/// Computes the advantages of `subject` over every other approach across
+/// the supplied set results.
+pub fn advantages(results: &[SetResult], subject: &str) -> Vec<Advantage> {
+    let mut names: Vec<String> = Vec::new();
+    for r in results {
+        for p in &r.points {
+            for a in &p.approaches {
+                if a.name != subject && !names.iter().any(|n| n == a.name) {
+                    names.push(a.name.to_string());
+                }
+            }
+        }
+    }
+    names
+        .into_iter()
+        .map(|against| {
+            let mut rate_sum = 0.0;
+            let mut latency_sum = 0.0;
+            let mut count = 0usize;
+            for r in results {
+                for p in &r.points {
+                    let subj = p.approaches.iter().find(|a| a.name == subject);
+                    let oth = p.approaches.iter().find(|a| a.name == against);
+                    let (Some(subj), Some(oth)) = (subj, oth) else { continue };
+                    let rs = subj.rate_summary().mean;
+                    let ro = oth.rate_summary().mean;
+                    let ls = subj.latency_summary().mean;
+                    let lo = oth.latency_summary().mean;
+                    if ro > 0.0 {
+                        rate_sum += (rs - ro) / ro;
+                    }
+                    if lo > 0.0 {
+                        latency_sum += (lo - ls) / lo;
+                    }
+                    count += 1;
+                }
+            }
+            let count = count.max(1) as f64;
+            Advantage {
+                subject: subject.to_string(),
+                against,
+                rate_advantage: rate_sum / count,
+                latency_advantage: latency_sum / count,
+            }
+        })
+        .collect()
+}
+
+/// Renders the advantages as a §4.5.1-style sentence block.
+pub fn advantage_report(advantages: &[Advantage]) -> String {
+    let mut out = String::new();
+    for a in advantages {
+        out.push_str(&format!(
+            "{} vs {}: rate {:+.2}%, latency {:+.2}%\n",
+            a.subject,
+            a.against,
+            a.rate_advantage * 100.0,
+            a.latency_advantage * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentPoint, ExperimentSet};
+    use crate::runner::{ApproachSamples, PointResult};
+
+    fn result() -> SetResult {
+        let set = ExperimentSet {
+            id: 1,
+            varied: "N",
+            points: vec![ExperimentPoint { n: 20, m: 200, k: 5, density: 1.0 }],
+        };
+        let mk = |name, rate: f64, lat: f64| ApproachSamples {
+            name,
+            rates: vec![rate],
+            latencies: vec![lat],
+            times: vec![0.0],
+        };
+        SetResult {
+            points: vec![PointResult {
+                point: set.points[0],
+                approaches: vec![mk("IDDE-G", 120.0, 5.0), mk("SAA", 80.0, 10.0)],
+            }],
+            set,
+        }
+    }
+
+    #[test]
+    fn advantage_math() {
+        let advantages = advantages(&[result()], "IDDE-G");
+        assert_eq!(advantages.len(), 1);
+        let a = &advantages[0];
+        assert_eq!(a.against, "SAA");
+        // (120 − 80)/80 = +50% rate; (10 − 5)/10 = +50% latency.
+        assert!((a.rate_advantage - 0.5).abs() < 1e-12);
+        assert!((a.latency_advantage - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_formats_percentages() {
+        let text = advantage_report(&advantages(&[result()], "IDDE-G"));
+        assert!(text.contains("IDDE-G vs SAA"), "{text}");
+        assert!(text.contains("+50.00%"), "{text}");
+    }
+
+    #[test]
+    fn unknown_subject_yields_zero_counts_not_panics() {
+        let advantages = advantages(&[result()], "NOPE");
+        for a in advantages {
+            assert_eq!(a.rate_advantage, 0.0);
+            assert_eq!(a.latency_advantage, 0.0);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Table 2: the four experiment sets.
+//!
+//! | Set | `N` | `M` | `K` | `density` |
+//! |-----|-----|-----|-----|-----------|
+//! | #1  | 20…50 step 5 | 200 | 5 | 1.0 |
+//! | #2  | 30 | 50…350 step 50 | 5 | 1.0 |
+//! | #3  | 30 | 200 | 2…8 step 1 | 1.0 |
+//! | #4  | 30 | 200 | 5 | 1.0…3.0 step 0.4 |
+
+use std::fmt;
+
+/// One experiment point: a full parameter assignment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExperimentPoint {
+    /// Number of edge servers `N`.
+    pub n: usize,
+    /// Number of users `M`.
+    pub m: usize,
+    /// Number of data items `K`.
+    pub k: usize,
+    /// Network density.
+    pub density: f64,
+}
+
+impl ExperimentPoint {
+    /// The default point shared by all sets (`N=30, M=200, K=5, d=1.0`).
+    pub fn default_point() -> Self {
+        Self { n: 30, m: 200, k: 5, density: 1.0 }
+    }
+}
+
+impl fmt::Display for ExperimentPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N={} M={} K={} density={:.1}", self.n, self.m, self.k, self.density)
+    }
+}
+
+/// One experiment set: a sweep of one parameter with the others fixed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentSet {
+    /// 1-based set number as in Table 2.
+    pub id: usize,
+    /// Human-readable name of the varying parameter.
+    pub varied: &'static str,
+    /// The points of the sweep, in order.
+    pub points: Vec<ExperimentPoint>,
+}
+
+impl ExperimentSet {
+    /// The x-axis value of a point of this set (the varied parameter).
+    pub fn x_value(&self, point: &ExperimentPoint) -> f64 {
+        match self.id {
+            1 => point.n as f64,
+            2 => point.m as f64,
+            3 => point.k as f64,
+            4 => point.density,
+            _ => unreachable!("only sets 1-4 exist"),
+        }
+    }
+}
+
+/// The four sets of Table 2.
+pub fn table2_sets() -> Vec<ExperimentSet> {
+    let base = ExperimentPoint::default_point();
+    vec![
+        ExperimentSet {
+            id: 1,
+            varied: "Number of Edge Servers N",
+            points: (20..=50).step_by(5).map(|n| ExperimentPoint { n, ..base }).collect(),
+        },
+        ExperimentSet {
+            id: 2,
+            varied: "Number of Users M",
+            points: (50..=350).step_by(50).map(|m| ExperimentPoint { m, ..base }).collect(),
+        },
+        ExperimentSet {
+            id: 3,
+            varied: "Number of Data K",
+            points: (2..=8).map(|k| ExperimentPoint { k, ..base }).collect(),
+        },
+        ExperimentSet {
+            id: 4,
+            varied: "density",
+            points: (0..6)
+                .map(|i| ExperimentPoint { density: 1.0 + 0.4 * i as f64, ..base })
+                .collect(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes() {
+        let sets = table2_sets();
+        assert_eq!(sets.len(), 4);
+        assert_eq!(sets[0].points.len(), 7); // N = 20,25,…,50
+        assert_eq!(sets[1].points.len(), 7); // M = 50,…,350
+        assert_eq!(sets[2].points.len(), 7); // K = 2..8
+        assert_eq!(sets[3].points.len(), 6); // density = 1.0,1.4,…,3.0
+        assert_eq!(sets[0].points[0].n, 20);
+        assert_eq!(sets[0].points[6].n, 50);
+        assert_eq!(sets[1].points[6].m, 350);
+        assert_eq!(sets[2].points[0].k, 2);
+        assert!((sets[3].points[5].density - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_parameters_match_the_default_point() {
+        let sets = table2_sets();
+        for p in &sets[0].points {
+            assert_eq!((p.m, p.k), (200, 5));
+            assert_eq!(p.density, 1.0);
+        }
+        for p in &sets[3].points {
+            assert_eq!((p.n, p.m, p.k), (30, 200, 5));
+        }
+    }
+
+    #[test]
+    fn x_values_track_the_varied_parameter() {
+        let sets = table2_sets();
+        assert_eq!(sets[0].x_value(&sets[0].points[1]), 25.0);
+        assert_eq!(sets[1].x_value(&sets[1].points[0]), 50.0);
+        assert_eq!(sets[2].x_value(&sets[2].points[6]), 8.0);
+        assert!((sets[3].x_value(&sets[3].points[1]) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = ExperimentPoint::default_point();
+        assert_eq!(p.to_string(), "N=30 M=200 K=5 density=1.0");
+    }
+}

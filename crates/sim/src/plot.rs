@@ -1,0 +1,150 @@
+//! Minimal ASCII line charts for terminal figure output.
+//!
+//! The figure-regeneration binaries print their series both as tables (for
+//! exact values) and as quick charts (for eyeballing the trends the paper
+//! plots). No external plotting dependency: a fixed-size character canvas
+//! with one glyph per series.
+
+/// A named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders the series into an ASCII chart of the given inner size.
+///
+/// Returns a multi-line string: chart rows (y axis labelled at top/bottom),
+/// an x-axis line, and a legend mapping glyphs to labels.
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let width = width.max(8);
+    let height = height.max(4);
+
+    let all_points: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all_points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all_points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            canvas[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in canvas.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>9.2} ")
+        } else if i == height - 1 {
+            format!("{y_min:>9.2} ")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("{:>11}{:.1}{}{:.1}\n", "", x_min, " ".repeat(width.saturating_sub(8)), x_max));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+/// Convenience: builds the chart of one metric of a [`crate::SetResult`].
+pub fn chart_set(
+    result: &crate::runner::SetResult,
+    metric: &str,
+    value: impl Fn(&crate::runner::ApproachSamples) -> f64,
+) -> String {
+    let names: Vec<&str> = result.points[0].approaches.iter().map(|a| a.name).collect();
+    let series: Vec<Series> = names
+        .iter()
+        .enumerate()
+        .map(|(a, name)| Series {
+            label: name.to_string(),
+            points: result
+                .points
+                .iter()
+                .map(|p| (result.set.x_value(&p.point), value(&p.approaches[a])))
+                .collect(),
+        })
+        .collect();
+    format!("{metric} vs {}\n{}", result.set.varied, render(&series, 56, 14))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<Series> {
+        vec![
+            Series { label: "up".into(), points: vec![(0.0, 0.0), (1.0, 5.0), (2.0, 10.0)] },
+            Series { label: "down".into(), points: vec![(0.0, 10.0), (1.0, 5.0), (2.0, 0.0)] },
+        ]
+    }
+
+    #[test]
+    fn renders_axes_glyphs_and_legend() {
+        let chart = render(&series(), 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("up"));
+        assert!(chart.contains("down"));
+        assert!(chart.contains("10.00"), "{chart}");
+        assert!(chart.contains("0.00"));
+        assert!(chart.contains("+----"));
+    }
+
+    #[test]
+    fn increasing_series_rises_left_to_right() {
+        let chart = render(&series()[..1], 40, 10);
+        let rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
+        // The topmost row with a glyph must have it to the right of the
+        // bottommost row's glyph.
+        let top = rows.iter().position(|r| r.contains('*')).unwrap();
+        let bottom = rows.iter().rposition(|r| r.contains('*')).unwrap();
+        let top_col = rows[top].find('*').unwrap();
+        let bottom_col = rows[bottom].find('*').unwrap();
+        assert!(top < bottom);
+        assert!(top_col > bottom_col, "{chart}");
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert_eq!(render(&[], 40, 10), "(no data)\n");
+        let flat = vec![Series { label: "flat".into(), points: vec![(1.0, 3.0), (2.0, 3.0)] }];
+        let chart = render(&flat, 40, 10);
+        assert!(chart.contains('*'));
+        let single = vec![Series { label: "dot".into(), points: vec![(1.0, 1.0)] }];
+        assert!(render(&single, 8, 4).contains('*'));
+    }
+}

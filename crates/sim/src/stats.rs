@@ -1,0 +1,113 @@
+//! Summary statistics over repetition samples.
+
+/// Five-number-plus summary of a sample set, used for the series plots
+//  (mean ± std) and the Fig. 7 computation-time box plot (quartiles).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample set. Returns a zeroed summary for
+    /// an empty input.
+    pub fn of(samples: &[f64]) -> Self {
+        let count = samples.len();
+        if count == 0 {
+            return Self { count: 0, mean: 0.0, std: 0.0, min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let std = if count > 1 {
+            (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count - 1) as f64)
+                .sqrt()
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        Self {
+            count,
+            mean,
+            std,
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[count - 1],
+        }
+    }
+}
+
+/// Linear-interpolation quantile of a pre-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is ~2.138.
+        assert!((s.std - 2.138).abs() < 1e-3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.q1 - 1.75).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+
+        let single = Summary::of(&[3.5]);
+        assert_eq!(single.count, 1);
+        assert_eq!(single.mean, 3.5);
+        assert_eq!(single.std, 0.0);
+        assert_eq!(single.median, 3.5);
+        assert_eq!(single.q1, 3.5);
+    }
+
+    #[test]
+    fn order_invariance() {
+        let a = Summary::of(&[3.0, 1.0, 2.0]);
+        let b = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+}

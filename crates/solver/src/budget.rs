@@ -1,0 +1,95 @@
+//! Search budgets and statistics.
+
+use std::time::{Duration, Instant};
+
+/// An anytime search budget: wall-clock deadline and/or node limit.
+///
+/// The paper's IDDE-IP limits CP Optimizer to 100 seconds of search; the
+/// same role is played here by [`Budget::with_deadline`]. Budgets are
+/// checked coarsely (every few hundred nodes) so the `Instant::now()` cost
+/// stays off the hot path.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    node_limit: Option<u64>,
+}
+
+impl Budget {
+    /// An unlimited budget — the search runs to proved optimality. Only
+    /// sensible for tiny instances and tests.
+    pub fn unlimited() -> Self {
+        Self { deadline: None, node_limit: None }
+    }
+
+    /// Budget that expires `limit` from now.
+    pub fn with_deadline(limit: Duration) -> Self {
+        Self { deadline: Some(Instant::now() + limit), node_limit: None }
+    }
+
+    /// Budget limited to a number of search nodes (deterministic across
+    /// machines, used by reproducible tests).
+    pub fn with_node_limit(nodes: u64) -> Self {
+        Self { deadline: None, node_limit: Some(nodes) }
+    }
+
+    /// Budget with both limits.
+    pub fn new(limit: Duration, nodes: u64) -> Self {
+        Self { deadline: Some(Instant::now() + limit), node_limit: Some(nodes) }
+    }
+
+    /// Whether the budget is exhausted after `nodes` explored nodes.
+    #[inline]
+    pub fn exhausted(&self, nodes: u64) -> bool {
+        if let Some(limit) = self.node_limit {
+            if nodes >= limit {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            // Check the clock only every 256 nodes.
+            if nodes.is_multiple_of(256) && Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Statistics of one branch-and-bound run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes explored.
+    pub nodes: u64,
+    /// `true` when the search space was exhausted, i.e. the returned
+    /// incumbent is a certified optimum; `false` when the budget ran out.
+    pub proved_optimal: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted(0));
+        assert!(!b.exhausted(u64::MAX - 1));
+    }
+
+    #[test]
+    fn node_limit_exhausts() {
+        let b = Budget::with_node_limit(100);
+        assert!(!b.exhausted(99));
+        assert!(b.exhausted(100));
+        assert!(b.exhausted(101));
+    }
+
+    #[test]
+    fn deadline_exhausts() {
+        let b = Budget::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        // Checked only on multiples of 256.
+        assert!(!b.exhausted(1));
+        assert!(b.exhausted(256));
+    }
+}

@@ -1,0 +1,203 @@
+//! Brute-force ground truth for tiny instances.
+//!
+//! Enumerates *every* feasible allocation profile and/or delivery profile
+//! and evaluates them with the public metric code — no bounds, no pruning,
+//! no shared machinery with the branch-and-bound searches, which makes it a
+//! genuinely independent differential-testing oracle. Exponential, of
+//! course: guard rails refuse instances whose decision space exceeds
+//! `max_states`.
+
+use idde_core::{Problem, Strategy};
+use idde_model::{Allocation, ChannelIndex, DataId, Placement, ServerId};
+use idde_radio::InterferenceField;
+
+/// Exhaustive enumeration oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct ExhaustiveSolver {
+    /// Refuse to enumerate more states than this (default 2_000_000).
+    pub max_states: u128,
+}
+
+impl Default for ExhaustiveSolver {
+    fn default() -> Self {
+        Self { max_states: 2_000_000 }
+    }
+}
+
+impl ExhaustiveSolver {
+    /// Number of allocation profiles of the instance
+    /// (`Π_j (|V_j|·|C| + 1)`).
+    pub fn allocation_space(problem: &Problem) -> u128 {
+        let scenario = &problem.scenario;
+        scenario
+            .user_ids()
+            .map(|u| {
+                let mut options = 1u128; // the (0,0) decision
+                for &s in scenario.coverage.servers_of(u) {
+                    options += scenario.servers[s.index()].num_channels as u128;
+                }
+                options
+            })
+            .product()
+    }
+
+    /// Number of delivery profiles ignoring storage (`2^(N·K)`).
+    pub fn placement_space(problem: &Problem) -> u128 {
+        let bits = problem.scenario.num_servers() * problem.scenario.num_data();
+        if bits >= 127 {
+            u128::MAX
+        } else {
+            1u128 << bits
+        }
+    }
+
+    /// The optimal allocation for Objective #1 (max total rate). Returns
+    /// `None` when the space exceeds `max_states`.
+    pub fn best_allocation(&self, problem: &Problem) -> Option<(Allocation, f64)> {
+        if Self::allocation_space(problem) > self.max_states {
+            return None;
+        }
+        let scenario = &problem.scenario;
+        // Per-user option lists (None = unallocated).
+        let options: Vec<Vec<Option<(ServerId, ChannelIndex)>>> = scenario
+            .user_ids()
+            .map(|u| {
+                let mut v: Vec<Option<(ServerId, ChannelIndex)>> = vec![None];
+                for &s in scenario.coverage.servers_of(u) {
+                    for c in scenario.servers[s.index()].channels() {
+                        v.push(Some((s, c)));
+                    }
+                }
+                v
+            })
+            .collect();
+        let mut indices = vec![0usize; options.len()];
+        let mut best: Option<(Allocation, f64)> = None;
+        loop {
+            let alloc = Allocation::from_decisions(
+                indices.iter().zip(&options).map(|(&i, opts)| opts[i]).collect(),
+            );
+            let field = InterferenceField::from_allocation(&problem.radio, scenario, &alloc);
+            let value: f64 = scenario.user_ids().map(|u| field.rate(u).value()).sum();
+            if best.as_ref().is_none_or(|(_, b)| value > *b) {
+                best = Some((alloc, value));
+            }
+            // Odometer increment.
+            let mut level = 0;
+            loop {
+                if level == indices.len() {
+                    return best;
+                }
+                indices[level] += 1;
+                if indices[level] < options[level].len() {
+                    break;
+                }
+                indices[level] = 0;
+                level += 1;
+            }
+        }
+    }
+
+    /// The optimal storage-feasible placement for Objective #2 (min total
+    /// latency) given an allocation. Returns `None` when `2^(N·K)` exceeds
+    /// `max_states`.
+    pub fn best_placement(
+        &self,
+        problem: &Problem,
+        allocation: &Allocation,
+    ) -> Option<(Placement, f64)> {
+        if Self::placement_space(problem) > self.max_states {
+            return None;
+        }
+        let scenario = &problem.scenario;
+        let n = scenario.num_servers();
+        let k_total = scenario.num_data();
+        let bits = n * k_total;
+        let mut best: Option<(Placement, f64)> = None;
+        'mask: for mask in 0u64..(1u64 << bits) {
+            let mut placement = Placement::empty(n, k_total);
+            for b in 0..bits {
+                if mask & (1 << b) != 0 {
+                    let (k, i) = (b / n, b % n);
+                    let size = scenario.data[k].size;
+                    placement.place(ServerId::from_index(i), DataId::from_index(k), size);
+                    if placement.used(ServerId::from_index(i)).value()
+                        > scenario.servers[i].storage.value() + 1e-9
+                    {
+                        continue 'mask; // storage-infeasible
+                    }
+                }
+            }
+            let strategy = Strategy::new(allocation.clone(), placement);
+            let value = problem.total_latency(&strategy).value();
+            if best.as_ref().is_none_or(|(_, b)| value < *b) {
+                best = Some((strategy.placement, value));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllocationSearch, Budget, PlacementSearch};
+    use idde_core::IddeUGame;
+    use idde_model::testkit;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn problem(seed: u64) -> Problem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Problem::standard(testkit::tiny_overlap(), &mut rng)
+    }
+
+    #[test]
+    fn spaces_are_computed_correctly() {
+        let p = problem(1);
+        // 3 users × (2 servers × 2 channels + 1 unallocated) = 5³.
+        assert_eq!(ExhaustiveSolver::allocation_space(&p), 125);
+        // 2 servers × 2 data = 4 bits.
+        assert_eq!(ExhaustiveSolver::placement_space(&p), 16);
+    }
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive_allocation() {
+        for seed in [1u64, 2, 3] {
+            let p = problem(seed);
+            let (_, bb_value, stats) = AllocationSearch::new(&p, Budget::unlimited()).run();
+            assert!(stats.proved_optimal);
+            let (_, ex_value) =
+                ExhaustiveSolver::default().best_allocation(&p).expect("tiny space");
+            assert!(
+                (bb_value - ex_value).abs() < 1e-6,
+                "seed {seed}: B&B {bb_value} vs exhaustive {ex_value}"
+            );
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive_placement() {
+        for seed in [1u64, 2, 3] {
+            let p = problem(seed);
+            let alloc = IddeUGame::default().run(&p).field.into_allocation();
+            let (_, bb_value, stats) =
+                PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
+            assert!(stats.proved_optimal);
+            let (_, ex_value) =
+                ExhaustiveSolver::default().best_placement(&p, &alloc).expect("tiny space");
+            assert!(
+                (bb_value - ex_value).abs() < 1e-6,
+                "seed {seed}: B&B {bb_value} vs exhaustive {ex_value}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_spaces_are_refused() {
+        let p = problem(1);
+        let solver = ExhaustiveSolver { max_states: 10 };
+        assert!(solver.best_allocation(&p).is_none());
+        assert!(solver.best_placement(&p, &Allocation::unallocated(3)).is_none());
+    }
+}

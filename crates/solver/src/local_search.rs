@@ -1,0 +1,207 @@
+//! Random-restart hill climbing over allocation profiles.
+//!
+//! A third point between the IDDE-U game (selfish best responses) and the
+//! branch-and-bound (exact but exponential): centralized hill climbing on
+//! the *global* objective `Σ_j R_j`. Each step evaluates single-user moves
+//! and commits the one with the largest total-rate gain; restarts from
+//! random feasible profiles escape local optima. This is the standard
+//! "metaheuristic baseline" of the edge-allocation literature and serves
+//! two roles here:
+//!
+//! * a correctness cross-check — on tiny instances it must land on the
+//!   same optimum as the exhaustive solver most of the time;
+//! * an ablation anchor — it optimises the global objective directly, so
+//!   the gap between it and the Nash equilibrium of the IDDE-U game is a
+//!   measured price of decentralisation.
+
+use idde_core::Problem;
+use idde_model::{Allocation, ChannelIndex, ServerId, UserId};
+use idde_radio::InterferenceField;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::budget::{Budget, SearchStats};
+
+/// Configuration of the hill climber.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalSearchConfig {
+    /// Random restarts (the first start is always the greedy fill).
+    pub restarts: usize,
+    /// RNG seed for the random starts.
+    pub seed: u64,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        Self { restarts: 4, seed: 0 }
+    }
+}
+
+/// Random-restart steepest-ascent hill climbing maximising `Σ_j R_j`.
+#[derive(Debug)]
+pub struct LocalSearch<'a> {
+    problem: &'a Problem,
+    budget: Budget,
+    config: LocalSearchConfig,
+}
+
+impl<'a> LocalSearch<'a> {
+    /// Creates a hill climber over the problem.
+    pub fn new(problem: &'a Problem, budget: Budget, config: LocalSearchConfig) -> Self {
+        Self { problem, budget, config }
+    }
+
+    /// Runs the search; returns the best allocation, its total rate and
+    /// statistics (`nodes` counts evaluated candidate moves).
+    pub fn run(&self) -> (Allocation, f64, SearchStats) {
+        let scenario = &self.problem.scenario;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut nodes = 0u64;
+        let mut best: Option<(Allocation, f64)> = None;
+
+        'restarts: for restart in 0..=self.config.restarts {
+            let mut field = self.problem.field();
+            // Start profile: greedy fill on the first pass, random after.
+            for user in scenario.user_ids() {
+                let servers = scenario.coverage.servers_of(user);
+                if servers.is_empty() {
+                    continue;
+                }
+                let (server, channel) = if restart == 0 {
+                    // Greedy: the immediately best decision.
+                    let mut choice = None;
+                    for &s in servers {
+                        for c in scenario.servers[s.index()].channels() {
+                            let r = field.rate_at(user, s, c).value();
+                            if choice.is_none_or(|(_, _, b)| r > b) {
+                                choice = Some((s, c, r));
+                            }
+                        }
+                    }
+                    let (s, c, _) = choice.expect("covered users have decisions");
+                    (s, c)
+                } else {
+                    let s = servers[rng.gen_range(0..servers.len())];
+                    let c = ChannelIndex(
+                        rng.gen_range(0..scenario.servers[s.index()].num_channels),
+                    );
+                    (s, c)
+                };
+                field.allocate(user, server, channel);
+            }
+
+            // Steepest ascent on the global rate.
+            let mut current = total_rate(&field);
+            loop {
+                let mut best_move: Option<(UserId, ServerId, ChannelIndex, f64)> = None;
+                for user in scenario.user_ids() {
+                    let Some(old) = field.allocation().decision(user) else { continue };
+                    for &server in scenario.coverage.servers_of(user) {
+                        for channel in scenario.servers[server.index()].channels() {
+                            if (server, channel) == old {
+                                continue;
+                            }
+                            nodes += 1;
+                            if self.budget.exhausted(nodes) {
+                                break 'restarts;
+                            }
+                            field.allocate(user, server, channel);
+                            let value = total_rate(&field);
+                            field.allocate(user, old.0, old.1);
+                            if value > current + 1e-9
+                                && best_move.is_none_or(|(_, _, _, b)| value > b)
+                            {
+                                best_move = Some((user, server, channel, value));
+                            }
+                        }
+                    }
+                }
+                match best_move {
+                    Some((user, server, channel, value)) => {
+                        field.allocate(user, server, channel);
+                        current = value;
+                    }
+                    None => break, // local optimum
+                }
+            }
+            if best.as_ref().is_none_or(|&(_, b)| current > b) {
+                best = Some((field.allocation().clone(), current));
+            }
+        }
+
+        let (allocation, value) =
+            best.unwrap_or_else(|| (Allocation::unallocated(scenario.num_users()), 0.0));
+        (allocation, value, SearchStats { nodes, proved_optimal: false })
+    }
+}
+
+fn total_rate(field: &InterferenceField<'_>) -> f64 {
+    field.scenario().user_ids().map(|u| field.rate(u).value()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExhaustiveSolver;
+    use idde_core::IddeUGame;
+    use idde_model::testkit;
+
+    fn tiny_problem(seed: u64) -> Problem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Problem::standard(testkit::tiny_overlap(), &mut rng)
+    }
+
+    #[test]
+    fn finds_the_exhaustive_optimum_on_tiny_instances() {
+        for seed in [1u64, 2, 3] {
+            let p = tiny_problem(seed);
+            let (_, value, _) =
+                LocalSearch::new(&p, Budget::unlimited(), LocalSearchConfig::default()).run();
+            let (_, optimal) =
+                ExhaustiveSolver::default().best_allocation(&p).expect("tiny space");
+            // tiny_overlap's landscape has no bad local optima: everyone on
+            // their own channel.
+            assert!((value - optimal).abs() < 1e-6, "seed {seed}: {value} vs {optimal}");
+        }
+    }
+
+    #[test]
+    fn centralized_climbing_never_loses_to_the_nash_equilibrium_by_much() {
+        // The price of decentralisation is bounded: across fig2 instances
+        // the climber's global objective is at least the game's.
+        for seed in [4u64, 5, 6] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let p = Problem::standard(testkit::fig2_example(), &mut rng);
+            let (_, climbed, _) =
+                LocalSearch::new(&p, Budget::unlimited(), LocalSearchConfig::default()).run();
+            let outcome = IddeUGame::default().run(&p);
+            let nash: f64 =
+                p.scenario.user_ids().map(|u| outcome.field.rate(u).value()).sum();
+            assert!(
+                climbed >= nash * 0.95 - 1e-9,
+                "seed {seed}: climber {climbed} far below the equilibrium {nash}"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_budget_and_coverage() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let p = Problem::standard(testkit::fig2_example(), &mut rng);
+        let (alloc, _, stats) =
+            LocalSearch::new(&p, Budget::with_node_limit(50), LocalSearchConfig::default()).run();
+        assert!(stats.nodes <= 50);
+        assert!(alloc.respects_coverage(&p.scenario));
+    }
+
+    #[test]
+    fn restarts_are_deterministic_per_seed() {
+        let p = tiny_problem(8);
+        let cfg = LocalSearchConfig { restarts: 3, seed: 9 };
+        let a = LocalSearch::new(&p, Budget::unlimited(), cfg).run();
+        let b = LocalSearch::new(&p, Budget::unlimited(), cfg).run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Branch-and-bound over data delivery profiles (Objective #2).
+//!
+//! Decisions `σ_{i,k}` are linearised data-major — all servers of `d_0`,
+//! then all servers of `d_1`, … — and explored include-first/exclude-second
+//! depth first. The lower bound at a node is exact over the prefix and
+//! relaxed over the suffix:
+//!
+//! ```text
+//! LB = Σ_{requests of data with no remaining candidates} cur(r)
+//!    + Σ_{other requests}                                min(cur(r), best_any(r))
+//! ```
+//!
+//! where `best_any(r)` is the latency of serving the request from the best
+//! server in the whole system, storage ignored — a valid relaxation. Thanks
+//! to the data-major order, once the search passes data `k`'s block, the
+//! latencies of `d_k`'s requests are final and the bound tightens exactly.
+
+use idde_core::Problem;
+use idde_model::{Allocation, DataId, Placement, ServerId};
+
+use crate::budget::{Budget, SearchStats};
+
+/// Anytime branch-and-bound minimising the total delivery latency `L(σ)`
+/// for a fixed allocation profile.
+#[derive(Debug)]
+pub struct PlacementSearch<'a> {
+    problem: &'a Problem,
+    allocation: &'a Allocation,
+    budget: Budget,
+}
+
+struct Node {
+    /// Per-request current latency, grouped by data (parallel to `targets`).
+    cur: Vec<Vec<f64>>,
+}
+
+struct SearchState<'a> {
+    problem: &'a Problem,
+    budget: Budget,
+    /// Serving server of each grouped request, by data.
+    targets: Vec<Vec<ServerId>>,
+    /// `best_any[k][r]`: latency of request `r` of data `k` from the best
+    /// possible edge server (or the cloud), storage ignored.
+    best_any: Vec<Vec<f64>>,
+    node: Node,
+    placement: Placement,
+    used: Vec<f64>,
+    nodes: u64,
+    aborted: bool,
+    best_value: f64,
+    best: Placement,
+    /// Latency total of requests from unallocated (cloud-pinned) users.
+    pinned: f64,
+}
+
+impl<'a> PlacementSearch<'a> {
+    /// Creates a search for the given problem and allocation profile.
+    pub fn new(problem: &'a Problem, allocation: &'a Allocation, budget: Budget) -> Self {
+        Self { problem, allocation, budget }
+    }
+
+    /// Runs the search; returns the best placement found, its total latency
+    /// (ms, including cloud-pinned requests), and statistics.
+    pub fn run(&self) -> (Placement, f64, SearchStats) {
+        let scenario = &self.problem.scenario;
+        let topology = &self.problem.topology;
+        let n = scenario.num_servers();
+        let k_total = scenario.num_data();
+
+        let mut pinned = 0.0;
+        let mut targets: Vec<Vec<ServerId>> = vec![Vec::new(); k_total];
+        for (user, data) in scenario.requests.pairs() {
+            match self.allocation.server_of(user) {
+                Some(t) => targets[data.index()].push(t),
+                None => {
+                    pinned += topology.cloud_latency(scenario.data[data.index()].size).value()
+                }
+            }
+        }
+        let cur: Vec<Vec<f64>> = (0..k_total)
+            .map(|k| {
+                let cloud = topology.cloud_latency(scenario.data[k].size).value();
+                vec![cloud; targets[k].len()]
+            })
+            .collect();
+        let best_any: Vec<Vec<f64>> = (0..k_total)
+            .map(|k| {
+                let size = scenario.data[k].size;
+                targets[k]
+                    .iter()
+                    .map(|&t| {
+                        let mut best = topology.cloud_latency(size).value();
+                        for i in 0..n {
+                            best = best
+                                .min(topology.edge_latency(size, ServerId::from_index(i), t).value());
+                        }
+                        best
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut state = SearchState {
+            problem: self.problem,
+            budget: self.budget,
+            targets,
+            best_any,
+            node: Node { cur },
+            placement: Placement::empty(n, k_total),
+            used: vec![0.0; n],
+            nodes: 0,
+            aborted: false,
+            best_value: f64::INFINITY,
+            best: Placement::empty(n, k_total),
+            pinned,
+        };
+        let all_cloud = state.current_total();
+        state.dfs(0);
+        let stats = SearchStats { nodes: state.nodes, proved_optimal: !state.aborted };
+        // If the budget died before the first leaf, the incumbent is the
+        // empty profile, whose total is the all-cloud latency.
+        let value = if state.best_value.is_finite() {
+            state.best_value + state.pinned
+        } else {
+            all_cloud + state.pinned
+        };
+        (state.best, value, stats)
+    }
+}
+
+impl SearchState<'_> {
+    fn num_decisions(&self) -> usize {
+        self.problem.scenario.num_servers() * self.problem.scenario.num_data()
+    }
+
+    /// Decision `idx` (data-major) → `(data, server)`.
+    fn decode(&self, idx: usize) -> (usize, usize) {
+        let n = self.problem.scenario.num_servers();
+        (idx / n, idx % n)
+    }
+
+    /// Lower bound: exact prefix + relaxed suffix (see module docs).
+    fn lower_bound(&self, next_idx: usize) -> f64 {
+        let (k_frontier, _) = if next_idx >= self.num_decisions() {
+            (self.problem.scenario.num_data(), 0)
+        } else {
+            self.decode(next_idx)
+        };
+        let mut lb = 0.0;
+        for k in 0..self.problem.scenario.num_data() {
+            let row = &self.node.cur[k];
+            if k < k_frontier {
+                lb += row.iter().sum::<f64>();
+            } else {
+                lb += row
+                    .iter()
+                    .zip(&self.best_any[k])
+                    .map(|(&c, &b)| c.min(b))
+                    .sum::<f64>();
+            }
+        }
+        lb
+    }
+
+    fn current_total(&self) -> f64 {
+        self.node.cur.iter().flatten().sum()
+    }
+
+    fn dfs(&mut self, idx: usize) {
+        if self.aborted {
+            return;
+        }
+        self.nodes += 1;
+        if self.budget.exhausted(self.nodes) {
+            self.aborted = true;
+            return;
+        }
+        if idx == self.num_decisions() {
+            let value = self.current_total();
+            if value < self.best_value {
+                self.best_value = value;
+                self.best = self.placement.clone();
+            }
+            return;
+        }
+        if self.lower_bound(idx) >= self.best_value {
+            return;
+        }
+        let (k, i) = self.decode(idx);
+        let scenario = &self.problem.scenario;
+        let size = scenario.data[k].size;
+        let server = ServerId::from_index(i);
+
+        // Include branch (if storage-feasible).
+        if self.used[i] + size.value() <= scenario.servers[i].storage.value() + 1e-9 {
+            // Apply: update cur for requests of d_k, remember the deltas.
+            let mut undo: Vec<(usize, f64)> = Vec::new();
+            for (r, &target) in self.targets[k].iter().enumerate() {
+                let via = self.problem.topology.edge_latency(size, server, target).value();
+                if via < self.node.cur[k][r] {
+                    undo.push((r, self.node.cur[k][r]));
+                    self.node.cur[k][r] = via;
+                }
+            }
+            self.used[i] += size.value();
+            self.placement.place(server, DataId::from_index(k), size);
+            self.dfs(idx + 1);
+            self.placement.remove(server, DataId::from_index(k), size);
+            self.used[i] -= size.value();
+            for (r, old) in undo {
+                self.node.cur[k][r] = old;
+            }
+            if self.aborted {
+                return;
+            }
+        }
+        // Exclude branch.
+        self.dfs(idx + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idde_core::{GreedyDelivery, IddeUGame, Strategy};
+    use idde_model::testkit;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn problem(seed: u64) -> Problem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Problem::standard(testkit::tiny_overlap(), &mut rng)
+    }
+
+    fn solved_alloc(p: &Problem) -> Allocation {
+        IddeUGame::default().run(p).field.into_allocation()
+    }
+
+    #[test]
+    fn optimal_never_worse_than_greedy() {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let p = problem(seed);
+            let alloc = solved_alloc(&p);
+            let greedy = GreedyDelivery::default().run(&p, &alloc);
+            let (placement, value, stats) =
+                PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
+            assert!(stats.proved_optimal, "tiny instance must be provable");
+            assert!(
+                value <= greedy.final_total_latency.value() + 1e-6,
+                "seed {seed}: optimal {value} > greedy {}",
+                greedy.final_total_latency.value()
+            );
+            let strategy = Strategy::new(alloc, placement);
+            assert!(strategy.placement.respects_storage(&p.scenario));
+            // The evaluator agrees with the search's internal accounting.
+            assert!((p.total_latency(&strategy).value() - value).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn greedy_achieves_theorem6_bound_on_tiny() {
+        // Theorem 6/7: greedy's latency *reduction* is at least (e-1)/2e of
+        // the optimal reduction (storage-normalised worst case). On these
+        // tiny instances greedy is near-optimal; assert the formal bound.
+        for seed in [1u64, 7, 11] {
+            let p = problem(seed);
+            let alloc = solved_alloc(&p);
+            let greedy = GreedyDelivery::default().run(&p, &alloc);
+            let (_, opt_value, stats) =
+                PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
+            assert!(stats.proved_optimal);
+            let phi = greedy.initial_total_latency.value();
+            let greedy_reduction = greedy.latency_reduction().value();
+            let opt_reduction = phi - (opt_value - 0.0);
+            let bound = (std::f64::consts::E - 1.0) / (2.0 * std::f64::consts::E);
+            assert!(
+                greedy_reduction + 1e-9 >= bound * opt_reduction,
+                "seed {seed}: greedy ΔL = {greedy_reduction}, optimal ΔL = {opt_reduction}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_allocation_means_cloud_total() {
+        let p = problem(9);
+        let alloc = Allocation::unallocated(p.scenario.num_users());
+        let (placement, value, stats) =
+            PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
+        assert!(stats.proved_optimal);
+        // No placement can change anything (ties are broken arbitrarily, so
+        // the returned profile may contain inconsequential replicas, like
+        // any solver's).
+        assert!((value - p.all_cloud_latency().value()).abs() < 1e-9);
+        let strategy = Strategy::new(alloc, placement);
+        assert!(strategy.placement.respects_storage(&p.scenario));
+    }
+
+    #[test]
+    fn root_lower_bound_is_admissible() {
+        // The LB at the root must never exceed the true optimum — otherwise
+        // pruning could cut the optimal branch.
+        for seed in [2u64, 4, 8] {
+            let p = problem(seed);
+            let alloc = solved_alloc(&p);
+            let (_, optimal, stats) =
+                PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
+            assert!(stats.proved_optimal);
+            // Rebuild the search state just to read the root bound: run a
+            // 1-node search, whose incumbent is untouched, and compare the
+            // reported all-cloud fallback against the optimum.
+            let (_, fallback, _) =
+                PlacementSearch::new(&p, &alloc, Budget::with_node_limit(1)).run();
+            assert!(optimal <= fallback + 1e-9, "optimum must not exceed the empty profile");
+        }
+    }
+
+    #[test]
+    fn deeper_budgets_never_worsen_the_incumbent() {
+        let p = problem(12);
+        let alloc = solved_alloc(&p);
+        let mut last = f64::INFINITY;
+        for nodes in [2u64, 8, 32, 128, 1024, 100_000] {
+            let (_, value, _) =
+                PlacementSearch::new(&p, &alloc, Budget::with_node_limit(nodes)).run();
+            assert!(value <= last + 1e-9, "more nodes worsened the incumbent: {last} → {value}");
+            last = value;
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_feasible_incumbent() {
+        let p = problem(10);
+        let alloc = solved_alloc(&p);
+        let (placement, value, stats) =
+            PlacementSearch::new(&p, &alloc, Budget::with_node_limit(8)).run();
+        assert!(!stats.proved_optimal);
+        assert!(value.is_finite());
+        let strategy = Strategy::new(alloc, placement);
+        assert!(strategy.placement.respects_storage(&p.scenario));
+    }
+}

@@ -1,0 +1,99 @@
+//! Deep-dive comparison of the five approaches on one instance: beyond the
+//! two headline metrics, this prints *why* each baseline loses — channel
+//! balance, replica diversity, hit rates and per-approach delivery source
+//! breakdowns.
+//!
+//! ```sh
+//! cargo run --release --example baseline_showdown
+//! ```
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use idde::prelude::*;
+use idde_baselines::standard_panel;
+use idde_radio::InterferenceField;
+
+fn main() {
+    let mut rng = idde::seeded_rng(77);
+    let scenario = SyntheticEua::default().sample(30, 200, 5, &mut rng);
+    let problem = Problem::standard(scenario, &mut rng);
+    println!(
+        "{:>8} {:>9} {:>9} {:>7} {:>9} {:>8} {:>9} {:>9}",
+        "approach", "R_avg", "L_avg", "local%", "neighb%", "cloud%", "replicas", "distinct"
+    );
+
+    for approach in standard_panel(Duration::from_millis(300)) {
+        let strategy = approach.solve_seeded(&problem, 3);
+        let metrics = problem.evaluate(&strategy);
+
+        // Delivery source breakdown.
+        let mut local = 0usize;
+        let mut neighbour = 0usize;
+        let mut cloud = 0usize;
+        for (user, data) in problem.scenario.requests.pairs() {
+            let size = problem.scenario.data[data.index()].size;
+            match strategy.allocation.server_of(user) {
+                None => cloud += 1,
+                Some(target) => {
+                    let (_, source) = problem
+                        .topology
+                        .delivery_latency(&strategy.placement, data, size, target);
+                    match source {
+                        idde::net::DeliverySource::Cloud => cloud += 1,
+                        idde::net::DeliverySource::Edge(origin) if origin == target => local += 1,
+                        idde::net::DeliverySource::Edge(_) => neighbour += 1,
+                    }
+                }
+            }
+        }
+        let total = problem.scenario.requests.total_requests().max(1) as f64;
+
+        // Replica diversity: how many *distinct* (server, data) placements
+        // vs how many distinct data items have at least one replica.
+        let distinct_items: HashSet<_> = problem
+            .scenario
+            .server_ids()
+            .flat_map(|s| strategy.placement.data_on(s).collect::<Vec<_>>())
+            .collect();
+
+        println!(
+            "{:>8} {:>9.2} {:>9.3} {:>6.0}% {:>8.0}% {:>7.0}% {:>9} {:>9}",
+            approach.name(),
+            metrics.average_data_rate.value(),
+            metrics.average_delivery_latency.value(),
+            local as f64 / total * 100.0,
+            neighbour as f64 / total * 100.0,
+            cloud as f64 / total * 100.0,
+            metrics.placements,
+            distinct_items.len(),
+        );
+
+        // One structural witness per baseline pathology:
+        if approach.name() == "SAA" {
+            // SAA's random allocation leaves channels badly unbalanced.
+            let field = InterferenceField::from_allocation(
+                &problem.radio,
+                &problem.scenario,
+                &strategy.allocation,
+            );
+            let mut worst_gap = 0.0f64;
+            for server in problem.scenario.server_ids() {
+                let powers: Vec<f64> = problem.scenario.servers[server.index()]
+                    .channels()
+                    .map(|x| field.channel_power(server, x))
+                    .collect();
+                let max = powers.iter().copied().fold(0.0, f64::max);
+                let min = powers.iter().copied().fold(f64::INFINITY, f64::min);
+                worst_gap = worst_gap.max(max - min);
+            }
+            println!("           ↳ SAA's worst per-server channel power gap: {worst_gap:.1} W");
+        }
+    }
+
+    println!(
+        "\nReading guide: IDDE-G pairs the best local% with the widest distinct coverage;\n\
+         CDP replicates the same hot items everywhere (high replicas, low distinct);\n\
+         SAA's random channels torch its rate column."
+    );
+}

@@ -1,0 +1,98 @@
+//! A guided walkthrough of the paper's Fig. 2 running example: 4 edge
+//! servers, 9 users, 4 data items, and the request pattern from the figure
+//! caption. Prints the whole IDDE-G pipeline step by step — coverage sets,
+//! the IDDE-U equilibrium, the greedy placements, and every request's
+//! delivery path.
+//!
+//! ```sh
+//! cargo run --release --example fig2_walkthrough
+//! ```
+
+use idde::core::{GreedyDelivery, IddeUGame, Strategy};
+use idde::model::testkit;
+use idde::prelude::*;
+
+fn main() {
+    let scenario = testkit::fig2_example();
+    let mut rng = idde::seeded_rng(2022);
+    let problem = Problem::standard(scenario, &mut rng);
+
+    println!("== the Fig. 2 edge storage system ==");
+    for server in &problem.scenario.servers {
+        println!(
+            "  v{} at {:?}, {} channels × {}, {:.0} MB reserved, covers users {:?}",
+            server.id.0 + 1,
+            server.position,
+            server.num_channels,
+            server.channel_bandwidth,
+            server.storage.value(),
+            problem
+                .scenario
+                .coverage
+                .users_of(server.id)
+                .iter()
+                .map(|u| u.0 + 1)
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!("\n== requests (ζ) ==");
+    for data in problem.scenario.data_ids() {
+        let users: Vec<u32> =
+            problem.scenario.requests.of_data(data).iter().map(|u| u.0 + 1).collect();
+        println!("  d{} ({:.0} MB) ← users {users:?}", data.0 + 1, problem.scenario.data[data.index()].size.value());
+    }
+
+    println!("\n== Phase #1: the IDDE-U game ==");
+    let outcome = IddeUGame::default().run(&problem);
+    println!(
+        "  converged after {} passes / {} improvement moves",
+        outcome.passes, outcome.moves
+    );
+    for user in problem.scenario.user_ids() {
+        let (server, channel) = outcome.field.allocation().decision(user).expect("all covered");
+        println!(
+            "  u{} → v{} channel {} (SINR {:.2e}, rate {:.1} MB/s)",
+            user.0 + 1,
+            server.0 + 1,
+            channel.0,
+            outcome.field.sinr(user).unwrap(),
+            outcome.field.rate(user).value(),
+        );
+    }
+    println!("  R_avg = {:.2} MB/s", outcome.field.average_rate().value());
+
+    println!("\n== Phase #2: greedy data delivery ==");
+    let allocation = outcome.field.into_allocation();
+    let delivery = GreedyDelivery::default().run(&problem, &allocation);
+    for server in problem.scenario.server_ids() {
+        let items: Vec<String> =
+            delivery.placement.data_on(server).map(|d| format!("d{}", d.0 + 1)).collect();
+        println!(
+            "  v{} stores [{}] ({:.0}/{:.0} MB used)",
+            server.0 + 1,
+            items.join(", "),
+            delivery.placement.used(server).value(),
+            problem.scenario.servers[server.index()].storage.value(),
+        );
+    }
+
+    println!("\n== every request's delivery (Eq. 8) ==");
+    let strategy = Strategy::new(allocation, delivery.placement.clone());
+    for (user, data) in problem.scenario.requests.pairs() {
+        let target = strategy.allocation.server_of(user).expect("allocated");
+        let size = problem.scenario.data[data.index()].size;
+        let (latency, source) =
+            problem.topology.delivery_latency(&strategy.placement, data, size, target);
+        let source = match source {
+            idde::net::DeliverySource::Edge(origin) if origin == target => "local hit".to_string(),
+            idde::net::DeliverySource::Edge(origin) => format!("from v{}", origin.0 + 1),
+            idde::net::DeliverySource::Cloud => "from the cloud".to_string(),
+        };
+        println!("  u{} ← d{}: {:.2} ms ({source})", user.0 + 1, data.0 + 1, latency.value());
+    }
+
+    let metrics = problem.evaluate(&strategy);
+    println!("\n== result ==\n  {metrics}");
+    assert!(problem.is_feasible(&strategy));
+    assert_eq!(metrics.allocated_users, 9);
+}

@@ -1,0 +1,109 @@
+//! The "last mile" interference study.
+//!
+//! The paper's core observation (§1, §2.2) is that piling users onto the
+//! same wireless channel collapses their data rates, so user allocation
+//! must be interference-aware *before* any data placement happens. This
+//! example makes that effect visible:
+//!
+//! 1. it sweeps the user count on a fixed 10-server system and prints how
+//!    the average data rate degrades,
+//! 2. it compares three allocation policies at each load — the IDDE-U game
+//!    (full Eq. 12 benefit), the same game without cross-server awareness
+//!    (DUP-G's congestion form) and SAA's random attachment,
+//! 3. it prints the channel-occupancy histogram of the game's equilibrium
+//!    to show how it spreads users.
+//!
+//! ```sh
+//! cargo run --release --example interference_study
+//! ```
+
+use idde::prelude::*;
+use idde_core::{BenefitModel, GameConfig, IddeUGame};
+use idde_eua::{SampleConfig, SyntheticEua};
+use idde_radio::InterferenceField;
+
+fn main() {
+    let population = SyntheticEua::default().generate(&mut idde::seeded_rng(5));
+
+    println!(
+        "{:>6} {:>16} {:>18} {:>16}",
+        "users", "IDDE-U (MB/s)", "congestion (MB/s)", "random (MB/s)"
+    );
+    let mut last_full = f64::INFINITY;
+    for m in [20usize, 60, 120, 200, 300] {
+        let mut rng = idde::seeded_rng(1_000 + m as u64);
+        let scenario = SampleConfig::paper(10, m, 3).sample(&population, &mut rng);
+        let problem = Problem::standard(scenario, &mut rng);
+
+        let full = IddeUGame::default().run(&problem).field.average_rate().value();
+        let congestion = IddeUGame::new(GameConfig {
+            benefit: BenefitModel::Congestion,
+            ..Default::default()
+        })
+        .run(&problem)
+        .field
+        .average_rate()
+        .value();
+        let random = random_allocation_rate(&problem, 42);
+
+        println!("{m:>6} {full:>16.2} {congestion:>18.2} {random:>16.2}");
+
+        // Interference must bite: the rate falls as the system fills up.
+        assert!(full <= last_full + 1e-6, "rate must degrade with load");
+        last_full = full;
+        // And awareness must pay: the game never loses to random chance.
+        assert!(full >= random - 1e-6, "the game must beat random allocation");
+    }
+
+    // Occupancy histogram at the heaviest load.
+    let mut rng = idde::seeded_rng(1_300);
+    let scenario = SampleConfig::paper(10, 300, 3).sample(&population, &mut rng);
+    let problem = Problem::standard(scenario, &mut rng);
+    let outcome = IddeUGame::default().run(&problem);
+    println!("\nchannel occupancy at M=300 (10 servers × 3 channels, occupants / watts):");
+    let max_power: f64 = problem
+        .scenario
+        .users
+        .iter()
+        .map(|u| u.power.value())
+        .fold(0.0, f64::max);
+    for server in problem.scenario.server_ids() {
+        let channels: Vec<(usize, f64)> = problem.scenario.servers[server.index()]
+            .channels()
+            .map(|x| {
+                (outcome.field.occupants(server, x).len(), outcome.field.channel_power(server, x))
+            })
+            .collect();
+        let line: Vec<String> =
+            channels.iter().map(|(n, w)| format!("{n:>3} / {w:5.1} W")).collect();
+        println!("  server {server:>2}: [{}]", line.join(", "));
+        // The game balances *interference power*, not head counts: at a
+        // (guarded) equilibrium no channel can stay heavier than a sibling
+        // by much more than the heaviest single user.
+        let max_w = channels.iter().map(|&(_, w)| w).fold(0.0, f64::max);
+        let min_w = channels.iter().map(|&(_, w)| w).fold(f64::INFINITY, f64::min);
+        assert!(
+            max_w - min_w <= 3.0 * max_power + 1e-9,
+            "server {server}: power gap {:.1} W is implausibly large",
+            max_w - min_w
+        );
+    }
+    println!("\nno channel hoards transmit power while a sibling sits quiet — that is Phase #1's job.");
+}
+
+/// Average rate of a uniformly random feasible allocation (SAA's Phase #1).
+fn random_allocation_rate(problem: &Problem, seed: u64) -> f64 {
+    use rand::Rng;
+    let mut rng = idde::seeded_rng(seed);
+    let mut field = InterferenceField::new(&problem.radio, &problem.scenario);
+    for user in problem.scenario.user_ids() {
+        let servers = problem.scenario.coverage.servers_of(user);
+        if servers.is_empty() {
+            continue;
+        }
+        let server = servers[rng.gen_range(0..servers.len())];
+        let channels = problem.scenario.servers[server.index()].num_channels;
+        field.allocate(user, server, idde::model::ChannelIndex(rng.gen_range(0..channels)));
+    }
+    field.average_rate().value()
+}

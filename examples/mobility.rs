@@ -1,0 +1,90 @@
+//! User movement and data migration — the paper's future work, running.
+//!
+//! Simulates 12 epochs of user mobility over one city. At each epoch the
+//! vendor re-formulates its IDDE strategy two ways:
+//!
+//! * **cold** — Algorithm 1 from scratch, pretending the system is empty
+//!   (every replica the new profile wants must be shipped);
+//! * **warm** — `MobileSolver`: keep still-feasible allocations, evict
+//!   replicas nobody benefits from, greedily top up — and pay migration
+//!   traffic only for genuinely new replicas.
+//!
+//! Both are scored with the same evaluator; the point of the extension is
+//! that warm re-solving keeps the latency of a fresh solve at a fraction of
+//! the migration traffic and game work.
+//!
+//! ```sh
+//! cargo run --release --example mobility
+//! ```
+
+use idde::core::{IddeG, MobileSolver, RandomWaypoint};
+use idde::prelude::*;
+use idde::radio::{RadioEnvironment, RadioParams};
+
+fn main() {
+    let mut rng = idde::seeded_rng(31);
+    let scenario = SyntheticEua::default().sample(20, 120, 5, &mut rng);
+    let mut problem = Problem::standard(scenario, &mut rng);
+    let waypoint = RandomWaypoint { max_step_m: 100.0, move_probability: 0.6 };
+    let solver = MobileSolver { evict_useless: true, ..Default::default() };
+
+    let (mut strategy, _) = solver.resolve(&problem, None);
+    let mut warm_migrated = 0.0;
+    let mut cold_migrated = 0.0;
+    let mut warm_moves = 0usize;
+    let mut cold_moves = 0usize;
+
+    println!(
+        "{:>5} {:>7} {:>12} {:>12} {:>11} {:>11} {:>9}",
+        "epoch", "moved", "warm L_avg", "cold L_avg", "warm mig", "cold mig", "realloc"
+    );
+    for epoch in 1..=12 {
+        // Users walk; coverage and gains change; links stay (servers are
+        // infrastructure).
+        let (next_scenario, moved) = waypoint.step(&problem.scenario, &mut rng);
+        let radio = RadioEnvironment::new(&next_scenario, RadioParams::paper());
+        problem = Problem::new(next_scenario, radio, problem.topology.clone());
+
+        // Warm: reuse yesterday's strategy.
+        let (warm, report) = solver.resolve(&problem, Some(&strategy));
+        let warm_metrics = problem.evaluate(&warm);
+        warm_migrated += report.migrated.value();
+        warm_moves += report.game_moves;
+
+        // Cold: from scratch — every replica of the new profile is traffic.
+        let cold = IddeG::default().solve_with_report(&problem);
+        let cold_metrics = problem.evaluate(&cold.strategy);
+        let cold_traffic: f64 = problem
+            .scenario
+            .server_ids()
+            .flat_map(|s| {
+                cold.strategy.placement.data_on(s).map(|d| problem.scenario.data[d.index()].size.value())
+            })
+            .sum();
+        cold_migrated += cold_traffic;
+        cold_moves += cold.game_moves;
+
+        assert!(problem.is_feasible(&warm));
+        println!(
+            "{epoch:>5} {moved:>7} {:>12.3} {:>12.3} {:>8.0} MB {:>8.0} MB {:>9}",
+            warm_metrics.average_delivery_latency.value(),
+            cold_metrics.average_delivery_latency.value(),
+            report.migrated.value(),
+            cold_traffic,
+            report.reallocated_users,
+        );
+        // The warm strategy must stay within a sane band of the cold one.
+        assert!(
+            warm_metrics.average_delivery_latency.value()
+                <= cold_metrics.average_delivery_latency.value() * 2.0 + 5.0,
+            "warm re-solve drifted too far from the cold optimum"
+        );
+        strategy = warm;
+    }
+
+    println!(
+        "\ntotals over 12 epochs: warm migrated {warm_migrated:.0} MB with {warm_moves} game moves; \
+         a cold re-solve would ship {cold_migrated:.0} MB with {cold_moves} moves."
+    );
+    assert!(warm_migrated < cold_migrated * 0.5, "warm migration must save most traffic");
+}

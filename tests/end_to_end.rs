@@ -1,0 +1,185 @@
+//! End-to-end integration: the full pipeline from dataset to metrics, and
+//! the paper's headline comparative claims on fixed seeds.
+
+use std::time::Duration;
+
+use idde::prelude::*;
+use idde_baselines::standard_panel;
+
+/// Builds the paper's default experiment point from the synthetic EUA-like
+/// population.
+fn default_problem(seed: u64) -> Problem {
+    let mut rng = idde::seeded_rng(seed);
+    let scenario = SyntheticEua::default().sample(30, 200, 5, &mut rng);
+    Problem::standard(scenario, &mut rng)
+}
+
+#[test]
+fn all_approaches_are_feasible_and_scored_consistently() {
+    let problem = default_problem(1);
+    for approach in standard_panel(Duration::from_millis(50)) {
+        let strategy = approach.solve_seeded(&problem, 1);
+        assert!(problem.is_feasible(&strategy), "{}", approach.name());
+        let metrics = problem.evaluate(&strategy);
+        assert!(metrics.average_data_rate.value() > 0.0, "{}", approach.name());
+        assert!(metrics.average_delivery_latency.value() >= 0.0);
+        // The average latency can never exceed the all-cloud average
+        // (Eq. 8's min always includes the cloud).
+        let all_cloud = problem.all_cloud_latency().value()
+            / problem.scenario.requests.total_requests() as f64;
+        assert!(
+            metrics.average_delivery_latency.value() <= all_cloud + 1e-9,
+            "{}: {} > {all_cloud}",
+            approach.name(),
+            metrics.average_delivery_latency.value()
+        );
+    }
+}
+
+#[test]
+fn iddeg_wins_both_objectives_on_average() {
+    // The paper's headline (§4.5.1): IDDE-G achieves the highest average
+    // data rate and the lowest average delivery latency. Averaged over a
+    // few seeds to avoid single-instance flukes; IDDE-IP is given a small
+    // budget since its role here is only comparative.
+    let seeds = [1u64, 2, 3, 4, 5];
+    let mut totals: Vec<(String, f64, f64)> = Vec::new();
+    for &seed in &seeds {
+        let problem = default_problem(seed);
+        for (i, approach) in standard_panel(Duration::from_millis(60)).iter().enumerate() {
+            let strategy = approach.solve_seeded(&problem, seed);
+            let metrics = problem.evaluate(&strategy);
+            if totals.len() <= i {
+                totals.push((approach.name().to_string(), 0.0, 0.0));
+            }
+            totals[i].1 += metrics.average_data_rate.value();
+            totals[i].2 += metrics.average_delivery_latency.value();
+        }
+    }
+    let iddeg = totals.iter().find(|t| t.0 == "IDDE-G").expect("panel contains IDDE-G");
+    for other in &totals {
+        if other.0 == "IDDE-G" {
+            continue;
+        }
+        assert!(
+            iddeg.1 >= other.1,
+            "IDDE-G rate {} must beat {} rate {}",
+            iddeg.1,
+            other.0,
+            other.1
+        );
+        assert!(
+            iddeg.2 <= other.2,
+            "IDDE-G latency {} must beat {} latency {}",
+            iddeg.2,
+            other.0,
+            other.2
+        );
+    }
+}
+
+#[test]
+fn saa_has_the_worst_rate() {
+    // §4.5.1: IDDE-G's biggest rate advantage is over SAA (random
+    // allocation ignores interference entirely).
+    let seeds = [1u64, 2, 3];
+    let mut saa = 0.0;
+    let mut others = f64::INFINITY;
+    for &seed in &seeds {
+        let problem = default_problem(seed);
+        for approach in standard_panel(Duration::from_millis(40)) {
+            let metrics = problem.evaluate(&approach.solve_seeded(&problem, seed));
+            let rate = metrics.average_data_rate.value();
+            if approach.name() == "SAA" {
+                saa += rate;
+            } else {
+                others = others.min(rate);
+            }
+        }
+    }
+    assert!(saa / seeds.len() as f64 <= others + 1e-9, "SAA must have the worst mean rate");
+}
+
+#[test]
+fn more_servers_raise_rate_and_cut_latency() {
+    // Fig. 3's shape: with M fixed, growing N disperses users (higher
+    // rates) and adds storage (lower latencies). Compared at the sweep's
+    // endpoints, averaged over seeds.
+    let eval = |n: usize, seed: u64| {
+        let mut rng = idde::seeded_rng(seed);
+        let scenario = SyntheticEua::default().sample(n, 200, 5, &mut rng);
+        let problem = Problem::standard(scenario, &mut rng);
+        let metrics = problem.evaluate(&IddeGStrategy::default().solve_seeded(&problem, seed));
+        (metrics.average_data_rate.value(), metrics.average_delivery_latency.value())
+    };
+    let seeds = [10u64, 11, 12];
+    let (mut r20, mut l20, mut r50, mut l50) = (0.0, 0.0, 0.0, 0.0);
+    for &s in &seeds {
+        let (r, l) = eval(20, s);
+        r20 += r;
+        l20 += l;
+        let (r, l) = eval(50, s);
+        r50 += r;
+        l50 += l;
+    }
+    assert!(r50 > r20, "rate must grow with N ({r20} → {r50})");
+    assert!(l50 < l20, "latency must fall with N ({l20} → {l50})");
+}
+
+#[test]
+fn more_users_cut_rate_and_raise_latency() {
+    // Fig. 4's shape, endpoints M = 50 vs M = 350.
+    let eval = |m: usize, seed: u64| {
+        let mut rng = idde::seeded_rng(seed);
+        let scenario = SyntheticEua::default().sample(30, m, 5, &mut rng);
+        let problem = Problem::standard(scenario, &mut rng);
+        let metrics = problem.evaluate(&IddeGStrategy::default().solve_seeded(&problem, seed));
+        (metrics.average_data_rate.value(), metrics.average_delivery_latency.value())
+    };
+    let seeds = [20u64, 21, 22];
+    let (mut r50, mut l50, mut r350, mut l350) = (0.0, 0.0, 0.0, 0.0);
+    for &s in &seeds {
+        let (r, l) = eval(50, s);
+        r50 += r;
+        l50 += l;
+        let (r, l) = eval(350, s);
+        r350 += r;
+        l350 += l;
+    }
+    assert!(r350 < r50, "rate must fall with M ({r50} → {r350})");
+    assert!(l350 > l50, "latency must rise with M ({l50} → {l350})");
+    // Fig. 4(a) quantitatively: the drop from M=50 to M=350 is huge
+    // (≈65% in the paper).
+    assert!(r350 / r50 < 0.6, "the rate collapse must be substantial ({r50} → {r350})");
+}
+
+#[test]
+fn real_eua_csv_files_are_used_when_present() {
+    // End-to-end of the dataset substitution path: write EUA-format CSVs,
+    // load them, sample a scenario, solve it.
+    let dir = std::env::temp_dir().join("idde-e2e-eua");
+    std::fs::create_dir_all(&dir).unwrap();
+    let servers = dir.join("site-test.csv");
+    let users = dir.join("users-test.csv");
+    let mut s = String::from("SITE_ID,LATITUDE,LONGITUDE\n");
+    for i in 0..6 {
+        s.push_str(&format!("{i},{},{}\n", -37.81 - 0.001 * i as f64, 144.96 + 0.001 * i as f64));
+    }
+    std::fs::write(&servers, s).unwrap();
+    let mut u = String::from("Latitude,Longitude\n");
+    for i in 0..30 {
+        u.push_str(&format!("{},{}\n", -37.8105 - 0.0009 * (i % 6) as f64, 144.9605 + 0.0009 * (i % 5) as f64));
+    }
+    std::fs::write(&users, u).unwrap();
+
+    let mut rng = idde::seeded_rng(3);
+    let population =
+        idde::eua::csv::load_base_population(&servers, &users, (150.0, 300.0), &mut rng)
+            .unwrap()
+            .expect("files exist");
+    let scenario = idde::eua::SampleConfig::paper(4, 15, 3).sample(&population, &mut rng);
+    let problem = Problem::standard(scenario, &mut rng);
+    let strategy = IddeGStrategy::default().solve_seeded(&problem, 0);
+    assert!(problem.is_feasible(&strategy));
+    std::fs::remove_dir_all(&dir).ok();
+}
