@@ -1,0 +1,285 @@
+//! In-tree offline drop-in for the subset of `criterion` this workspace
+//! uses: `benchmark_group` / `bench_function` / `bench_with_input` /
+//! `sample_size`, `BenchmarkId::from_parameter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — one warm-up call, then
+//! `sample_size` timed iterations, reporting min/median/mean — which is
+//! plenty for the relative comparisons the workspace's benches make. Under
+//! `cargo test` (the harness passes `--test`) every bench runs exactly one
+//! iteration as a smoke test, like real criterion.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark inside a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a parameter value, as in
+    /// `BenchmarkId::from_parameter(250)`.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+
+    /// Builds a `function_name/parameter` id.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        Self { id: format!("{}/{parameter}", function.into()) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// The per-benchmark timing harness passed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `sample_size` measured
+    /// iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            black_box(out);
+        }
+    }
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') {
+                filters.push(arg);
+            }
+            // Other harness flags (--bench, --color, ...) are ignored.
+        }
+        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Self { sample_size, test_mode, filters }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, criterion: self }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one("", id, sample_size, f);
+        self
+    }
+
+    fn selected(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f.as_str()))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: &str,
+        id: &str,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        let full_id =
+            if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+        if !self.selected(&full_id) {
+            return;
+        }
+        let sample_size = if self.test_mode { 1 } else { sample_size };
+        let mut bencher = Bencher { sample_size, samples: Vec::with_capacity(sample_size) };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{full_id:<48} (no samples)");
+            return;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{full_id:<48} time: [min {} median {} mean {}] ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured iterations for subsequent benches
+    /// in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&self.name, &id.to_string(), sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I, D: std::fmt::Display, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.criterion
+            .run_one(&self.name, &id.to_string(), sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting happens per bench).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_criterion() -> Criterion {
+        Criterion { sample_size: 3, test_mode: false, filters: Vec::new() }
+    }
+
+    #[test]
+    fn group_runs_every_sample() {
+        let mut c = quiet_criterion();
+        let mut calls = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("count", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn sample_size_override_applies() {
+        let mut c = quiet_criterion();
+        let mut calls = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(7);
+            group.bench_function("count", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert_eq!(calls, 8);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = quiet_criterion();
+        let mut seen = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_with_input(BenchmarkId::from_parameter(11u64), &11u64, |b, &x| {
+                b.iter(|| seen = x)
+            });
+            group.finish();
+        }
+        assert_eq!(seen, 11);
+    }
+
+    #[test]
+    fn filters_skip_unmatched_benches() {
+        let mut c = quiet_criterion();
+        c.filters.push("only_this".to_string());
+        let mut calls = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("other", |b| b.iter(|| calls += 1));
+            group.bench_function("only_this", |b| b.iter(|| calls += 100));
+            group.finish();
+        }
+        assert_eq!(calls, 400);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(250).to_string(), "250");
+        assert_eq!(BenchmarkId::new("solve", 8).to_string(), "solve/8");
+    }
+}

@@ -1,0 +1,353 @@
+//! In-tree offline drop-in for the subset of `proptest` this workspace uses:
+//! the `proptest!` macro, range/tuple/vec/bool strategies, `prop_map`, and
+//! the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream worth knowing:
+//! * cases are generated from a fixed per-case seed, so every run explores
+//!   the same inputs (fully reproducible, CI-friendly);
+//! * there is no shrinking — failure messages report the case number, and
+//!   the workspace's strategies embed their own scenario seeds so failures
+//!   are reproducible without it.
+
+#![warn(missing_docs)]
+
+/// The deterministic generator handed to strategies.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` (not a failure).
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Builds the discard variant.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Runner configuration (the `cases` knob is the only one honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-discarded) cases to run per property.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` discards before the property errors.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_global_rejects: 4096 }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::TestRng;
+
+    /// A recipe for producing random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms produced values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Copy,
+        std::ops::Range<T>: rand::distributions::uniform::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Copy,
+        std::ops::RangeInclusive<T>: rand::distributions::uniform::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// A strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Produces vectors whose elements come from `element` and whose length
+    /// is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// Strategy type for uniform booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// A fair coin flip.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rand::RngCore::next_u32(rng) & 1 == 1
+        }
+    }
+}
+
+/// The case-execution loop behind the `proptest!` macro.
+pub mod runner {
+    use crate::strategy::Strategy;
+    use crate::{ProptestConfig, TestCaseError, TestRng};
+    use rand::SeedableRng;
+
+    /// Runs `test` until `config.cases` cases pass, panicking on the first
+    /// failure. Each case's input derives from a fixed seed stream.
+    pub fn run<S, F>(config: &ProptestConfig, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while accepted < config.cases {
+            let mut rng = TestRng::seed_from_u64(0x97ab_c0de ^ case);
+            let value = strategy.generate(&mut rng);
+            match test(value) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "proptest: too many prop_assume! discards ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest case #{case} failed: {msg}");
+                }
+            }
+            case += 1;
+        }
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// Declares property tests: each `fn` body runs against `cases` random
+/// inputs drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr);) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strat,)+);
+            $crate::runner::run(&config, &strategy, |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns!(($config); $($rest)*);
+    };
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5i64..=9)) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b), "b = {b}");
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for x in v {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u64..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn assume_discards(flag in crate::bool::ANY, x in 0u32..100) {
+            prop_assume!(flag);
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let strat = (0u64..1_000_000, crate::collection::vec(0u32..9, 1..8));
+        let mut r1 = crate::TestRng::seed_from_u64(5);
+        let mut r2 = crate::TestRng::seed_from_u64(5);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

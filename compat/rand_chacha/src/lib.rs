@@ -1,0 +1,159 @@
+//! In-tree offline drop-in for `rand_chacha`: a real ChaCha8 keystream
+//! generator behind the compat `rand` traits.
+//!
+//! The block function is the genuine ChaCha permutation (RFC 8439 quarter
+//! rounds, 8 rounds here) with a 64-bit block counter, so the generator has
+//! the same statistical quality and the same `(seed → stream)` determinism
+//! guarantees the workspace relies on. Output is *not* guaranteed to be
+//! bit-identical to the upstream `rand_chacha` crate (upstream seeds the
+//! nonce differently); nothing in this workspace depends on that.
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(input: &[u32; 16], rounds: usize) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (out, inp) in x.iter_mut().zip(input) {
+        *out = out.wrapping_add(*inp);
+    }
+    x
+}
+
+/// A seeded ChaCha generator with 8 rounds — the workspace's deterministic
+/// randomness source.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// The ChaCha input block: constants, 256-bit key, 64-bit counter,
+    /// 64-bit stream id (always 0 here).
+    state: [u32; 16],
+    buffer: [u32; 16],
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        self.buffer = chacha_block(&self.state, 8);
+        let (counter, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = counter;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // state[12..16] (counter and stream id) start at zero.
+        let mut rng = Self { state, buffer: [0; 16], index: 16 };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index == 16 {
+            self.refill();
+        }
+        let value = self.buffer[self.index];
+        self.index += 1;
+        value
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn counter_carries_across_blocks() {
+        // 16 words per block: 40 words crosses two block boundaries.
+        let mut a = ChaCha8Rng::seed_from_u64(4);
+        let first: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+        let mut b = ChaCha8Rng::seed_from_u64(4);
+        let second: Vec<u32> = (0..40).map(|_| b.next_u32()).collect();
+        assert_eq!(first, second);
+        // Blocks must differ from each other (the counter advanced).
+        assert_ne!(&first[0..16], &first[16..32]);
+    }
+
+    #[test]
+    fn output_looks_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        // 64 000 bits, expect ~32 000 set; allow a generous band.
+        assert!((30_000..34_000).contains(&ones), "{ones}");
+    }
+}

@@ -1,0 +1,134 @@
+//! In-tree offline drop-in for the subset of `rayon` this workspace uses:
+//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Work really does run in parallel — items are split into contiguous
+//! chunks, one scoped `std::thread` per chunk — and output order matches
+//! input order, exactly as rayon's indexed parallel iterators guarantee.
+
+#![warn(missing_docs)]
+
+/// Conversion into a parallel iterator (blanket impl over any
+/// `IntoIterator` with `Send` items).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Materialises the items and returns a parallel iterator over them.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// A materialised sequence of items ready for parallel mapping.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item (in parallel at collect time).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A pending parallel map; executes when collected.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F> {
+    /// Runs the map across scoped threads and collects the results in the
+    /// original item order.
+    pub fn collect<U, C>(self) -> C
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let f = &self.f;
+        if threads <= 1 {
+            return self.items.into_iter().map(f).collect();
+        }
+        let chunk_size = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut it = self.items.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let outputs: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon compat: worker thread panicked"))
+                .collect()
+        });
+        outputs.into_iter().flatten().collect()
+    }
+}
+
+/// One-stop imports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        let expected: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = (0u32..0).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_vectors_collect() {
+        let out: Vec<Vec<usize>> =
+            (0usize..16).into_par_iter().map(|r| vec![r; 3]).collect();
+        assert_eq!(out.len(), 16);
+        assert_eq!(out[7], vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn actually_uses_captured_state() {
+        let base = 10usize;
+        let out: Vec<usize> = (0usize..64).into_par_iter().map(|x| x + base).collect();
+        assert_eq!(out[0], 10);
+        assert_eq!(out[63], 73);
+    }
+}

@@ -1,0 +1,65 @@
+//! Online serving engine benchmarks: event throughput of the incremental
+//! repair loop on the full 125-server / 816-user synthetic population (the
+//! EUA-like base population of §4.2), plus the cost of the two repair
+//! primitives in isolation.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};
+use std::hint::black_box;
+
+/// Serve `ticks` ticks of the default workload on the full population and
+/// return the events processed (the throughput metric).
+fn serve_ticks(ticks: u64) -> u64 {
+    let problem = common::problem(125, 816, 5, 42);
+    let num_data = problem.scenario.num_data();
+    let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), num_data, 42);
+    let initial = workload.initial_active(problem.scenario.num_users());
+    let mut engine = Engine::new(problem, EngineConfig::default(), initial);
+    engine.run(&mut workload, ticks);
+    engine.metrics().events
+}
+
+fn engine_full_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_full_population");
+    group.sample_size(10);
+    for &ticks in &[10u64, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(ticks), &ticks, |b, &t| {
+            b.iter(|| {
+                let events = serve_ticks(black_box(t));
+                assert!(events > 0);
+                events
+            })
+        });
+    }
+    group.finish();
+}
+
+fn engine_churn_event(c: &mut Criterion) {
+    use idde_engine::Event;
+
+    let problem = common::problem(125, 816, 5, 43);
+    let num_data = problem.scenario.num_data();
+    let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), num_data, 43);
+    let initial = workload.initial_active(problem.scenario.num_users());
+    let engine = Engine::new(problem, EngineConfig::default(), initial);
+    let departing = engine.active_users()[0];
+
+    let mut group = c.benchmark_group("engine_churn_event");
+    group.sample_size(10);
+    // One departure + re-arrival cycle: two equilibrium repairs plus two
+    // placement repairs, the per-churn-event cost of the serving loop.
+    group.bench_function("depart_arrive_cycle", |b| {
+        b.iter(|| {
+            let mut e = engine.clone();
+            e.apply(&Event::Depart { user: black_box(departing) });
+            e.apply(&Event::Arrive { user: black_box(departing) });
+            e.metrics().repairs
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_full_population, engine_churn_event);
+criterion_main!(benches);

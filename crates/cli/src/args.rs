@@ -20,9 +20,15 @@ commands:
   render     draw a scenario (and optionally its IDDE-G strategy) as SVG
              --scenario FILE [--out FILE] [--solve true|false]
              [--seed S] [--density D] [--net-seed S]
+  serve      run the online serving engine over a seeded event workload
+             [--scenario FILE | --servers N --users M --data K]
+             [--seed S] [--ticks T] [--density D] [--net-seed S]
+             [--checkpoint T] [--drift X] [--csv FILE]
 
 Scenario files use the plain-text `idde_model::io` format; `--out -`
-and `--scenario -` mean stdout/stdin.";
+and `--scenario -` mean stdout/stdin. `serve` samples a synthetic
+scenario when no `--scenario` is given; `--csv -` prints the
+deterministic metrics CSV to stdout instead of the summary table.";
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -74,6 +80,33 @@ pub enum Command {
         density: f64,
         /// Topology seed.
         net_seed: u64,
+    },
+    /// `idde serve`
+    Serve {
+        /// Scenario path (`Some(None)` = stdin; `None` = sample a synthetic
+        /// scenario from `servers`/`users`/`data`).
+        scenario: Option<Option<PathBuf>>,
+        /// Servers to sample when no scenario file is given.
+        servers: usize,
+        /// Users to sample when no scenario file is given.
+        users: usize,
+        /// Data items to sample when no scenario file is given.
+        data: usize,
+        /// Master seed: scenario sampling and the event workload.
+        seed: u64,
+        /// Ticks to serve.
+        ticks: u64,
+        /// Network density.
+        density: f64,
+        /// Topology seed.
+        net_seed: u64,
+        /// Ticks between drift checkpoints (0 = never).
+        checkpoint: u64,
+        /// Relative drift threshold triggering a full re-solve.
+        drift: f64,
+        /// Where to write the deterministic metrics CSV (None = don't;
+        /// `Some(None)` = stdout, replacing the table).
+        csv: Option<Option<PathBuf>>,
     },
     /// `idde compare`
     Compare {
@@ -174,6 +207,31 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 iddeip_ms: parse_u64("iddeip-ms", 1000)?,
             })
         }
+        "serve" => {
+            known(&[
+                "scenario", "servers", "users", "data", "seed", "ticks", "density", "net-seed",
+                "checkpoint", "drift", "csv",
+            ])?;
+            Ok(Command::Serve {
+                scenario: take("scenario").map(|v| path_arg(&v)),
+                servers: take("servers")
+                    .map(|v| v.parse::<usize>().map_err(|_| "--servers: bad integer".to_string()))
+                    .unwrap_or(Ok(20))?,
+                users: take("users")
+                    .map(|v| v.parse::<usize>().map_err(|_| "--users: bad integer".to_string()))
+                    .unwrap_or(Ok(100))?,
+                data: take("data")
+                    .map(|v| v.parse::<usize>().map_err(|_| "--data: bad integer".to_string()))
+                    .unwrap_or(Ok(5))?,
+                seed: parse_u64("seed", 42)?,
+                ticks: parse_u64("ticks", 200)?,
+                density: parse_f64("density", 1.0)?,
+                net_seed: parse_u64("net-seed", 1)?,
+                checkpoint: parse_u64("checkpoint", 50)?,
+                drift: parse_f64("drift", 0.05)?,
+                csv: take("csv").map(|v| path_arg(&v)),
+            })
+        }
         "render" => {
             known(&["scenario", "out", "solve", "seed", "density", "net-seed"])?;
             let solve = match take("solve").as_deref() {
@@ -235,7 +293,7 @@ mod tests {
                 assert_eq!(net_seed, 1);
                 assert_eq!(iddeip_ms, 1000);
             }
-            other => panic!("wrong command {other:?}"),
+            other => unreachable!("parse returned the wrong command variant: {other:?}"),
         }
     }
 
@@ -254,9 +312,33 @@ mod tests {
                 assert_eq!(out, Some(PathBuf::from("map.svg")));
                 assert!(!solve);
             }
-            other => panic!("wrong command {other:?}"),
+            other => unreachable!("parse returned the wrong command variant: {other:?}"),
         }
         assert!(parse(&argv("render --scenario x --solve maybe")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let cmd = parse(&argv("serve --seed 42 --ticks 1000")).unwrap();
+        match cmd {
+            Command::Serve { scenario, servers, users, data, seed, ticks, checkpoint, drift, csv, .. } => {
+                assert_eq!(scenario, None);
+                assert_eq!((servers, users, data), (20, 100, 5));
+                assert_eq!((seed, ticks, checkpoint), (42, 1000, 50));
+                assert_eq!(drift, 0.05);
+                assert_eq!(csv, None);
+            }
+            other => unreachable!("parse returned the wrong command variant: {other:?}"),
+        }
+        // `--csv -` means stdout, `--scenario -` means stdin.
+        let cmd = parse(&argv("serve --scenario - --csv -")).unwrap();
+        match cmd {
+            Command::Serve { scenario, csv, .. } => {
+                assert_eq!(scenario, Some(None));
+                assert_eq!(csv, Some(None));
+            }
+            other => unreachable!("parse returned the wrong command variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use idde_baselines::{standard_panel, Cdp, DeliveryStrategy, DupG, IddeGStrategy, IddeIp, Saa};
 use idde_core::Problem;
+use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};
 use idde_eua::{SampleConfig, SyntheticEua};
 use idde_model::{io as scenario_io, Scenario};
 use idde_net::{generate_topology, TopologyConfig};
@@ -31,6 +32,31 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Render { scenario, out, solve, seed, density, net_seed } => {
             render(scenario.as_deref(), out.as_deref(), solve, seed, density, net_seed)
         }
+        Command::Serve {
+            scenario,
+            servers,
+            users,
+            data,
+            seed,
+            ticks,
+            density,
+            net_seed,
+            checkpoint,
+            drift,
+            csv,
+        } => serve(ServeOptions {
+            scenario,
+            servers,
+            users,
+            data,
+            seed,
+            ticks,
+            density,
+            net_seed,
+            checkpoint,
+            drift,
+            csv,
+        }),
     }
 }
 
@@ -194,6 +220,73 @@ fn compare(
     Ok(())
 }
 
+/// `idde serve` inputs (mirrors `Command::Serve`).
+struct ServeOptions {
+    scenario: Option<Option<std::path::PathBuf>>,
+    servers: usize,
+    users: usize,
+    data: usize,
+    seed: u64,
+    ticks: u64,
+    density: f64,
+    net_seed: u64,
+    checkpoint: u64,
+    drift: f64,
+    csv: Option<Option<std::path::PathBuf>>,
+}
+
+fn serve(opts: ServeOptions) -> Result<(), String> {
+    let scenario = match &opts.scenario {
+        Some(path) => read_scenario(path.as_deref())?,
+        None => {
+            let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+            let population = SyntheticEua::default().generate(&mut rng);
+            if population.num_server_sites() < opts.servers {
+                return Err(format!(
+                    "the base population has {} server sites; --servers {} is too large",
+                    population.num_server_sites(),
+                    opts.servers
+                ));
+            }
+            SampleConfig::paper(opts.servers, opts.users, opts.data).sample(&population, &mut rng)
+        }
+    };
+    let num_data = scenario.num_data();
+    if num_data == 0 {
+        return Err("serve needs a scenario with at least one data item".into());
+    }
+    let problem = build_problem(scenario, opts.density, opts.net_seed);
+    let config = EngineConfig {
+        drift_threshold: opts.drift,
+        checkpoint_interval: opts.checkpoint,
+        ..Default::default()
+    };
+    let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), num_data, opts.seed);
+    let initial = workload.initial_active(problem.scenario.num_users());
+    let mut engine = Engine::new(problem, config, initial);
+
+    let t0 = Instant::now();
+    engine.run(&mut workload, opts.ticks);
+    let elapsed = t0.elapsed();
+
+    let metrics = engine.metrics();
+    match &opts.csv {
+        // `--csv -`: deterministic CSV on stdout, human table on stderr.
+        Some(None) => {
+            print!("{}", metrics.to_csv());
+            eprint!("{}", metrics.render_table(elapsed));
+        }
+        Some(Some(path)) => {
+            std::fs::write(path, metrics.to_csv())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            print!("{}", metrics.render_table(elapsed));
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{}", metrics.render_table(elapsed)),
+    }
+    Ok(())
+}
+
 fn render(
     path: Option<&Path>,
     out: Option<&Path>,
@@ -254,6 +347,36 @@ mod tests {
         let svg = std::fs::read_to_string(&svg_path).unwrap();
         assert!(svg.starts_with("<svg"));
         assert!(svg.contains("<line "), "solved render must include spokes");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_writes_deterministic_csv() {
+        let dir = std::env::temp_dir().join("idde-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |name: &str| -> String {
+            let path = dir.join(name);
+            serve(ServeOptions {
+                scenario: None,
+                servers: 8,
+                users: 30,
+                data: 3,
+                seed: 42,
+                ticks: 10,
+                density: 1.0,
+                net_seed: 1,
+                checkpoint: 5,
+                drift: 0.05,
+                csv: Some(Some(path.clone())),
+            })
+            .unwrap();
+            std::fs::read_to_string(path).unwrap()
+        };
+        let first = run("a.csv");
+        let second = run("b.csv");
+        assert_eq!(first, second, "serve CSV must be byte-identical per seed");
+        assert!(first.starts_with("metric,value\n"));
+        assert!(first.contains("ticks,10\n"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -157,7 +157,7 @@ impl GreedyDelivery {
         // Candidate scores: latency reduction per MB of σ_{i,k}.
         let mut scores = vec![0.0f64; n * k_total];
         for k in 0..k_total {
-            self.rescore_data(problem, &reqs_by_data, &cur, k, &mut scores);
+            rescore_data(problem, &reqs_by_data, &cur, k, &mut scores);
         }
 
         let mut iterations = 0usize;
@@ -201,10 +201,10 @@ impl GreedyDelivery {
             }
             // Rescore.
             if self.config.incremental_rescoring {
-                self.rescore_data(problem, &reqs_by_data, &cur, k, &mut scores);
+                rescore_data(problem, &reqs_by_data, &cur, k, &mut scores);
             } else {
                 for kk in 0..k_total {
-                    self.rescore_data(problem, &reqs_by_data, &cur, kk, &mut scores);
+                    rescore_data(problem, &reqs_by_data, &cur, kk, &mut scores);
                 }
             }
         }
@@ -218,31 +218,77 @@ impl GreedyDelivery {
         }
     }
 
-    /// Recomputes column `k` of the score matrix: for every server `i`, the
-    /// total latency reduction of placing `d_k` on `v_i`, divided by `s_k`.
-    fn rescore_data(
-        &self,
-        problem: &Problem,
-        reqs_by_data: &[Vec<ServerId>],
-        cur: &[Vec<f64>],
-        k: usize,
-        scores: &mut [f64],
-    ) {
-        let scenario = &problem.scenario;
-        let topology = &problem.topology;
-        let k_total = scenario.num_data();
-        let size = scenario.data[k].size;
-        for i in 0..scenario.num_servers() {
-            let server = ServerId::from_index(i);
-            let mut reduction = 0.0;
-            for (r, &target) in reqs_by_data[k].iter().enumerate() {
-                let via = topology.edge_latency(size, server, target).value();
-                if via < cur[k][r] {
-                    reduction += cur[k][r] - via;
+}
+
+/// Removes replicas whose removal would not increase any request's Eq. 8
+/// latency under the given allocation. Returns the eviction count.
+///
+/// Shared by the mobility extension (`crate::mobility`) and the online
+/// serving engine: after churn reshapes the demand geometry, dead replicas
+/// are dropped at zero latency cost before the greedy re-fills the freed
+/// storage. A fixed server/data sweep order keeps it deterministic.
+pub fn evict_useless_replicas(
+    problem: &Problem,
+    allocation: &Allocation,
+    placement: &mut Placement,
+) -> usize {
+    let scenario = &problem.scenario;
+    let mut evicted = 0usize;
+    for server in scenario.server_ids() {
+        let data_here: Vec<DataId> = placement.data_on(server).collect();
+        for data in data_here {
+            let size = scenario.data[data.index()].size;
+            // Latency of every request of `data` with and without this
+            // replica.
+            let others: Vec<ServerId> =
+                placement.servers_with(data).filter(|&s| s != server).collect();
+            let mut needed = false;
+            for &user in scenario.requests.of_data(data) {
+                let Some(target) = allocation.server_of(user) else { continue };
+                let with = problem
+                    .topology
+                    .edge_latency(size, server, target)
+                    .value()
+                    .min(problem.topology.delivery_latency_from(&others, size, target).value());
+                let without =
+                    problem.topology.delivery_latency_from(&others, size, target).value();
+                if with + 1e-12 < without {
+                    needed = true;
+                    break;
                 }
             }
-            scores[i * k_total + k] = reduction / size.value();
+            if !needed {
+                placement.remove(server, data, size);
+                evicted += 1;
+            }
         }
+    }
+    evicted
+}
+
+/// Recomputes column `k` of the score matrix: for every server `i`, the
+/// total latency reduction of placing `d_k` on `v_i`, divided by `s_k`.
+fn rescore_data(
+    problem: &Problem,
+    reqs_by_data: &[Vec<ServerId>],
+    cur: &[Vec<f64>],
+    k: usize,
+    scores: &mut [f64],
+) {
+    let scenario = &problem.scenario;
+    let topology = &problem.topology;
+    let k_total = scenario.num_data();
+    let size = scenario.data[k].size;
+    for i in 0..scenario.num_servers() {
+        let server = ServerId::from_index(i);
+        let mut reduction = 0.0;
+        for (r, &target) in reqs_by_data[k].iter().enumerate() {
+            let via = topology.edge_latency(size, server, target).value();
+            if via < cur[k][r] {
+                reduction += cur[k][r] - via;
+            }
+        }
+        scores[i * k_total + k] = reduction / size.value();
     }
 }
 

@@ -226,13 +226,31 @@ impl IddeUGame {
 
     /// Runs the game from an arbitrary starting field (used by warm starts
     /// and by tests that exercise specific initial profiles).
-    pub fn run_from<'a>(&self, mut field: InterferenceField<'a>) -> GameOutcome<'a> {
-        let num_users = field.scenario().num_users();
+    pub fn run_from<'a>(&self, field: InterferenceField<'a>) -> GameOutcome<'a> {
+        let players: Vec<UserId> = field.scenario().user_ids().collect();
+        self.run_restricted(field, &players)
+    }
+
+    /// Runs the game with best responses restricted to `players`; decisions
+    /// of all other users are frozen at their state in `field` (they still
+    /// exert interference, they just never move).
+    ///
+    /// This is the incremental-repair primitive of the online serving
+    /// engine: after a churn event only the affected users (the mover, its
+    /// co-channel sharers, users within cross-interference range) are
+    /// re-equilibrated, so the pass cost scales with the dirty set instead
+    /// of `M`. Termination follows from the same argument as the full game —
+    /// restricting the player set only removes improvement steps.
+    pub fn run_restricted<'a>(
+        &self,
+        mut field: InterferenceField<'a>,
+        players: &[UserId],
+    ) -> GameOutcome<'a> {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut passes = 0usize;
         let mut moves = 0usize;
         let mut converged = false;
-        let mut order: Vec<u32> = (0..num_users as u32).collect();
+        let mut order: Vec<UserId> = players.to_vec();
 
         while passes < self.config.max_passes {
             passes += 1;
@@ -243,8 +261,7 @@ impl IddeUGame {
                         order.shuffle(&mut rng);
                     }
                     let mut any = false;
-                    for &j in &order {
-                        let user = UserId(j);
+                    for &user in &order {
                         if let Some(mv) = self.improving_move(&field, user) {
                             field.allocate(user, mv.0, mv.1);
                             moves += 1;
@@ -259,8 +276,7 @@ impl IddeUGame {
                 ArbitrationPolicy::MaxGainWinner | ArbitrationPolicy::RandomWinner => {
                     // Collect all update requests of this pass.
                     let mut requests: Vec<(UserId, ServerId, ChannelIndex, f64)> = Vec::new();
-                    for j in 0..num_users {
-                        let user = UserId::from_index(j);
+                    for &user in players {
                         if let Some(req) = self.improving_move_with_gain(&field, user) {
                             requests.push(req);
                         }
@@ -495,6 +511,42 @@ mod tests {
         // The uncovered user must stay unallocated; the covered one gets a
         // channel.
         assert_eq!(outcome.field.allocation().num_allocated(), 1);
+    }
+
+    #[test]
+    fn restricted_run_never_moves_frozen_users() {
+        let p = problem();
+        let game = IddeUGame::default();
+        let full = game.run(&p);
+        let frozen: Vec<_> = p
+            .scenario
+            .user_ids()
+            .filter(|u| u.index() >= 3)
+            .filter_map(|u| full.field.allocation().decision(u).map(|d| (u, d)))
+            .collect();
+        // Re-equilibrate only the first three users from the equilibrium.
+        let players: Vec<UserId> = p.scenario.user_ids().take(3).collect();
+        let field = InterferenceField::from_allocation(
+            &p.radio,
+            &p.scenario,
+            &full.field.allocation().clone(),
+        );
+        let outcome = game.run_restricted(field, &players);
+        assert!(outcome.converged);
+        for (u, d) in frozen {
+            assert_eq!(outcome.field.allocation().decision(u), Some(d), "user {u} moved");
+        }
+    }
+
+    #[test]
+    fn restricted_run_over_all_users_matches_run_from() {
+        let p = problem();
+        let game = IddeUGame::default();
+        let all: Vec<UserId> = p.scenario.user_ids().collect();
+        let a = game.run_from(p.field());
+        let b = game.run_restricted(p.field(), &all);
+        assert_eq!(a.field.allocation(), b.field.allocation());
+        assert_eq!(a.moves, b.moves);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod potential;
 pub mod problem;
 pub mod strategy;
 
-pub use delivery::{DeliveryConfig, DeliveryOutcome, GreedyDelivery};
+pub use delivery::{evict_useless_replicas, DeliveryConfig, DeliveryOutcome, GreedyDelivery};
 pub use game::{AcceptanceRule, ArbitrationPolicy, BenefitModel, GameConfig, GameOutcome, IddeUGame};
 pub use iddeg::{IddeG, IddeGReport};
 pub use joint::{solve_joint, JointConfig, JointIddeG, JointReport};

@@ -154,7 +154,8 @@ impl MobileSolver {
             None => Placement::empty(scenario.num_servers(), scenario.num_data()),
         };
         if self.evict_useless && previous.is_some() {
-            report.evicted_replicas = self.evict_useless_replicas(problem, &allocation, &mut carried);
+            report.evicted_replicas =
+                crate::delivery::evict_useless_replicas(problem, &allocation, &mut carried);
         }
         let before: Vec<(ServerId, DataId)> = scenario
             .server_ids()
@@ -174,49 +175,6 @@ impl MobileSolver {
         (Strategy::new(allocation, delivery.placement), report)
     }
 
-    /// Removes replicas whose removal would not increase any request's
-    /// Eq. 8 latency under the current allocation. Returns the eviction
-    /// count. Single sweep, most-redundant first would be fancier; a fixed
-    /// server/data order keeps it deterministic.
-    fn evict_useless_replicas(
-        &self,
-        problem: &Problem,
-        allocation: &Allocation,
-        placement: &mut Placement,
-    ) -> usize {
-        let scenario = &problem.scenario;
-        let mut evicted = 0usize;
-        for server in scenario.server_ids() {
-            let data_here: Vec<DataId> = placement.data_on(server).collect();
-            for data in data_here {
-                let size = scenario.data[data.index()].size;
-                // Latency of every request of `data` with and without this
-                // replica.
-                let others: Vec<ServerId> =
-                    placement.servers_with(data).filter(|&s| s != server).collect();
-                let mut needed = false;
-                for &user in scenario.requests.of_data(data) {
-                    let Some(target) = allocation.server_of(user) else { continue };
-                    let with = problem
-                        .topology
-                        .edge_latency(size, server, target)
-                        .value()
-                        .min(problem.topology.delivery_latency_from(&others, size, target).value());
-                    let without =
-                        problem.topology.delivery_latency_from(&others, size, target).value();
-                    if with + 1e-12 < without {
-                        needed = true;
-                        break;
-                    }
-                }
-                if !needed {
-                    placement.remove(server, data, size);
-                    evicted += 1;
-                }
-            }
-        }
-        evicted
-    }
 }
 
 #[cfg(test)]
@@ -310,9 +268,11 @@ mod tests {
         let (strategy, _) = MobileSolver::default().resolve(&p, None);
         let before = p.evaluate(&strategy);
         let mut placement = strategy.placement.clone();
-        let solver = MobileSolver { evict_useless: true, ..Default::default() };
-        let evicted =
-            solver.evict_useless_replicas(&p, &strategy.allocation, &mut placement);
+        let evicted = crate::delivery::evict_useless_replicas(
+            &p,
+            &strategy.allocation,
+            &mut placement,
+        );
         let after = p.evaluate(&Strategy::new(strategy.allocation.clone(), placement));
         assert!(
             (after.average_delivery_latency.value() - before.average_delivery_latency.value())

@@ -1,0 +1,517 @@
+//! The serving engine: event application, incremental equilibrium repair and
+//! incremental placement repair.
+//!
+//! The engine owns a [`Problem`] plus a persistent strategy (allocation +
+//! placement) over a **fixed user-slot population**: arrivals activate a
+//! slot, departures deactivate it and release its channel. Inactive slots
+//! stay unallocated, so they neither interfere (Eq. 2's indicator) nor pin
+//! replicas (the greedy treats them as cloud-served), and the offline
+//! formulation needs no structural changes to serve an online stream.
+//!
+//! On every churn event the engine computes a **dirty set** — the mover plus
+//! the co-channel sharers of the vacated slot plus every user within
+//! cross-interference range of the affected neighbourhood — and runs
+//! best-response passes restricted to that set
+//! ([`IddeUGame::run_restricted`]); frozen users keep their decisions but
+//! still exert interference, so the repair converges to a *restricted* Nash
+//! equilibrium. Residual staleness (users outside the dirty set whose best
+//! response changed transitively) is bounded by periodic **checkpoints**: a
+//! from-scratch re-solve measures the relative average-rate drift, and when
+//! it exceeds [`EngineConfig::drift_threshold`] the full solution is adopted
+//! (the fallback of the incremental scheme).
+
+use idde_core::{
+    evict_useless_replicas, DeliveryConfig, GameConfig, GreedyDelivery, IddeUGame, Problem,
+    Strategy,
+};
+use idde_model::{Allocation, ChannelIndex, Placement, Point, ServerId, UserId};
+use idde_net::DeliverySource;
+use idde_radio::InterferenceField;
+
+use crate::events::{Event, EventQueue};
+use crate::metrics::ServeMetrics;
+use crate::workload::WorkloadGenerator;
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Phase #1 (allocation game) configuration, shared by repairs and
+    /// checkpoint re-solves.
+    pub game: GameConfig,
+    /// Phase #2 (greedy delivery) configuration.
+    pub delivery: DeliveryConfig,
+    /// Relative average-rate drift (versus a from-scratch re-solve) above
+    /// which a checkpoint adopts the full solution.
+    pub drift_threshold: f64,
+    /// Ticks between drift checkpoints; `0` disables checkpointing.
+    pub checkpoint_interval: u64,
+    /// Run `InterferenceField::consistency_check` after every repair
+    /// (expensive; meant for tests).
+    pub paranoid: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            game: GameConfig::default(),
+            delivery: DeliveryConfig::default(),
+            drift_threshold: 0.05,
+            checkpoint_interval: 50,
+            paranoid: false,
+        }
+    }
+}
+
+/// The online event-driven serving engine.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    problem: Problem,
+    config: EngineConfig,
+    active: Vec<bool>,
+    allocation: Allocation,
+    placement: Placement,
+    metrics: ServeMetrics,
+}
+
+impl Engine {
+    /// Builds the engine over `problem` with the given initially active
+    /// slots and solves the initial strategy (restricted to the active
+    /// users) from scratch.
+    pub fn new(problem: Problem, config: EngineConfig, initial_active: Vec<bool>) -> Self {
+        assert_eq!(
+            initial_active.len(),
+            problem.scenario.num_users(),
+            "initial_active must cover every user slot"
+        );
+        let active_ids: Vec<UserId> = initial_active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(j, _)| UserId(j as u32))
+            .collect();
+        let outcome = IddeUGame::new(config.game).run_restricted(problem.field(), &active_ids);
+        let allocation = outcome.field.into_allocation();
+        let delivery = GreedyDelivery::new(config.delivery).run_from(&problem, &allocation, None);
+        Self {
+            problem,
+            config,
+            active: initial_active,
+            allocation,
+            placement: delivery.placement,
+            metrics: ServeMetrics::default(),
+        }
+    }
+
+    /// The problem being served.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Per-slot activity flags.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// IDs of the currently active users, ascending.
+    pub fn active_users(&self) -> Vec<UserId> {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(j, _)| UserId(j as u32))
+            .collect()
+    }
+
+    /// The current allocation profile.
+    pub fn allocation(&self) -> &Allocation {
+        &self.allocation
+    }
+
+    /// The current delivery profile.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The current strategy (cloned).
+    pub fn strategy(&self) -> Strategy {
+        Strategy::new(self.allocation.clone(), self.placement.clone())
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Average data rate over the *active* users under the current
+    /// allocation, MB/s (zero when nobody is active).
+    pub fn average_active_rate(&self) -> f64 {
+        let field = InterferenceField::from_allocation(
+            &self.problem.radio,
+            &self.problem.scenario,
+            &self.allocation,
+        );
+        Self::active_rate_of(&field, &self.active)
+    }
+
+    fn active_rate_of(field: &InterferenceField<'_>, active: &[bool]) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (j, &a) in active.iter().enumerate() {
+            if a {
+                sum += field.rate(UserId(j as u32)).value();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Runs `ticks` ticks of `workload` through the engine: each tick's
+    /// events are enqueued, applied in order, the per-tick rate sample is
+    /// taken, and checkpoints fire every
+    /// [`EngineConfig::checkpoint_interval`] ticks.
+    pub fn run(&mut self, workload: &mut WorkloadGenerator, ticks: u64) {
+        let mut queue = EventQueue::new();
+        for tick in 0..ticks {
+            workload.push_tick(tick, &self.active, &mut queue);
+            while let Some(scheduled) = queue.pop() {
+                self.apply(&scheduled.event);
+            }
+            self.metrics.ticks += 1;
+            self.metrics.sample_rate(self.average_active_rate());
+            let interval = self.config.checkpoint_interval;
+            if interval > 0 && (tick + 1) % interval == 0 {
+                self.checkpoint();
+            }
+        }
+    }
+
+    /// Applies one event. Events that no longer make sense (arrival of an
+    /// active slot, departure/move/request of an inactive one) are counted
+    /// but otherwise ignored, so external producers need not be perfectly
+    /// synchronised with the engine state.
+    pub fn apply(&mut self, event: &Event) {
+        self.metrics.events += 1;
+        match *event {
+            Event::Arrive { user } => self.apply_arrive(user),
+            Event::Depart { user } => self.apply_depart(user),
+            Event::Move { user, dx, dy } => self.apply_move(user, dx, dy),
+            Event::Request { user, data } => self.apply_request(user, data),
+        }
+    }
+
+    fn apply_arrive(&mut self, user: UserId) {
+        if self.active[user.index()] {
+            return;
+        }
+        self.active[user.index()] = true;
+        self.metrics.arrivals += 1;
+        let dirty = self.dirty_set(user, None, &[]);
+        self.repair(&dirty);
+        self.repair_placement();
+    }
+
+    fn apply_depart(&mut self, user: UserId) {
+        if !self.active[user.index()] {
+            return;
+        }
+        let old = self.allocation.set(user, None);
+        self.active[user.index()] = false;
+        self.metrics.departures += 1;
+        let dirty = self.dirty_set(user, old, &[]);
+        self.repair(&dirty);
+        self.repair_placement();
+    }
+
+    fn apply_move(&mut self, user: UserId, dx: f64, dy: f64) {
+        if !self.active[user.index()] {
+            return;
+        }
+        self.metrics.moves += 1;
+        let old_decision = self.allocation.decision(user);
+        let old_cover: Vec<ServerId> =
+            self.problem.scenario.coverage.servers_of(user).to_vec();
+
+        // Mutate the scenario in place: position, then the O(N)-per-user
+        // coverage and gain refresh hooks.
+        let j = user.index();
+        let moved = {
+            let scenario = &mut self.problem.scenario;
+            let p = scenario.users[j].position;
+            scenario.users[j].position = scenario.area.clamp(Point::new(p.x + dx, p.y + dy));
+            scenario.coverage.update_user(&scenario.servers, &scenario.users[j]);
+            scenario.users[j].position
+        };
+        debug_assert!(self.problem.scenario.area.contains(moved));
+        self.problem.radio.update_user(&self.problem.scenario, user);
+
+        // Constraint (1): a decision whose server no longer covers the user
+        // is infeasible and must be released before the field is rebuilt.
+        if let Some((server, _)) = old_decision {
+            if !self.problem.scenario.coverage.covers(server, user) {
+                self.allocation.set(user, None);
+            }
+        }
+
+        let dirty = self.dirty_set(user, old_decision, &old_cover);
+        self.repair(&dirty);
+        // The mover's serving server may have changed, which shifts the
+        // demand geometry Phase #2 optimises for.
+        if self.allocation.server_of(user) != old_decision.map(|(s, _)| s) {
+            self.repair_placement();
+        }
+    }
+
+    fn apply_request(&mut self, user: UserId, data: idde_model::DataId) {
+        if !self.active[user.index()] {
+            return;
+        }
+        let size = self.problem.scenario.data[data.index()].size;
+        let (latency, from_edge) = match self.allocation.server_of(user) {
+            Some(target) => {
+                let (latency, source) =
+                    self.problem.topology.delivery_latency(&self.placement, data, size, target);
+                (latency, matches!(source, DeliverySource::Edge(_)))
+            }
+            None => (self.problem.topology.cloud_latency(size), false),
+        };
+        self.metrics.record_request(latency.value(), from_edge);
+    }
+
+    /// The dirty set of a churn event concerning `user`: the user itself (if
+    /// active), the co-channel sharers of its vacated slot `old`, and every
+    /// active allocated user within cross-interference range of the affected
+    /// neighbourhood (the servers covering the user — before the move, via
+    /// `extra_servers`, and after). Sorted ascending, so restricted repair
+    /// is deterministic.
+    fn dirty_set(
+        &self,
+        user: UserId,
+        old: Option<(ServerId, ChannelIndex)>,
+        extra_servers: &[ServerId],
+    ) -> Vec<UserId> {
+        let coverage = &self.problem.scenario.coverage;
+        let mut near: Vec<ServerId> = coverage.servers_of(user).to_vec();
+        near.extend_from_slice(extra_servers);
+        if let Some((server, _)) = old {
+            near.push(server);
+        }
+        near.sort_unstable();
+        near.dedup();
+
+        let mut dirty: Vec<UserId> = Vec::new();
+        if self.active[user.index()] {
+            dirty.push(user);
+        }
+        for (other, decision) in self.allocation.iter() {
+            if other == user || !self.active[other.index()] {
+                continue;
+            }
+            let Some((server, channel)) = decision else { continue };
+            // Co-channel sharers of the vacated slot: same channel index on
+            // the old server, or on another server from which the old server
+            // is within the sharer's cross-interference range (Eq. 2).
+            let shares_old_slot = old.is_some_and(|(old_server, old_channel)| {
+                channel == old_channel
+                    && (server == old_server || coverage.covers(old_server, other))
+            });
+            // Cross-interference range of the mover's neighbourhood: users
+            // allocated to, or covered by, a server that covers the mover.
+            let in_range = near.binary_search(&server).is_ok()
+                || coverage
+                    .servers_of(other)
+                    .iter()
+                    .any(|s| near.binary_search(s).is_ok());
+            if shares_old_slot || in_range {
+                dirty.push(other);
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
+    /// Runs restricted best-response passes over `dirty`, adopting the
+    /// repaired profile.
+    fn repair(&mut self, dirty: &[UserId]) {
+        if dirty.is_empty() {
+            return;
+        }
+        let field = InterferenceField::from_allocation(
+            &self.problem.radio,
+            &self.problem.scenario,
+            &self.allocation,
+        );
+        let outcome = IddeUGame::new(self.config.game).run_restricted(field, dirty);
+        if self.config.paranoid {
+            assert!(
+                outcome.field.consistency_check(),
+                "interference field inconsistent after restricted repair"
+            );
+        }
+        self.metrics.repairs += 1;
+        self.metrics.repair_moves += outcome.moves as u64;
+        self.allocation = outcome.field.into_allocation();
+    }
+
+    /// Incremental placement repair: evict replicas no request benefits from
+    /// any more (Eq. 17 scores them at zero), then let the greedy re-insert
+    /// under the freed storage, warm-started from the surviving placement.
+    fn repair_placement(&mut self) {
+        let evicted = evict_useless_replicas(&self.problem, &self.allocation, &mut self.placement);
+        let outcome = GreedyDelivery::new(self.config.delivery).run_from(
+            &self.problem,
+            &self.allocation,
+            Some(&self.placement),
+        );
+        self.metrics.placement_repairs += 1;
+        self.metrics.evicted_replicas += evicted as u64;
+        self.metrics.new_replicas += outcome.iterations as u64;
+        self.placement = outcome.placement;
+    }
+
+    /// Measures the drift of the repaired equilibrium against a from-scratch
+    /// re-solve over the active users, adopting the full solution when it
+    /// exceeds the threshold. Returns the measured drift.
+    pub fn checkpoint(&mut self) -> f64 {
+        let active_ids = self.active_users();
+        let repaired_rate = self.average_active_rate();
+        let outcome = IddeUGame::new(self.config.game).run_restricted(self.problem.field(), &active_ids);
+        let full_rate = Self::active_rate_of(&outcome.field, &self.active);
+        let drift = if full_rate > 0.0 {
+            ((full_rate - repaired_rate) / full_rate).max(0.0)
+        } else {
+            0.0
+        };
+        let fall_back = drift > self.config.drift_threshold;
+        self.metrics.record_drift(drift, fall_back);
+        if fall_back {
+            self.allocation = outcome.field.into_allocation();
+            self.repair_placement();
+        }
+        drift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idde_eua::{SampleConfig, SyntheticEua};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_problem(seed: u64) -> Problem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let population = SyntheticEua::default().generate(&mut rng);
+        let scenario = SampleConfig::paper(15, 60, 4).sample(&population, &mut rng);
+        Problem::standard(scenario, &mut rng)
+    }
+
+    fn engine(seed: u64) -> Engine {
+        let problem = small_problem(seed);
+        let m = problem.scenario.num_users();
+        let initial: Vec<bool> = (0..m).map(|j| j % 4 != 0).collect();
+        Engine::new(problem, EngineConfig { paranoid: true, ..Default::default() }, initial)
+    }
+
+    #[test]
+    fn initial_solve_only_allocates_active_users() {
+        let e = engine(1);
+        for (user, decision) in e.allocation().iter() {
+            if !e.active()[user.index()] {
+                assert_eq!(decision, None, "inactive {user} must stay unallocated");
+            }
+        }
+        assert!(e.allocation().num_allocated() > 0);
+        assert!(e.problem().is_feasible(&e.strategy()));
+    }
+
+    #[test]
+    fn departure_releases_the_channel_and_stays_feasible() {
+        let mut e = engine(2);
+        let user = e.active_users()[0];
+        e.apply(&Event::Depart { user });
+        assert!(!e.active()[user.index()]);
+        assert_eq!(e.allocation().decision(user), None);
+        assert!(e.problem().is_feasible(&e.strategy()));
+        assert_eq!(e.metrics().departures, 1);
+    }
+
+    #[test]
+    fn arrival_allocates_the_newcomer_when_coverable() {
+        let mut e = engine(3);
+        let idle: Vec<UserId> = (0..e.active().len())
+            .filter(|&j| !e.active()[j])
+            .map(|j| UserId(j as u32))
+            .collect();
+        let user = *idle
+            .iter()
+            .find(|&&u| !e.problem().scenario.coverage.servers_of(u).is_empty())
+            .expect("an idle covered user exists");
+        e.apply(&Event::Arrive { user });
+        assert!(e.active()[user.index()]);
+        assert!(
+            e.allocation().decision(user).is_some(),
+            "a covered arrival must be allocated by the repair"
+        );
+        assert!(e.problem().is_feasible(&e.strategy()));
+    }
+
+    #[test]
+    fn move_keeps_the_strategy_feasible() {
+        let mut e = engine(4);
+        // Fling a user far enough to change its coverage set.
+        let user = e.active_users()[1];
+        e.apply(&Event::Move { user, dx: 400.0, dy: -350.0 });
+        assert!(e.problem().is_feasible(&e.strategy()));
+        // Coverage hook kept the map exact.
+        let expected = idde_model::CoverageMap::compute(
+            &e.problem().scenario.servers,
+            &e.problem().scenario.users,
+        );
+        assert_eq!(e.problem().scenario.coverage, expected);
+    }
+
+    #[test]
+    fn requests_record_latency() {
+        let mut e = engine(5);
+        let user = e.active_users()[0];
+        e.apply(&Event::Request { user, data: idde_model::DataId(0) });
+        assert_eq!(e.metrics().requests, 1);
+        assert_eq!(e.metrics().latency.total(), 1);
+        // An inactive user's request is ignored.
+        let idle = (0..e.active().len()).find(|&j| !e.active()[j]).unwrap();
+        e.apply(&Event::Request { user: UserId(idle as u32), data: idde_model::DataId(0) });
+        assert_eq!(e.metrics().requests, 1);
+    }
+
+    #[test]
+    fn stale_events_are_ignored() {
+        let mut e = engine(6);
+        let user = e.active_users()[0];
+        e.apply(&Event::Arrive { user }); // already active
+        assert_eq!(e.metrics().arrivals, 0);
+        e.apply(&Event::Depart { user });
+        e.apply(&Event::Depart { user }); // already gone
+        assert_eq!(e.metrics().departures, 1);
+        e.apply(&Event::Move { user, dx: 10.0, dy: 10.0 }); // inactive
+        assert_eq!(e.metrics().moves, 0);
+    }
+
+    #[test]
+    fn checkpoint_measures_and_bounds_drift() {
+        let mut e = engine(7);
+        let drift = e.checkpoint();
+        assert!(drift >= 0.0);
+        assert_eq!(e.metrics().checkpoints, 1);
+        // Right after construction the strategy *is* the from-scratch solve,
+        // so the drift must sit within the fallback threshold.
+        assert!(
+            drift <= e.config.drift_threshold,
+            "fresh engine drifted by {drift}"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The deterministic event queue.
+//!
+//! Serving-time dynamics are expressed as discrete [`Event`]s stamped with a
+//! `(tick, seq)` pair. The queue is a min-heap ordered by that pair, so the
+//! engine consumes events in exactly the order the workload generator (or
+//! any other producer) emitted them — independent of hash state, thread
+//! scheduling or wall-clock time. Determinism of the whole serving run
+//! reduces to determinism of the event stream.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use idde_model::{DataId, UserId};
+
+/// One serving-time occurrence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// A user slot becomes active (a user enters the edge area).
+    Arrive {
+        /// The arriving user.
+        user: UserId,
+    },
+    /// An active user leaves the edge area; its channel is released.
+    Depart {
+        /// The departing user.
+        user: UserId,
+    },
+    /// An active user moves by `(dx, dy)` metres (random-waypoint style,
+    /// clamped to the scenario area by the engine).
+    Move {
+        /// The moving user.
+        user: UserId,
+        /// Per-axis displacement in metres.
+        dx: f64,
+        /// Per-axis displacement in metres.
+        dy: f64,
+    },
+    /// An active user requests one data item; the engine serves it under the
+    /// current strategy and records the delivery latency.
+    Request {
+        /// The requesting user.
+        user: UserId,
+        /// The requested item.
+        data: DataId,
+    },
+}
+
+impl Event {
+    /// The user the event concerns.
+    pub fn user(&self) -> UserId {
+        match *self {
+            Event::Arrive { user }
+            | Event::Depart { user }
+            | Event::Move { user, .. }
+            | Event::Request { user, .. } => user,
+        }
+    }
+}
+
+/// An [`Event`] with its position in the global serving order.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduledEvent {
+    /// The tick the event belongs to.
+    pub tick: u64,
+    /// Tie-breaking sequence number within the whole run (assigned by the
+    /// queue at push time, strictly increasing).
+    pub seq: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        (self.tick, self.seq) == (other.tick, other.seq)
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the std max-heap pops the *smallest* (tick, seq).
+        (other.tick, other.seq).cmp(&(self.tick, self.seq))
+    }
+}
+
+/// A deterministic min-queue of [`ScheduledEvent`]s.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues `event` at `tick`, after everything already enqueued for
+    /// that tick.
+    pub fn push(&mut self, tick: u64, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { tick, seq, event });
+    }
+
+    /// Pops the earliest event (smallest `(tick, seq)`).
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_tick_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(2, Event::Arrive { user: UserId(0) });
+        q.push(1, Event::Depart { user: UserId(1) });
+        q.push(1, Event::Arrive { user: UserId(2) });
+        q.push(0, Event::Request { user: UserId(3), data: DataId(0) });
+        let order: Vec<(u64, UserId)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.tick, e.event.user()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(0, UserId(3)), (1, UserId(1)), (1, UserId(2)), (2, UserId(0))]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_tick_preserves_push_order() {
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.push(7, Event::Arrive { user: UserId(i) });
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap().event.user(), UserId(i));
+        }
+    }
+}

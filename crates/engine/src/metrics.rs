@@ -1,0 +1,294 @@
+//! Serving metrics: a fixed-bucket latency histogram, running averages and
+//! the repair/fallback accounting.
+//!
+//! Everything here is a pure function of the event stream and the engine's
+//! decisions — no wall-clock quantities are stored — so [`ServeMetrics::to_csv`]
+//! is byte-identical across repeated runs of the same seed. Wall-clock
+//! throughput (events/sec) is computed only at render time from an elapsed
+//! duration the caller measured.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Upper bucket bounds of the latency histogram, in milliseconds. Sized for
+/// the paper's §4.2 regime: local hits are 0 ms, edge transfers land in the
+/// 5–150 ms range, cloud transfers above that.
+pub const LATENCY_BUCKET_BOUNDS_MS: [f64; 9] =
+    [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 250.0];
+
+/// A fixed-bucket latency histogram (bounds in
+/// [`LATENCY_BUCKET_BOUNDS_MS`], plus one overflow bucket).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKET_BOUNDS_MS.len() + 1],
+}
+
+impl LatencyHistogram {
+    /// Records one observation, in milliseconds.
+    pub fn record(&mut self, latency_ms: f64) {
+        let bucket = LATENCY_BUCKET_BOUNDS_MS
+            .iter()
+            .position(|&bound| latency_ms <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_MS.len());
+        self.counts[bucket] += 1;
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Human-readable label of bucket `i`, e.g. `"≤25ms"` or `">250ms"`.
+    pub fn label(i: usize) -> String {
+        if i < LATENCY_BUCKET_BOUNDS_MS.len() {
+            format!("≤{}ms", LATENCY_BUCKET_BOUNDS_MS[i])
+        } else {
+            format!(">{}ms", LATENCY_BUCKET_BOUNDS_MS[LATENCY_BUCKET_BOUNDS_MS.len() - 1])
+        }
+    }
+}
+
+/// Counters and gauges accumulated over a serving run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeMetrics {
+    /// Ticks processed.
+    pub ticks: u64,
+    /// Events processed (all kinds).
+    pub events: u64,
+    /// Arrival events applied.
+    pub arrivals: u64,
+    /// Departure events applied.
+    pub departures: u64,
+    /// Mobility events applied.
+    pub moves: u64,
+    /// Request events served.
+    pub requests: u64,
+    /// Requests served from an edge replica or the target server itself.
+    pub edge_served: u64,
+    /// Requests served from the cloud (including unallocated users).
+    pub cloud_served: u64,
+    /// Restricted best-response repairs run.
+    pub repairs: u64,
+    /// Best-response moves performed inside repairs.
+    pub repair_moves: u64,
+    /// Placement repair passes (eviction + greedy insertion).
+    pub placement_repairs: u64,
+    /// Replicas evicted by placement repair.
+    pub evicted_replicas: u64,
+    /// Replicas newly placed by placement repair.
+    pub new_replicas: u64,
+    /// Drift checkpoints evaluated.
+    pub checkpoints: u64,
+    /// Checkpoints whose drift exceeded the threshold (full re-solve
+    /// adopted).
+    pub fallbacks: u64,
+    /// Drift gauge: relative average-rate shortfall of the repaired
+    /// equilibrium versus a from-scratch re-solve, at the last checkpoint.
+    pub last_drift: f64,
+    /// Largest drift observed at any checkpoint.
+    pub max_drift: f64,
+    /// Delivery-latency histogram over served requests.
+    pub latency: LatencyHistogram,
+    total_latency_ms: f64,
+    rate_sum: f64,
+    rate_samples: u64,
+}
+
+impl ServeMetrics {
+    /// Records one served request.
+    pub fn record_request(&mut self, latency_ms: f64, from_edge: bool) {
+        self.requests += 1;
+        if from_edge {
+            self.edge_served += 1;
+        } else {
+            self.cloud_served += 1;
+        }
+        self.total_latency_ms += latency_ms;
+        self.latency.record(latency_ms);
+    }
+
+    /// Records one per-tick sample of the average data rate over active
+    /// users (MB/s).
+    pub fn sample_rate(&mut self, average_rate: f64) {
+        self.rate_sum += average_rate;
+        self.rate_samples += 1;
+    }
+
+    /// Records a checkpoint's drift measurement.
+    pub fn record_drift(&mut self, drift: f64, fell_back: bool) {
+        self.checkpoints += 1;
+        self.last_drift = drift;
+        if drift > self.max_drift {
+            self.max_drift = drift;
+        }
+        if fell_back {
+            self.fallbacks += 1;
+        }
+    }
+
+    /// Running mean of the sampled average data rate, MB/s.
+    pub fn average_rate(&self) -> f64 {
+        if self.rate_samples == 0 {
+            0.0
+        } else {
+            self.rate_sum / self.rate_samples as f64
+        }
+    }
+
+    /// Mean delivery latency over served requests, ms.
+    pub fn average_latency_ms(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency_ms / self.requests as f64
+        }
+    }
+
+    /// Renders the metrics as `metric,value` CSV. Contains no wall-clock
+    /// quantities: repeated runs of the same seed produce byte-identical
+    /// output.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        let mut kv = |k: &str, v: String| {
+            let _ = writeln!(out, "{k},{v}");
+        };
+        kv("ticks", self.ticks.to_string());
+        kv("events", self.events.to_string());
+        kv("arrivals", self.arrivals.to_string());
+        kv("departures", self.departures.to_string());
+        kv("moves", self.moves.to_string());
+        kv("requests", self.requests.to_string());
+        kv("edge_served", self.edge_served.to_string());
+        kv("cloud_served", self.cloud_served.to_string());
+        kv("repairs", self.repairs.to_string());
+        kv("repair_moves", self.repair_moves.to_string());
+        kv("placement_repairs", self.placement_repairs.to_string());
+        kv("evicted_replicas", self.evicted_replicas.to_string());
+        kv("new_replicas", self.new_replicas.to_string());
+        kv("checkpoints", self.checkpoints.to_string());
+        kv("fallbacks", self.fallbacks.to_string());
+        kv("last_drift", format!("{:.6}", self.last_drift));
+        kv("max_drift", format!("{:.6}", self.max_drift));
+        kv("avg_rate_mbps", format!("{:.6}", self.average_rate()));
+        kv("avg_latency_ms", format!("{:.6}", self.average_latency_ms()));
+        for (i, count) in self.latency.counts().iter().enumerate() {
+            kv(&format!("latency_le_{}", Self::csv_bucket_key(i)), count.to_string());
+        }
+        out
+    }
+
+    fn csv_bucket_key(i: usize) -> String {
+        if i < LATENCY_BUCKET_BOUNDS_MS.len() {
+            format!("{}ms", LATENCY_BUCKET_BOUNDS_MS[i])
+        } else {
+            "inf".to_string()
+        }
+    }
+
+    /// Renders a human-readable summary table, including events/sec
+    /// throughput derived from the caller-measured `elapsed`.
+    pub fn render_table(&self, elapsed: Duration) -> String {
+        let secs = elapsed.as_secs_f64();
+        let throughput = if secs > 0.0 { self.events as f64 / secs } else { 0.0 };
+        let mut out = String::new();
+        let _ = writeln!(out, "ticks:        {}", self.ticks);
+        let _ = writeln!(
+            out,
+            "events:       {} ({} arrive, {} depart, {} move, {} request)",
+            self.events, self.arrivals, self.departures, self.moves, self.requests
+        );
+        let _ = writeln!(out, "throughput:   {throughput:.0} events/sec ({secs:.3} s elapsed)");
+        let _ = writeln!(
+            out,
+            "served:       {} edge, {} cloud ({:.3} ms mean latency)",
+            self.edge_served,
+            self.cloud_served,
+            self.average_latency_ms()
+        );
+        let _ = writeln!(out, "R_avg:        {:.2} MB/s over active users", self.average_rate());
+        let _ = writeln!(
+            out,
+            "repairs:      {} equilibrium ({} moves), {} placement (+{} / -{} replicas)",
+            self.repairs,
+            self.repair_moves,
+            self.placement_repairs,
+            self.new_replicas,
+            self.evicted_replicas
+        );
+        let _ = writeln!(
+            out,
+            "drift:        last {:.4}, max {:.4} over {} checkpoints ({} fallbacks)",
+            self.last_drift, self.max_drift, self.checkpoints, self.fallbacks
+        );
+        let _ = writeln!(out, "latency histogram:");
+        let total = self.latency.total().max(1);
+        for (i, &count) in self.latency.counts().iter().enumerate() {
+            let bar_len = (count * 40 / total) as usize;
+            let _ = writeln!(
+                out,
+                "  {:>8} {:>8}  {}",
+                LatencyHistogram::label(i),
+                count,
+                "#".repeat(bar_len)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let mut h = LatencyHistogram::default();
+        h.record(0.0); // ≤1ms
+        h.record(1.0); // ≤1ms (inclusive bound)
+        h.record(7.0); // ≤10ms
+        h.record(9999.0); // overflow
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[2], 1);
+        assert_eq!(h.counts()[LATENCY_BUCKET_BOUNDS_MS.len()], 1);
+        assert_eq!(LatencyHistogram::label(0), "≤1ms");
+        assert!(LatencyHistogram::label(LATENCY_BUCKET_BOUNDS_MS.len()).starts_with('>'));
+    }
+
+    #[test]
+    fn averages_and_csv_are_consistent() {
+        let mut m = ServeMetrics::default();
+        m.record_request(10.0, true);
+        m.record_request(30.0, false);
+        m.sample_rate(100.0);
+        m.sample_rate(200.0);
+        m.record_drift(0.02, false);
+        assert_eq!(m.average_latency_ms(), 20.0);
+        assert_eq!(m.average_rate(), 150.0);
+        let csv = m.to_csv();
+        assert!(csv.starts_with("metric,value\n"));
+        assert!(csv.contains("requests,2\n"));
+        assert!(csv.contains("edge_served,1\n"));
+        assert!(csv.contains("avg_latency_ms,20.000000\n"));
+        assert!(csv.contains("last_drift,0.020000\n"));
+        assert!(csv.contains("latency_le_inf,0\n"));
+        // No wall-clock values anywhere in the CSV.
+        assert!(!csv.contains("sec"));
+    }
+
+    #[test]
+    fn table_reports_throughput() {
+        let m = ServeMetrics {
+            events: 500,
+            ..Default::default()
+        };
+        let table = m.render_table(Duration::from_secs(2));
+        assert!(table.contains("250 events/sec"));
+        assert!(table.contains("latency histogram"));
+    }
+}

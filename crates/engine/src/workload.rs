@@ -1,0 +1,249 @@
+//! The seeded workload generator.
+//!
+//! Turns a seed plus a [`WorkloadConfig`] into a deterministic event stream:
+//!
+//! * user **arrivals** and **departures** are Poisson-distributed per tick
+//!   (sampled with Knuth's inversion, exact for the small per-tick means the
+//!   engine uses);
+//! * **mobility** is a random-waypoint-style step — each active user moves
+//!   with `move_probability`, by a uniform per-axis offset of at most
+//!   `max_step_m` metres;
+//! * **data requests** form a Poisson stream whose items follow a Zipf-like
+//!   popularity ([`idde_eua::ZipfPopularity`]), the same skew the paper's
+//!   §4.2 workloads use.
+//!
+//! All randomness is drawn from a single `ChaCha8Rng`, so a `(seed, config)`
+//! pair fully determines the stream; the per-tick emission order is fixed
+//! (departures → arrivals → moves → requests) to keep churn bounded within
+//! a tick.
+
+use idde_eua::ZipfPopularity;
+use idde_model::{DataId, UserId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::events::{Event, EventQueue};
+
+/// Workload intensity knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadConfig {
+    /// Mean user arrivals per tick (Poisson).
+    pub arrival_rate: f64,
+    /// Mean user departures per tick (Poisson).
+    pub departure_rate: f64,
+    /// Per-active-user probability of moving in a tick.
+    pub move_probability: f64,
+    /// Maximum per-axis displacement per move, metres.
+    pub max_step_m: f64,
+    /// Mean data requests per tick (Poisson).
+    pub request_rate: f64,
+    /// Zipf popularity exponent for requested items.
+    pub zipf_exponent: f64,
+    /// Fraction of user slots active before the first tick.
+    pub initial_active_fraction: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            arrival_rate: 1.0,
+            departure_rate: 1.0,
+            move_probability: 0.05,
+            max_step_m: 80.0,
+            request_rate: 8.0,
+            // The paper's §4.2 popularity skew.
+            zipf_exponent: 0.8,
+            initial_active_fraction: 0.7,
+        }
+    }
+}
+
+/// Draws `Poisson(lambda)` by Knuth's inversion: multiply uniforms until the
+/// product drops below `e^{-lambda}`. Exact, and fast for the per-tick means
+/// (≤ ~30) the engine uses.
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> usize {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "Poisson mean must be finite and ≥ 0");
+    if lambda == 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut product = 1.0f64;
+    let mut count = 0usize;
+    loop {
+        product *= rng.gen_range(0.0..1.0);
+        if product <= limit {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+/// The deterministic event-stream source.
+#[derive(Clone, Debug)]
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+    rng: ChaCha8Rng,
+    zipf: ZipfPopularity,
+    num_data: usize,
+}
+
+impl WorkloadGenerator {
+    /// A generator over `num_data` items, fully determined by
+    /// `(config, seed)`.
+    pub fn new(config: WorkloadConfig, num_data: usize, seed: u64) -> Self {
+        assert!(num_data > 0, "workload needs at least one data item");
+        let zipf = ZipfPopularity::new(num_data, config.zipf_exponent);
+        Self { config, rng: ChaCha8Rng::seed_from_u64(seed), zipf, num_data }
+    }
+
+    /// The configuration this generator was built with.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Samples the initially active user slots (a deterministic function of
+    /// the seed): each slot is active with `initial_active_fraction`.
+    pub fn initial_active(&mut self, num_users: usize) -> Vec<bool> {
+        let p = self.config.initial_active_fraction.clamp(0.0, 1.0);
+        (0..num_users).map(|_| self.rng.gen_bool(p)).collect()
+    }
+
+    /// Generates one tick's events into `queue`, in the fixed order
+    /// departures → arrivals → moves → requests. `active` is the engine's
+    /// slot state *before* the tick; the generator simulates the churn it
+    /// emits so moves and requests only target users that will be active
+    /// once the tick's churn has been applied.
+    pub fn push_tick(&mut self, tick: u64, active: &[bool], queue: &mut EventQueue) {
+        let mut live: Vec<UserId> = active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(j, _)| UserId(j as u32))
+            .collect();
+        let mut idle: Vec<UserId> = active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| !a)
+            .map(|(j, _)| UserId(j as u32))
+            .collect();
+
+        // Departures.
+        let departures = poisson(&mut self.rng, self.config.departure_rate).min(live.len());
+        for _ in 0..departures {
+            let pick = self.rng.gen_range(0..live.len());
+            let user = live.swap_remove(pick);
+            idle.push(user);
+            queue.push(tick, Event::Depart { user });
+        }
+
+        // Arrivals.
+        let arrivals = poisson(&mut self.rng, self.config.arrival_rate).min(idle.len());
+        for _ in 0..arrivals {
+            let pick = self.rng.gen_range(0..idle.len());
+            let user = idle.swap_remove(pick);
+            live.push(user);
+            queue.push(tick, Event::Arrive { user });
+        }
+
+        // Mobility. Iterate in slot order for a stable RNG consumption
+        // pattern regardless of the churn drawn above.
+        live.sort_unstable();
+        for &user in &live {
+            if self.rng.gen_bool(self.config.move_probability.clamp(0.0, 1.0)) {
+                let dx = self.rng.gen_range(-self.config.max_step_m..=self.config.max_step_m);
+                let dy = self.rng.gen_range(-self.config.max_step_m..=self.config.max_step_m);
+                queue.push(tick, Event::Move { user, dx, dy });
+            }
+        }
+
+        // Requests.
+        if !live.is_empty() {
+            let requests = poisson(&mut self.rng, self.config.request_rate);
+            for _ in 0..requests {
+                let user = live[self.rng.gen_range(0..live.len())];
+                let data = DataId(self.zipf.sample(&mut self.rng).min(self.num_data - 1) as u32);
+                queue.push(tick, Event::Request { user, data });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let lambda = 4.0;
+        let n = 4000;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.2, "empirical mean {mean} vs λ={lambda}");
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cfg = WorkloadConfig::default();
+        let mut a = WorkloadGenerator::new(cfg, 5, 42);
+        let mut b = WorkloadGenerator::new(cfg, 5, 42);
+        let active: Vec<bool> = (0..40).map(|j| j % 3 != 0).collect();
+        let (mut qa, mut qb) = (EventQueue::new(), EventQueue::new());
+        for tick in 0..20 {
+            a.push_tick(tick, &active, &mut qa);
+            b.push_tick(tick, &active, &mut qb);
+        }
+        assert_eq!(qa.len(), qb.len());
+        while let (Some(x), Some(y)) = (qa.pop(), qb.pop()) {
+            assert_eq!((x.tick, x.seq, x.event), (y.tick, y.seq, y.event));
+        }
+    }
+
+    #[test]
+    fn events_respect_simulated_churn() {
+        // A departed user must not move or request later in the same tick;
+        // an arrived user may.
+        let cfg = WorkloadConfig {
+            departure_rate: 3.0,
+            arrival_rate: 3.0,
+            move_probability: 1.0,
+            request_rate: 30.0,
+            ..Default::default()
+        };
+        let mut gen = WorkloadGenerator::new(cfg, 3, 7);
+        let active: Vec<bool> = (0..20).map(|j| j % 2 == 0).collect();
+        let mut q = EventQueue::new();
+        gen.push_tick(0, &active, &mut q);
+        let mut live: Vec<bool> = active.clone();
+        while let Some(ev) = q.pop() {
+            match ev.event {
+                Event::Depart { user } => {
+                    assert!(live[user.index()]);
+                    live[user.index()] = false;
+                }
+                Event::Arrive { user } => {
+                    assert!(!live[user.index()]);
+                    live[user.index()] = true;
+                }
+                Event::Move { user, dx, dy } => {
+                    assert!(live[user.index()], "move for inactive {user}");
+                    assert!(dx.abs() <= cfg.max_step_m && dy.abs() <= cfg.max_step_m);
+                }
+                Event::Request { user, data } => {
+                    assert!(live[user.index()], "request for inactive {user}");
+                    assert!(data.index() < 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initial_active_fraction_is_respected() {
+        let cfg = WorkloadConfig { initial_active_fraction: 0.7, ..Default::default() };
+        let mut gen = WorkloadGenerator::new(cfg, 2, 11);
+        let active = gen.initial_active(2000);
+        let on = active.iter().filter(|&&a| a).count();
+        assert!((on as f64 / 2000.0 - 0.7).abs() < 0.05, "{on}/2000 active");
+    }
+}

@@ -54,6 +54,30 @@ impl CoverageMap {
         Self { servers_of, users_of }
     }
 
+    /// Recomputes the relation rows touched by a single user's movement in
+    /// `O(N + Σ|U_i|)` instead of the full `O(N·M)` rebuild — the hook the
+    /// online serving engine uses on every mobility event. `user` must
+    /// already carry its new position.
+    pub fn update_user(&mut self, servers: &[EdgeServer], user: &User) {
+        let j = user.id.index();
+        for &old in &self.servers_of[j] {
+            let list = &mut self.users_of[old.index()];
+            if let Ok(pos) = list.binary_search(&user.id) {
+                list.remove(pos);
+            }
+        }
+        self.servers_of[j].clear();
+        for server in servers {
+            if server.covers(user.position) {
+                self.servers_of[j].push(server.id);
+                let list = &mut self.users_of[server.id.index()];
+                if let Err(pos) = list.binary_search(&user.id) {
+                    list.insert(pos, user.id);
+                }
+            }
+        }
+    }
+
     /// Servers covering the given user — the paper's `V_j`.
     #[inline]
     pub fn servers_of(&self, user: UserId) -> &[ServerId] {
@@ -163,5 +187,23 @@ mod tests {
         let cov = CoverageMap::compute(&[], &[]);
         assert_eq!(cov.mean_candidates_per_user(), 0.0);
         assert_eq!(cov.uncovered_users().count(), 0);
+    }
+
+    #[test]
+    fn update_user_matches_full_recompute() {
+        let servers = vec![server(0, 0.0, 0.0, 100.0), server(1, 150.0, 0.0, 100.0)];
+        let mut users = vec![
+            user(0, 10.0, 0.0),
+            user(1, 75.0, 0.0),
+            user(2, 160.0, 0.0),
+        ];
+        let mut cov = CoverageMap::compute(&servers, &users);
+        // Walk user 1 across several regimes: both covered, only server 1,
+        // uncovered, back to only server 0.
+        for (x, y) in [(140.0, 0.0), (220.0, 0.0), (400.0, 400.0), (5.0, 5.0)] {
+            users[1].position = Point::new(x, y);
+            cov.update_user(&servers, &users[1]);
+            assert_eq!(cov, CoverageMap::compute(&servers, &users), "at ({x},{y})");
+        }
     }
 }

@@ -100,6 +100,17 @@ impl GainTable {
     pub fn get(&self, server: ServerId, user: UserId) -> f64 {
         self.values[server.index() * self.num_users + user.index()]
     }
+
+    /// Recomputes one user's column after a position change in `O(N)` —
+    /// the hook the online serving engine uses on mobility events. The
+    /// scenario must already carry the user's new position.
+    pub fn update_user(&mut self, scenario: &Scenario, model: &dyn GainModel, user: UserId) {
+        let position = scenario.users[user.index()].position;
+        for server in &scenario.servers {
+            self.values[server.id.index() * self.num_users + user.index()] =
+                model.gain(server.position.distance(position));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +155,22 @@ mod tests {
     fn log_distance_reference_point() {
         let ld = LogDistance::default();
         assert!((ld.gain(10.0) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_user_matches_full_recompute() {
+        let mut scenario = testkit::fig2_example();
+        let model = PowerLaw::new(1.0, 3.0);
+        let mut table = GainTable::compute(&scenario, &model);
+        let user = scenario.users[2].id;
+        scenario.users[2].position = idde_model::Point::new(123.0, 45.0);
+        table.update_user(&scenario, &model, user);
+        let fresh = GainTable::compute(&scenario, &model);
+        for s in &scenario.servers {
+            for u in &scenario.users {
+                assert_eq!(table.get(s.id, u.id), fresh.get(s.id, u.id));
+            }
+        }
     }
 
     #[test]

@@ -65,4 +65,11 @@ impl RadioEnvironment {
     pub fn gain(&self, server: idde_model::ServerId, user: idde_model::UserId) -> f64 {
         self.gains.get(server, user)
     }
+
+    /// Recomputes one user's gains after a position change (power-law
+    /// model), in `O(N)` instead of the full `O(N·M)` table rebuild.
+    pub fn update_user(&mut self, scenario: &Scenario, user: idde_model::UserId) {
+        let model = PowerLaw::new(self.params.eta, self.params.loss_exponent);
+        self.gains.update_user(scenario, &model, user);
+    }
 }

@@ -2,7 +2,8 @@
 //!
 //! Façade crate re-exporting the whole IDDE workspace: the problem model,
 //! the wireless and network substrates, the IDDE-G algorithm, the four
-//! baselines, the EUA-like dataset generator and the simulation harness.
+//! baselines, the EUA-like dataset generator, the simulation harness and the
+//! online serving engine.
 //!
 //! This reproduces *"Formulating Interference-aware Data Delivery Strategies
 //! in Edge Storage Systems"* (Xia et al., ICPP 2022). See `README.md` for a
@@ -25,6 +26,7 @@
 
 pub use idde_baselines as baselines;
 pub use idde_core as core;
+pub use idde_engine as engine;
 pub use idde_eua as eua;
 pub use idde_model as model;
 pub use idde_net as net;
@@ -46,6 +48,7 @@ pub fn seeded_rng(seed: u64) -> rand_chacha::ChaCha8Rng {
 pub mod prelude {
     pub use idde_baselines::{Cdp, DeliveryStrategy, DupG, IddeGStrategy, IddeIp, Saa};
     pub use idde_core::{IddeG, Metrics, Problem, Strategy};
+    pub use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};
     pub use idde_eua::SyntheticEua;
     pub use idde_model::{
         Allocation, CoverageMap, DataId, DataItem, EdgeServer, MegaBytes, MegaBytesPerSec,

@@ -102,6 +102,29 @@ fn svg_rendering_is_stable_across_runs() {
 }
 
 #[test]
+fn serving_engine_metrics_csv_is_byte_identical() {
+    let run = || {
+        let mut rng = idde::seeded_rng(42);
+        let scenario = SyntheticEua::default().sample(12, 50, 3, &mut rng);
+        let problem = Problem::standard(scenario, &mut rng);
+        let config = idde::engine::EngineConfig {
+            checkpoint_interval: 10,
+            ..Default::default()
+        };
+        let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), 3, 42);
+        let initial = workload.initial_active(problem.scenario.num_users());
+        let mut engine = Engine::new(problem, config, initial);
+        engine.run(&mut workload, 30);
+        engine.metrics().to_csv()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same (seed, workload config) must produce identical CSV bytes");
+    assert!(a.contains("ticks,30\n"));
+    assert!(a.contains("checkpoints,3\n"));
+}
+
+#[test]
 fn fig1_and_table2_artifacts_are_deterministic() {
     use idde::sim::figures::{fig1_latency_test, Fig1Config};
     let a = fig1_latency_test(&Fig1Config::default());

@@ -61,6 +61,55 @@ proptest! {
         }
     }
 
+    /// A random allocate/deallocate walk produces exactly the state of a
+    /// field rebuilt from scratch off the final profile: identical
+    /// per-channel occupant sets and power sums, and a passing
+    /// `consistency_check`. This is the invariant the serving engine's
+    /// incremental repair leans on.
+    #[test]
+    fn random_walk_field_equals_rebuilt_field(
+        (seed, problem) in arb_problem(),
+        steps in proptest::collection::vec((0u32..64, 0u32..64, 0u32..8, proptest::bool::ANY), 1..80),
+    ) {
+        let mut field = InterferenceField::new(&problem.radio, &problem.scenario);
+        for (uraw, sraw, xraw, dealloc) in steps {
+            let user = UserId(uraw % problem.scenario.num_users() as u32);
+            if dealloc {
+                field.deallocate(user);
+                continue;
+            }
+            let servers = problem.scenario.coverage.servers_of(user);
+            if servers.is_empty() {
+                continue;
+            }
+            let server = servers[(sraw as usize) % servers.len()];
+            let channels = problem.scenario.servers[server.index()].num_channels as u32;
+            field.allocate(user, server, idde::model::ChannelIndex((xraw % channels) as u16));
+        }
+        prop_assert!(field.consistency_check(), "seed {seed}");
+        let rebuilt = InterferenceField::from_allocation(
+            &problem.radio,
+            &problem.scenario,
+            field.allocation(),
+        );
+        for server in problem.scenario.server_ids() {
+            for x in 0..problem.scenario.servers[server.index()].num_channels {
+                let channel = idde::model::ChannelIndex(x);
+                let mut walked: Vec<UserId> = field.occupants(server, channel).to_vec();
+                let mut fresh: Vec<UserId> = rebuilt.occupants(server, channel).to_vec();
+                walked.sort_unstable();
+                fresh.sort_unstable();
+                prop_assert_eq!(walked, fresh, "seed {} channel ({server}, {channel})", seed);
+                let dp = field.channel_power(server, channel)
+                    - rebuilt.channel_power(server, channel);
+                prop_assert!(
+                    dp.abs() < 1e-9,
+                    "seed {seed}: power sum drifted by {dp} on ({server}, {channel})"
+                );
+            }
+        }
+    }
+
     /// Adding an occupant to any channel never increases another occupant's
     /// rate (interference monotonicity).
     #[test]

@@ -1,0 +1,77 @@
+//! Online serving engine correctness: a 500-event churn run where the
+//! incremental repairs must keep the interference field consistent after
+//! every churn event (`paranoid` mode asserts `consistency_check` inside
+//! each repair) and the repaired equilibrium must stay within the drift
+//! threshold of a from-scratch re-solve at every checkpoint.
+
+use idde::engine::{EngineConfig, EventQueue};
+use idde::prelude::*;
+
+#[test]
+fn five_hundred_events_of_incremental_repair_stay_consistent() {
+    let mut rng = idde::seeded_rng(7);
+    let scenario = SyntheticEua::default().sample(15, 70, 4, &mut rng);
+    let problem = Problem::standard(scenario, &mut rng);
+
+    let drift_threshold = 0.05;
+    let config = EngineConfig {
+        drift_threshold,
+        // Checkpoints are driven by hand below, per event count not ticks.
+        checkpoint_interval: 0,
+        paranoid: true,
+        ..Default::default()
+    };
+    let workload_config = WorkloadConfig {
+        arrival_rate: 1.5,
+        departure_rate: 1.5,
+        move_probability: 0.1,
+        ..Default::default()
+    };
+    let mut workload = WorkloadGenerator::new(workload_config, 4, 7);
+    let initial = workload.initial_active(problem.scenario.num_users());
+    let mut engine = Engine::new(problem, config, initial);
+
+    let mut queue = EventQueue::new();
+    let mut tick = 0u64;
+    let mut events = 0usize;
+    while events < 500 {
+        workload.push_tick(tick, engine.active(), &mut queue);
+        tick += 1;
+        while let Some(scheduled) = queue.pop() {
+            // `paranoid` makes every churn repair assert the field's
+            // consistency against a from-scratch rebuild.
+            engine.apply(&scheduled.event);
+            events += 1;
+            if events.is_multiple_of(50) {
+                let drift = engine.checkpoint();
+                if drift > drift_threshold {
+                    // The checkpoint fell back to the full solution; the
+                    // adopted strategy must now sit at the re-solved
+                    // equilibrium (zero drift up to determinism).
+                    let after = engine.checkpoint();
+                    assert!(
+                        after <= drift_threshold,
+                        "drift {after} persists after a fallback at event {events}"
+                    );
+                }
+            }
+        }
+        assert!(
+            engine.problem().is_feasible(&engine.strategy()),
+            "infeasible strategy after tick {tick}"
+        );
+    }
+
+    let metrics = engine.metrics();
+    assert!(metrics.events >= 500);
+    assert!(metrics.repairs > 0, "churn must have triggered repairs");
+    assert!(metrics.checkpoints >= 10);
+    assert!(
+        metrics.last_drift <= drift_threshold || metrics.fallbacks > 0,
+        "drift {:.4} above threshold without a fallback",
+        metrics.last_drift
+    );
+    // The workload actually exercised every event kind.
+    assert!(metrics.arrivals > 0 && metrics.departures > 0);
+    assert!(metrics.moves > 0 && metrics.requests > 0);
+}
