@@ -1,0 +1,409 @@
+//! The [`Auditor`]: from-scratch reference recomputations cross-checked
+//! against the incremental serving-path state.
+
+use idde_core::{IddeUGame, Problem};
+use idde_model::{
+    Allocation, ChannelIndex, DataId, Placement, Scenario, ServerId, UserId,
+};
+use idde_radio::{capped_rate, InterferenceField, RadioEnvironment};
+
+use crate::report::{AuditReport, Violation};
+
+/// Tolerances of the audit comparisons; see the crate docs for the policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AuditConfig {
+    /// Relative tolerance for derived quantities (SINR, rate, latency).
+    pub rel_tol: f64,
+    /// Relative tolerance for per-channel power sums (live vs rebuilt).
+    pub power_rel_tol: f64,
+    /// Absolute tolerance for storage counters, MB (matches
+    /// [`Placement::respects_storage`]).
+    pub storage_tol: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            rel_tol: 1e-9,
+            power_rel_tol: InterferenceField::POWER_SUM_REL_TOL,
+            storage_tol: 1e-6,
+        }
+    }
+}
+
+/// `a ≈ b` under a pure relative tolerance.
+#[inline]
+fn close(a: f64, b: f64, rel_tol: f64) -> bool {
+    (a - b).abs() <= rel_tol * a.abs().max(b.abs())
+}
+
+/// Runtime invariant auditor over the serving-path state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Auditor {
+    /// Tolerance configuration.
+    pub config: AuditConfig,
+}
+
+impl Auditor {
+    /// Creates an auditor with the given tolerances.
+    pub fn new(config: AuditConfig) -> Self {
+        Self { config }
+    }
+
+    /// Cross-checks an incremental [`InterferenceField`] against a freshly
+    /// rebuilt field and against from-scratch Eq. 2–4 recomputations.
+    ///
+    /// Three layers, coarsest first: (1) per-channel occupant lists and
+    /// power sums versus a rebuild, (2) feasibility of every allocation
+    /// decision (constraint (1) + channel existence), (3) every allocated
+    /// user's SINR and capped rate versus [`reference_sinr`], which scans
+    /// the raw allocation profile and never touches the field's caches.
+    pub fn audit_field(&self, field: &InterferenceField<'_>) -> AuditReport {
+        let scenario = field.scenario();
+        let env = field.environment();
+        let alloc = field.allocation();
+        let mut report = AuditReport::new();
+
+        let rebuilt = InterferenceField::from_allocation(env, scenario, alloc);
+        for server in scenario.server_ids() {
+            for channel in scenario.servers[server.index()].channels() {
+                let mut live: Vec<UserId> = field.occupants(server, channel).to_vec();
+                let mut reference: Vec<UserId> = rebuilt.occupants(server, channel).to_vec();
+                live.sort_unstable();
+                reference.sort_unstable();
+                report.check(live == reference, || Violation::OccupantMismatch {
+                    server,
+                    channel,
+                    live: live.len(),
+                    rebuilt: reference.len(),
+                });
+
+                let live_power = field.channel_power(server, channel);
+                let rebuilt_power = rebuilt.channel_power(server, channel);
+                report.check(
+                    close(live_power, rebuilt_power, self.config.power_rel_tol),
+                    || Violation::PowerSumDrift {
+                        server,
+                        channel,
+                        live: live_power,
+                        rebuilt: rebuilt_power,
+                    },
+                );
+            }
+        }
+
+        for (user, decision) in alloc.iter() {
+            let Some((server, channel)) = decision else { continue };
+            let feasible = scenario.coverage.covers(server, user)
+                && channel.index() < scenario.servers[server.index()].num_channels as usize;
+            report.check(feasible, || Violation::InfeasibleDecision { user, server, channel });
+            if !feasible {
+                continue;
+            }
+
+            let reference = reference_sinr(env, scenario, alloc, user, server, channel);
+            let live = field.sinr(user).expect("decision exists");
+            report.check(close(live, reference, self.config.rel_tol), || {
+                Violation::SinrMismatch { user, live, reference }
+            });
+
+            let reference_rate = capped_rate(
+                scenario.servers[server.index()].channel_bandwidth,
+                reference,
+                scenario.users[user.index()].max_rate,
+            )
+            .value();
+            let live_rate = field.rate(user).value();
+            report.check(close(live_rate, reference_rate, self.config.rel_tol), || {
+                Violation::RateMismatch { user, live: live_rate, reference: reference_rate }
+            });
+        }
+
+        report
+    }
+
+    /// The Phase #1 postcondition (Nash certificate): no player in `players`
+    /// (all users when `None`) holds a unilateral deviation that `game`'s
+    /// own acceptance discipline would commit
+    /// ([`IddeUGame::profitable_deviation`] — the relative-epsilon
+    /// improvement threshold plus the Lyapunov guard when configured).
+    ///
+    /// Certify the full player set only on profiles the full game converged
+    /// on (offline outcomes, post-fallback checkpoints). After a *restricted*
+    /// dirty-set repair, pass the repaired player set: users frozen during
+    /// the repair may hold stale best responses by design, and their drift
+    /// is bounded by the engine's checkpoints, not by this certificate.
+    pub fn certify_equilibrium(
+        &self,
+        game: &IddeUGame,
+        field: &InterferenceField<'_>,
+        players: Option<&[UserId]>,
+    ) -> AuditReport {
+        let mut report = AuditReport::new();
+        let all: Vec<UserId>;
+        let players = match players {
+            Some(p) => p,
+            None => {
+                all = field.scenario().user_ids().collect();
+                &all
+            }
+        };
+        for &user in players {
+            let deviation = game.profitable_deviation(field, user);
+            report.check(deviation.is_none(), || {
+                let (server, channel, gain) = deviation.expect("checked above");
+                Violation::ProfitableDeviation { user, server, channel, gain }
+            });
+        }
+        report
+    }
+
+    /// Re-derives the placement bookkeeping from first principles: each
+    /// server's storage usage (resummed from the stored data sizes) against
+    /// the cached counter and the Eq. 6 budget, and each request's Eq. 8
+    /// delivery latency (brute-force min over every replica and the cloud)
+    /// against the topology's min-tracking fast path.
+    pub fn audit_placement(
+        &self,
+        problem: &Problem,
+        allocation: &Allocation,
+        placement: &Placement,
+    ) -> AuditReport {
+        let scenario = &problem.scenario;
+        let topology = &problem.topology;
+        let mut report = AuditReport::new();
+
+        for server in scenario.server_ids() {
+            let recomputed: f64 = placement
+                .data_on(server)
+                .map(|d| scenario.data[d.index()].size.value())
+                .sum();
+            let cached = placement.used(server).value();
+            report.check(
+                (cached - recomputed).abs() <= self.config.storage_tol,
+                || Violation::StorageCacheDrift { server, cached, recomputed },
+            );
+            let capacity = scenario.servers[server.index()].storage.value();
+            report.check(
+                recomputed <= capacity + self.config.storage_tol,
+                || Violation::StorageBudgetExceeded { server, used: recomputed, capacity },
+            );
+        }
+
+        for (user, data) in scenario.requests.pairs() {
+            let Some(target) = allocation.server_of(user) else { continue };
+            let size = scenario.data[data.index()].size;
+            let (live, _) = topology.delivery_latency(placement, data, size, target);
+            let reference = reference_latency(problem, placement, data, target);
+            report.check(
+                close(live.value(), reference, self.config.rel_tol),
+                || Violation::LatencyMismatch {
+                    user,
+                    data,
+                    live: live.value(),
+                    reference,
+                },
+            );
+        }
+
+        report
+    }
+
+    /// The field and placement audits composed over one strategy.
+    pub fn audit_strategy(
+        &self,
+        problem: &Problem,
+        allocation: &Allocation,
+        placement: &Placement,
+    ) -> AuditReport {
+        let field =
+            InterferenceField::from_allocation(&problem.radio, &problem.scenario, allocation);
+        let mut report = self.audit_field(&field);
+        report.merge(self.audit_placement(problem, allocation, placement));
+        report
+    }
+}
+
+/// Eq. 2 from first principles: the SINR of `user` as if allocated to
+/// `(server, channel)`, computed by scanning the raw allocation profile —
+/// never the field's occupant/power caches. Own-channel interference is
+/// `g_{i,x,j} · Σ p_t` over the channel's other occupants; the cross-server
+/// term `F_{i,x,j}` sums `g(server, t) · p_t` over users on the same channel
+/// index of *other* servers covering `user`.
+pub fn reference_sinr(
+    env: &RadioEnvironment,
+    scenario: &Scenario,
+    alloc: &Allocation,
+    user: UserId,
+    server: ServerId,
+    channel: ChannelIndex,
+) -> f64 {
+    let g = env.gain(server, user);
+    let p = scenario.users[user.index()].power.value();
+    let mut own = 0.0;
+    let mut cross = 0.0;
+    for (t, decision) in alloc.iter() {
+        if t == user {
+            continue;
+        }
+        let Some((s_t, x_t)) = decision else { continue };
+        if x_t != channel {
+            continue;
+        }
+        let p_t = scenario.users[t.index()].power.value();
+        if s_t == server {
+            own += p_t;
+        } else if scenario.coverage.covers(s_t, user) {
+            cross += env.gain(server, t) * p_t;
+        }
+    }
+    g * p / (g * own + cross + env.params.noise.value())
+}
+
+/// Eq. 8 from first principles: the delivery latency of `data` to a user
+/// served by `target`, as the explicit minimum over the cloud and every
+/// server currently storing the item.
+fn reference_latency(
+    problem: &Problem,
+    placement: &Placement,
+    data: DataId,
+    target: ServerId,
+) -> f64 {
+    let size = problem.scenario.data[data.index()].size;
+    let mut best = problem.topology.cloud_latency(size).value();
+    for origin in placement.servers_with(data) {
+        let via = problem.topology.edge_latency(size, origin, target).value();
+        if via < best {
+            best = via;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idde_core::GreedyDelivery;
+    use idde_model::testkit;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn problem(seed: u64) -> Problem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Problem::standard(testkit::fig2_example(), &mut rng)
+    }
+
+    #[test]
+    fn clean_strategy_audits_clean() {
+        let p = problem(1);
+        let game = IddeUGame::default();
+        let outcome = game.run(&p);
+        assert!(outcome.converged);
+        let auditor = Auditor::default();
+
+        let field_report = auditor.audit_field(&outcome.field);
+        assert!(field_report.is_clean(), "{field_report}");
+        assert!(field_report.checks > 0);
+
+        let cert = auditor.certify_equilibrium(&game, &outcome.field, None);
+        assert!(cert.is_clean(), "{cert}");
+        assert_eq!(cert.checks, p.scenario.num_users() as u64);
+
+        let alloc = outcome.field.allocation().clone();
+        let delivery = GreedyDelivery::default().run(&p, &alloc);
+        let placement_report = auditor.audit_placement(&p, &alloc, &delivery.placement);
+        assert!(placement_report.is_clean(), "{placement_report}");
+
+        let combined = auditor.audit_strategy(&p, &alloc, &delivery.placement);
+        assert_eq!(
+            combined.checks,
+            field_report.checks + placement_report.checks
+        );
+    }
+
+    #[test]
+    fn perturbed_equilibrium_fails_certification() {
+        let p = problem(2);
+        let game = IddeUGame::default();
+        let outcome = game.run(&p);
+        let mut field = outcome.field;
+        field.deallocate(UserId(0));
+        let cert = Auditor::default().certify_equilibrium(&game, &field, None);
+        assert!(cert
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ProfitableDeviation { user: UserId(0), .. })));
+    }
+
+    #[test]
+    fn restricted_certification_only_checks_the_given_players() {
+        let p = problem(3);
+        let game = IddeUGame::default();
+        let outcome = game.run(&p);
+        assert!(outcome.converged);
+        let auditor = Auditor::default();
+        // On a converged profile a restricted certificate runs exactly one
+        // check per listed player and stays clean.
+        let subset = [UserId(0), UserId(2)];
+        let cert = auditor.certify_equilibrium(&game, &outcome.field, Some(&subset));
+        assert_eq!(cert.checks, subset.len() as u64);
+        assert!(cert.is_clean(), "{cert}");
+        // After knocking user 0 out, a certificate restricted to user 0
+        // flags exactly that deviation and checks nobody else.
+        let mut field = outcome.field;
+        field.deallocate(UserId(0));
+        let cert = auditor.certify_equilibrium(&game, &field, Some(&[UserId(0)]));
+        assert_eq!(cert.checks, 1);
+        assert!(matches!(
+            cert.violations.as_slice(),
+            [Violation::ProfitableDeviation { user: UserId(0), .. }]
+        ));
+    }
+
+    #[test]
+    fn reference_sinr_matches_the_incremental_field() {
+        let p = problem(4);
+        let outcome = IddeUGame::default().run(&p);
+        let field = &outcome.field;
+        for user in p.scenario.user_ids() {
+            let Some((s, x)) = field.allocation().decision(user) else { continue };
+            let reference =
+                reference_sinr(&p.radio, &p.scenario, field.allocation(), user, s, x);
+            let live = field.sinr(user).unwrap();
+            assert!(
+                close(live, reference, 1e-9),
+                "user {user}: {live} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn overfull_storage_is_flagged() {
+        let p = problem(5);
+        let alloc = IddeUGame::default().run(&p).field.into_allocation();
+        let mut placement =
+            Placement::empty(p.scenario.num_servers(), p.scenario.num_data());
+        // fig2 servers hold 120 MB; four 60 MB items overflow by 120 MB.
+        for k in 0..p.scenario.num_data() {
+            placement.place(ServerId(0), DataId::from_index(k), p.scenario.data[k].size);
+        }
+        let report = Auditor::default().audit_placement(&p, &alloc, &placement);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::StorageBudgetExceeded { server: ServerId(0), .. })));
+    }
+
+    #[test]
+    fn unallocated_profile_audits_clean_but_fails_certification() {
+        let p = problem(6);
+        let game = IddeUGame::default();
+        let field = p.field();
+        // An empty field is internally consistent...
+        let report = Auditor::default().audit_field(&field);
+        assert!(report.is_clean(), "{report}");
+        // ...but every covered user has a profitable first allocation.
+        let cert = Auditor::default().certify_equilibrium(&game, &field, None);
+        assert_eq!(cert.violations.len(), p.scenario.num_users());
+    }
+}

@@ -1,0 +1,219 @@
+//! Audit findings: typed violations and the aggregated report.
+
+use std::fmt;
+
+use idde_model::{ChannelIndex, DataId, ServerId, UserId};
+
+/// One invariant violation surfaced by an audit pass.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A channel's live occupant list disagrees with the rebuilt field.
+    OccupantMismatch {
+        /// Server owning the channel.
+        server: ServerId,
+        /// Channel index on the server.
+        channel: ChannelIndex,
+        /// Occupant count in the live field.
+        live: usize,
+        /// Occupant count in the rebuilt reference field.
+        rebuilt: usize,
+    },
+    /// A channel's cached power sum drifted past the power tolerance.
+    PowerSumDrift {
+        /// Server owning the channel.
+        server: ServerId,
+        /// Channel index on the server.
+        channel: ChannelIndex,
+        /// Cached sum in the live field, watts.
+        live: f64,
+        /// From-scratch resummation, watts.
+        rebuilt: f64,
+    },
+    /// An allocation decision violates constraint (1) or names a channel
+    /// the server does not have.
+    InfeasibleDecision {
+        /// The allocated user.
+        user: UserId,
+        /// The (infeasible) serving server.
+        server: ServerId,
+        /// The (infeasible) channel.
+        channel: ChannelIndex,
+    },
+    /// A user's cached-path SINR disagrees with the Eq. 2 reference
+    /// recomputation.
+    SinrMismatch {
+        /// The user.
+        user: UserId,
+        /// SINR reported by the incremental field.
+        live: f64,
+        /// SINR recomputed from the raw profile.
+        reference: f64,
+    },
+    /// A user's cached-path data rate disagrees with the Eqs. 3–4 reference.
+    RateMismatch {
+        /// The user.
+        user: UserId,
+        /// Rate reported by the incremental field, MB/s.
+        live: f64,
+        /// Rate recomputed from the raw profile, MB/s.
+        reference: f64,
+    },
+    /// A player holds a unilateral deviation the game itself would commit —
+    /// the profile is not at the game's quiescent point.
+    ProfitableDeviation {
+        /// The deviating player.
+        user: UserId,
+        /// Target server of the deviation.
+        server: ServerId,
+        /// Target channel of the deviation.
+        channel: ChannelIndex,
+        /// Benefit gain of the deviation.
+        gain: f64,
+    },
+    /// A server's cached storage counter disagrees with the resummed
+    /// placement column sizes.
+    StorageCacheDrift {
+        /// The server.
+        server: ServerId,
+        /// Cached used storage, MB.
+        cached: f64,
+        /// Recomputed used storage, MB.
+        recomputed: f64,
+    },
+    /// A server stores more than its capacity — constraint (6) violated.
+    StorageBudgetExceeded {
+        /// The server.
+        server: ServerId,
+        /// Recomputed used storage, MB.
+        used: f64,
+        /// Server capacity, MB.
+        capacity: f64,
+    },
+    /// A request's bookkept Eq. 8 delivery latency disagrees with the
+    /// brute-force re-derivation (min over all replicas and the cloud).
+    LatencyMismatch {
+        /// The requesting user.
+        user: UserId,
+        /// The requested data item.
+        data: DataId,
+        /// Latency reported by the topology fast path, ms.
+        live: f64,
+        /// Brute-force re-derived latency, ms.
+        reference: f64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OccupantMismatch { server, channel, live, rebuilt } => write!(
+                f,
+                "channel ({server}, {channel}): occupant list diverged (live {live} vs rebuilt {rebuilt})"
+            ),
+            Violation::PowerSumDrift { server, channel, live, rebuilt } => write!(
+                f,
+                "channel ({server}, {channel}): power sum drifted (live {live} W vs rebuilt {rebuilt} W)"
+            ),
+            Violation::InfeasibleDecision { user, server, channel } => write!(
+                f,
+                "user {user}: decision ({server}, {channel}) violates coverage/channel feasibility"
+            ),
+            Violation::SinrMismatch { user, live, reference } => write!(
+                f,
+                "user {user}: SINR mismatch (incremental {live} vs Eq. 2 reference {reference})"
+            ),
+            Violation::RateMismatch { user, live, reference } => write!(
+                f,
+                "user {user}: rate mismatch (incremental {live} vs Eq. 3-4 reference {reference} MB/s)"
+            ),
+            Violation::ProfitableDeviation { user, server, channel, gain } => write!(
+                f,
+                "user {user}: profitable deviation to ({server}, {channel}), gain {gain}"
+            ),
+            Violation::StorageCacheDrift { server, cached, recomputed } => write!(
+                f,
+                "server {server}: storage cache drifted (cached {cached} vs recomputed {recomputed} MB)"
+            ),
+            Violation::StorageBudgetExceeded { server, used, capacity } => write!(
+                f,
+                "server {server}: storage budget exceeded ({used} MB used of {capacity} MB)"
+            ),
+            Violation::LatencyMismatch { user, data, live, reference } => write!(
+                f,
+                "request ({user}, {data}): latency mismatch (bookkept {live} vs re-derived {reference} ms)"
+            ),
+        }
+    }
+}
+
+/// Outcome of one audit pass: how many invariants were checked and every
+/// violation found. Reports are pure functions of the audited state — no
+/// wall-clock quantities — so audited runs stay deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuditReport {
+    /// Number of individual invariant checks evaluated.
+    pub checks: u64,
+    /// Every violated invariant, in audit order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Records one check; `violation` is evaluated only on failure.
+    pub(crate) fn check(&mut self, ok: bool, violation: impl FnOnce() -> Violation) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(violation());
+        }
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.checks += other.checks;
+        self.violations.extend(other.violations);
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit: {} checks, {} violations",
+            self.checks,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  VIOLATION: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_merges_and_displays() {
+        let mut a = AuditReport::new();
+        a.check(true, || unreachable!("passing checks never build a violation"));
+        assert!(a.is_clean());
+        let mut b = AuditReport::new();
+        b.check(false, || Violation::SinrMismatch { user: UserId(3), live: 1.0, reference: 2.0 });
+        a.merge(b);
+        assert_eq!(a.checks, 2);
+        assert!(!a.is_clean());
+        let text = a.to_string();
+        assert!(text.contains("2 checks, 1 violations"));
+        assert!(text.contains("user 3: SINR mismatch"), "{text}");
+    }
+}

@@ -116,6 +116,7 @@ impl BinConfig {
             iddeip_budget: self.iddeip,
             skip_iddeip: self.skip_iddeip,
             require_coverage: self.require_coverage,
+            ..RunConfig::default()
         })
     }
 }

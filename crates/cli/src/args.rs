@@ -23,12 +23,15 @@ commands:
   serve      run the online serving engine over a seeded event workload
              [--scenario FILE | --servers N --users M --data K]
              [--seed S] [--ticks T] [--density D] [--net-seed S]
-             [--checkpoint T] [--drift X] [--csv FILE]
+             [--checkpoint T] [--drift X] [--csv FILE] [--audit N]
 
 Scenario files use the plain-text `idde_model::io` format; `--out -`
 and `--scenario -` mean stdout/stdin. `serve` samples a synthetic
 scenario when no `--scenario` is given; `--csv -` prints the
-deterministic metrics CSV to stdout instead of the summary table.";
+deterministic metrics CSV to stdout instead of the summary table.
+`--audit N` runs a full invariant audit every N events (plus Nash
+certificates after converged repairs) and exits nonzero when any
+violation is found; 0 (the default) disables auditing.";
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -107,6 +110,8 @@ pub enum Command {
         /// Where to write the deterministic metrics CSV (None = don't;
         /// `Some(None)` = stdout, replacing the table).
         csv: Option<Option<PathBuf>>,
+        /// Events between invariant audits (0 = never audit).
+        audit: u64,
     },
     /// `idde compare`
     Compare {
@@ -210,7 +215,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "serve" => {
             known(&[
                 "scenario", "servers", "users", "data", "seed", "ticks", "density", "net-seed",
-                "checkpoint", "drift", "csv",
+                "checkpoint", "drift", "csv", "audit",
             ])?;
             Ok(Command::Serve {
                 scenario: take("scenario").map(|v| path_arg(&v)),
@@ -230,6 +235,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 checkpoint: parse_u64("checkpoint", 50)?,
                 drift: parse_f64("drift", 0.05)?,
                 csv: take("csv").map(|v| path_arg(&v)),
+                audit: parse_u64("audit", 0)?,
             })
         }
         "render" => {
@@ -321,24 +327,27 @@ mod tests {
     fn parses_serve_with_defaults() {
         let cmd = parse(&argv("serve --seed 42 --ticks 1000")).unwrap();
         match cmd {
-            Command::Serve { scenario, servers, users, data, seed, ticks, checkpoint, drift, csv, .. } => {
+            Command::Serve { scenario, servers, users, data, seed, ticks, checkpoint, drift, csv, audit, .. } => {
                 assert_eq!(scenario, None);
                 assert_eq!((servers, users, data), (20, 100, 5));
                 assert_eq!((seed, ticks, checkpoint), (42, 1000, 50));
                 assert_eq!(drift, 0.05);
                 assert_eq!(csv, None);
+                assert_eq!(audit, 0, "auditing is off unless asked for");
             }
             other => unreachable!("parse returned the wrong command variant: {other:?}"),
         }
         // `--csv -` means stdout, `--scenario -` means stdin.
-        let cmd = parse(&argv("serve --scenario - --csv -")).unwrap();
+        let cmd = parse(&argv("serve --scenario - --csv - --audit 50")).unwrap();
         match cmd {
-            Command::Serve { scenario, csv, .. } => {
+            Command::Serve { scenario, csv, audit, .. } => {
                 assert_eq!(scenario, Some(None));
                 assert_eq!(csv, Some(None));
+                assert_eq!(audit, 50);
             }
             other => unreachable!("parse returned the wrong command variant: {other:?}"),
         }
+        assert!(parse(&argv("serve --audit fifty")).is_err());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub fn run(command: Command) -> Result<(), String> {
             checkpoint,
             drift,
             csv,
+            audit,
         } => serve(ServeOptions {
             scenario,
             servers,
@@ -56,6 +57,7 @@ pub fn run(command: Command) -> Result<(), String> {
             checkpoint,
             drift,
             csv,
+            audit,
         }),
     }
 }
@@ -233,6 +235,7 @@ struct ServeOptions {
     checkpoint: u64,
     drift: f64,
     csv: Option<Option<std::path::PathBuf>>,
+    audit: u64,
 }
 
 fn serve(opts: ServeOptions) -> Result<(), String> {
@@ -259,6 +262,7 @@ fn serve(opts: ServeOptions) -> Result<(), String> {
     let config = EngineConfig {
         drift_threshold: opts.drift,
         checkpoint_interval: opts.checkpoint,
+        audit_every: opts.audit,
         ..Default::default()
     };
     let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), num_data, opts.seed);
@@ -268,6 +272,13 @@ fn serve(opts: ServeOptions) -> Result<(), String> {
     let t0 = Instant::now();
     engine.run(&mut workload, opts.ticks);
     let elapsed = t0.elapsed();
+
+    // One final audit catches anything the periodic cadence missed (e.g.
+    // state touched after the last audited event).
+    if opts.audit > 0 {
+        let report = engine.run_audit();
+        eprint!("final {report}");
+    }
 
     let metrics = engine.metrics();
     match &opts.csv {
@@ -283,6 +294,13 @@ fn serve(opts: ServeOptions) -> Result<(), String> {
             eprintln!("wrote {}", path.display());
         }
         None => print!("{}", metrics.render_table(elapsed)),
+    }
+    let violations = metrics.audit_violations + metrics.certificate_violations;
+    if violations > 0 {
+        return Err(format!(
+            "audit failed: {} invariant violations and {} certificate deviations over {} audits",
+            metrics.audit_violations, metrics.certificate_violations, metrics.audits
+        ));
     }
     Ok(())
 }
@@ -368,6 +386,7 @@ mod tests {
                 checkpoint: 5,
                 drift: 0.05,
                 csv: Some(Some(path.clone())),
+                audit: 0,
             })
             .unwrap();
             std::fs::read_to_string(path).unwrap()
@@ -377,6 +396,40 @@ mod tests {
         assert_eq!(first, second, "serve CSV must be byte-identical per seed");
         assert!(first.starts_with("metric,value\n"));
         assert!(first.contains("ticks,10\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn audited_serve_passes_and_lands_in_the_csv() {
+        let dir = std::env::temp_dir().join("idde-cli-audit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("audited.csv");
+        serve(ServeOptions {
+            scenario: None,
+            servers: 8,
+            users: 30,
+            data: 3,
+            seed: 42,
+            ticks: 10,
+            density: 1.0,
+            net_seed: 1,
+            checkpoint: 5,
+            drift: 0.05,
+            csv: Some(Some(path.clone())),
+            audit: 10,
+        })
+        .unwrap();
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.contains("audit_violations,0\n"), "{csv}");
+        assert!(csv.contains("certificate_violations,0\n"), "{csv}");
+        // At least the periodic audits plus the final one ran.
+        let audits: u64 = csv
+            .lines()
+            .find_map(|l| l.strip_prefix("audits,"))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(audits >= 2, "expected periodic + final audits, got {audits}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -169,7 +169,11 @@ impl IddeUGame {
 
     /// Benefit of `user` for decision `(server, channel)` under the
     /// configured benefit model, evaluated against `field`'s current state.
-    fn benefit_at(
+    ///
+    /// Both arms delegate to [`InterferenceField`] — the single home of the
+    /// Eq. 12 and congestion formulas — so the game engine, the Nash
+    /// verifier and the potential module can never diverge.
+    pub fn benefit_at(
         &self,
         field: &InterferenceField<'_>,
         user: UserId,
@@ -178,24 +182,33 @@ impl IddeUGame {
     ) -> f64 {
         match self.config.benefit {
             BenefitModel::PaperEq12 => field.benefit_at(user, server, channel),
-            BenefitModel::Congestion => {
-                let scenario = field.scenario();
-                let p = scenario.users[user.index()].power.value();
-                let mut others = field.channel_power(server, channel);
-                if field.allocation().decision(user) == Some((server, channel)) {
-                    others = (others - p).max(0.0);
-                }
-                p / (others + p)
-            }
+            BenefitModel::Congestion => field.congestion_benefit_at(user, server, channel),
         }
     }
 
     /// Benefit of `user`'s current decision (0 when unallocated).
-    fn current_benefit(&self, field: &InterferenceField<'_>, user: UserId) -> f64 {
+    pub fn current_benefit(&self, field: &InterferenceField<'_>, user: UserId) -> f64 {
         match field.allocation().decision(user) {
             Some((s, x)) => self.benefit_at(field, user, s, x),
             None => 0.0,
         }
+    }
+
+    /// The user's profitable unilateral deviation under this game's full
+    /// acceptance discipline — the relative-epsilon improvement threshold
+    /// *and* (when configured) the Lyapunov guard — or `None` when the user
+    /// has no move the game itself would commit.
+    ///
+    /// `None` for every player certifies the profile is at the game's
+    /// quiescent point (a Nash equilibrium under `BenefitOnly` acceptance; an
+    /// interference-guarded equilibrium under `LyapunovGuarded`). This is the
+    /// primitive the `idde-audit` Nash-certificate checker runs per player.
+    pub fn profitable_deviation(
+        &self,
+        field: &InterferenceField<'_>,
+        user: UserId,
+    ) -> Option<(ServerId, ChannelIndex, f64)> {
+        self.improving_move_with_gain(field, user).map(|(_, s, x, gain)| (s, x, gain))
     }
 
     /// Computes `user`'s best response: the decision in `δ_j` with the

@@ -26,16 +26,7 @@ pub fn is_nash_equilibrium(game: &IddeUGame, field: &InterferenceField<'_>, epsi
     let scenario = field.scenario();
     for user in scenario.user_ids() {
         let current = match field.allocation().decision(user) {
-            Some((s, x)) => match game.config.benefit {
-                crate::game::BenefitModel::PaperEq12 => field.benefit_at(user, s, x),
-                crate::game::BenefitModel::Congestion => {
-                    // Delegate to the game's internal computation through
-                    // best_response over a singleton: recompute directly.
-                    let p = scenario.users[user.index()].power.value();
-                    let others = (field.channel_power(s, x) - p).max(0.0);
-                    p / (others + p)
-                }
-            },
+            Some((s, x)) => game.benefit_at(field, user, s, x),
             None => {
                 if game.best_response(field, user).is_some() {
                     return false; // a covered user left unallocated

@@ -30,16 +30,10 @@ use idde_radio::InterferenceField;
 
 /// The congestion-form benefit used by the Theorem 3 proof:
 /// `β_j = p_j / Σ_{u_t ∈ U_{i,x}(α) ∪ {j}} p_t` (uniform gains, no
-/// cross-server term). Zero for unallocated users.
+/// cross-server term). Zero for unallocated users. Delegates to
+/// [`InterferenceField::congestion_benefit`], the one shared implementation.
 pub fn congestion_benefit(field: &InterferenceField<'_>, user: UserId) -> f64 {
-    match field.allocation().decision(user) {
-        Some((s, x)) => {
-            let p = field.scenario().users[user.index()].power.value();
-            let others = (field.channel_power(s, x) - p).max(0.0);
-            p / (others + p)
-        }
-        None => 0.0,
-    }
+    field.congestion_benefit(user)
 }
 
 /// The exact potential of the uniform-gain IDDE-U game (see module docs).

@@ -20,6 +20,9 @@
 //! it exceeds [`EngineConfig::drift_threshold`] the full solution is adopted
 //! (the fallback of the incremental scheme).
 
+use std::time::Instant;
+
+use idde_audit::{AuditConfig, AuditReport, Auditor};
 use idde_core::{
     evict_useless_replicas, DeliveryConfig, GameConfig, GreedyDelivery, IddeUGame, Problem,
     Strategy,
@@ -48,6 +51,12 @@ pub struct EngineConfig {
     /// Run `InterferenceField::consistency_check` after every repair
     /// (expensive; meant for tests).
     pub paranoid: bool,
+    /// Run a full invariant audit ([`Engine::run_audit`]) every N events;
+    /// `0` disables auditing. When enabled, every converged restricted
+    /// repair is additionally Nash-certified over its dirty set.
+    pub audit_every: u64,
+    /// Tolerances the audits compare with.
+    pub audit: AuditConfig,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +67,8 @@ impl Default for EngineConfig {
             drift_threshold: 0.05,
             checkpoint_interval: 50,
             paranoid: false,
+            audit_every: 0,
+            audit: AuditConfig::default(),
         }
     }
 }
@@ -201,6 +212,28 @@ impl Engine {
             Event::Move { user, dx, dy } => self.apply_move(user, dx, dy),
             Event::Request { user, data } => self.apply_request(user, data),
         }
+        let every = self.config.audit_every;
+        if every > 0 && self.metrics.events.is_multiple_of(every) {
+            self.run_audit();
+        }
+    }
+
+    /// Runs one full invariant audit over the current strategy: the
+    /// interference-field cross-check (Eqs. 2–4 versus a from-scratch
+    /// rebuild) plus the placement audit (storage budget and Eq. 8 latency
+    /// re-derivation). Counted in the metrics; returns the report so callers
+    /// can fail hard on violations.
+    pub fn run_audit(&mut self) -> AuditReport {
+        let started = Instant::now();
+        let report = Auditor::new(self.config.audit).audit_strategy(
+            &self.problem,
+            &self.allocation,
+            &self.placement,
+        );
+        self.metrics
+            .record_audit(report.checks, report.violations.len() as u64);
+        self.metrics.timings.audit += started.elapsed();
+        report
     }
 
     fn apply_arrive(&mut self, user: UserId) {
@@ -340,12 +373,14 @@ impl Engine {
         if dirty.is_empty() {
             return;
         }
+        let started = Instant::now();
         let field = InterferenceField::from_allocation(
             &self.problem.radio,
             &self.problem.scenario,
             &self.allocation,
         );
-        let outcome = IddeUGame::new(self.config.game).run_restricted(field, dirty);
+        let game = IddeUGame::new(self.config.game);
+        let outcome = game.run_restricted(field, dirty);
         if self.config.paranoid {
             assert!(
                 outcome.field.consistency_check(),
@@ -354,6 +389,21 @@ impl Engine {
         }
         self.metrics.repairs += 1;
         self.metrics.repair_moves += outcome.moves as u64;
+        self.metrics.timings.equilibrium += started.elapsed();
+        // Phase #1 postcondition: a converged restricted repair claims no
+        // dirty player holds a committable deviation — certify exactly that.
+        // Frozen users are intentionally outside the certificate; their
+        // staleness is bounded by the drift checkpoints.
+        if self.config.audit_every > 0 && outcome.converged {
+            let started = Instant::now();
+            let cert = Auditor::new(self.config.audit).certify_equilibrium(
+                &game,
+                &outcome.field,
+                Some(dirty),
+            );
+            self.metrics.record_certificate(cert.violations.len() as u64);
+            self.metrics.timings.audit += started.elapsed();
+        }
         self.allocation = outcome.field.into_allocation();
     }
 
@@ -361,6 +411,7 @@ impl Engine {
     /// any more (Eq. 17 scores them at zero), then let the greedy re-insert
     /// under the freed storage, warm-started from the surviving placement.
     fn repair_placement(&mut self) {
+        let started = Instant::now();
         let evicted = evict_useless_replicas(&self.problem, &self.allocation, &mut self.placement);
         let outcome = GreedyDelivery::new(self.config.delivery).run_from(
             &self.problem,
@@ -370,6 +421,7 @@ impl Engine {
         self.metrics.placement_repairs += 1;
         self.metrics.evicted_replicas += evicted as u64;
         self.metrics.new_replicas += outcome.iterations as u64;
+        self.metrics.timings.placement += started.elapsed();
         self.placement = outcome.placement;
     }
 
@@ -377,6 +429,7 @@ impl Engine {
     /// re-solve over the active users, adopting the full solution when it
     /// exceeds the threshold. Returns the measured drift.
     pub fn checkpoint(&mut self) -> f64 {
+        let started = Instant::now();
         let active_ids = self.active_users();
         let repaired_rate = self.average_active_rate();
         let outcome = IddeUGame::new(self.config.game).run_restricted(self.problem.field(), &active_ids);
@@ -388,6 +441,9 @@ impl Engine {
         };
         let fall_back = drift > self.config.drift_threshold;
         self.metrics.record_drift(drift, fall_back);
+        // The re-solve is the checkpoint's cost; a fallback's placement
+        // repair is accounted under the placement span.
+        self.metrics.timings.checkpoint += started.elapsed();
         if fall_back {
             self.allocation = outcome.field.into_allocation();
             self.repair_placement();
@@ -499,6 +555,31 @@ mod tests {
         assert_eq!(e.metrics().departures, 1);
         e.apply(&Event::Move { user, dx: 10.0, dy: 10.0 }); // inactive
         assert_eq!(e.metrics().moves, 0);
+    }
+
+    #[test]
+    fn audited_run_stays_clean_and_certifies_repairs() {
+        let problem = small_problem(8);
+        let m = problem.scenario.num_users();
+        let initial: Vec<bool> = (0..m).map(|j| j % 3 != 0).collect();
+        let mut e = Engine::new(
+            problem,
+            EngineConfig { audit_every: 1, ..Default::default() },
+            initial,
+        );
+        let depart = e.active_users()[0];
+        e.apply(&Event::Depart { user: depart });
+        e.apply(&Event::Arrive { user: depart });
+        e.apply(&Event::Move { user: depart, dx: 120.0, dy: -60.0 });
+        e.apply(&Event::Request { user: depart, data: idde_model::DataId(0) });
+        assert_eq!(e.metrics().audits, 4, "one audit per event at audit_every=1");
+        assert!(e.metrics().audit_checks > 0);
+        assert_eq!(e.metrics().audit_violations, 0);
+        assert!(e.metrics().certificates > 0, "converged repairs get certified");
+        assert_eq!(e.metrics().certificate_violations, 0);
+        let report = e.run_audit();
+        assert!(report.is_clean(), "{report}");
+        assert!(e.metrics().timings.audit > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -53,6 +53,21 @@ impl LatencyHistogram {
     }
 }
 
+/// Wall-clock time spent in each serving phase. Rendered only by
+/// [`ServeMetrics::render_table`] — never by [`ServeMetrics::to_csv`], which
+/// must stay a pure function of the event stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Time inside Phase #1 restricted best-response repairs.
+    pub equilibrium: Duration,
+    /// Time inside Phase #2 placement repairs.
+    pub placement: Duration,
+    /// Time inside drift checkpoints (from-scratch re-solves).
+    pub checkpoint: Duration,
+    /// Time inside invariant audits and Nash certificates.
+    pub audit: Duration,
+}
+
 /// Counters and gauges accumulated over a serving run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServeMetrics {
@@ -92,8 +107,22 @@ pub struct ServeMetrics {
     pub last_drift: f64,
     /// Largest drift observed at any checkpoint.
     pub max_drift: f64,
+    /// Invariant audit passes run (field + placement cross-checks).
+    pub audits: u64,
+    /// Individual invariant checks evaluated across all audit passes.
+    pub audit_checks: u64,
+    /// Invariant violations surfaced across all audit passes.
+    pub audit_violations: u64,
+    /// Nash certificates evaluated after converged restricted repairs.
+    pub certificates: u64,
+    /// Profitable deviations found by Nash certificates (each one disproves
+    /// a repair's claimed restricted equilibrium).
+    pub certificate_violations: u64,
     /// Delivery-latency histogram over served requests.
     pub latency: LatencyHistogram,
+    /// Wall-clock per-phase spans (table output only; excluded from the CSV
+    /// so it stays deterministic).
+    pub timings: PhaseTimings,
     total_latency_ms: f64,
     rate_sum: f64,
     rate_samples: u64,
@@ -129,6 +158,19 @@ impl ServeMetrics {
         if fell_back {
             self.fallbacks += 1;
         }
+    }
+
+    /// Records one invariant audit pass.
+    pub fn record_audit(&mut self, checks: u64, violations: u64) {
+        self.audits += 1;
+        self.audit_checks += checks;
+        self.audit_violations += violations;
+    }
+
+    /// Records one Nash certificate evaluated after a converged repair.
+    pub fn record_certificate(&mut self, violations: u64) {
+        self.certificates += 1;
+        self.certificate_violations += violations;
     }
 
     /// Running mean of the sampled average data rate, MB/s.
@@ -172,6 +214,11 @@ impl ServeMetrics {
         kv("new_replicas", self.new_replicas.to_string());
         kv("checkpoints", self.checkpoints.to_string());
         kv("fallbacks", self.fallbacks.to_string());
+        kv("audits", self.audits.to_string());
+        kv("audit_checks", self.audit_checks.to_string());
+        kv("audit_violations", self.audit_violations.to_string());
+        kv("certificates", self.certificates.to_string());
+        kv("certificate_violations", self.certificate_violations.to_string());
         kv("last_drift", format!("{:.6}", self.last_drift));
         kv("max_drift", format!("{:.6}", self.max_drift));
         kv("avg_rate_mbps", format!("{:.6}", self.average_rate()));
@@ -224,6 +271,25 @@ impl ServeMetrics {
             out,
             "drift:        last {:.4}, max {:.4} over {} checkpoints ({} fallbacks)",
             self.last_drift, self.max_drift, self.checkpoints, self.fallbacks
+        );
+        if self.audits > 0 || self.certificates > 0 {
+            let _ = writeln!(
+                out,
+                "audits:       {} passes ({} checks, {} violations), {} certificates ({} deviations)",
+                self.audits,
+                self.audit_checks,
+                self.audit_violations,
+                self.certificates,
+                self.certificate_violations
+            );
+        }
+        let _ = writeln!(
+            out,
+            "phase time:   {:.3} s equilibrium, {:.3} s placement, {:.3} s checkpoint, {:.3} s audit",
+            self.timings.equilibrium.as_secs_f64(),
+            self.timings.placement.as_secs_f64(),
+            self.timings.checkpoint.as_secs_f64(),
+            self.timings.audit.as_secs_f64()
         );
         let _ = writeln!(out, "latency histogram:");
         let total = self.latency.total().max(1);
@@ -279,6 +345,29 @@ mod tests {
         assert!(csv.contains("latency_le_inf,0\n"));
         // No wall-clock values anywhere in the CSV.
         assert!(!csv.contains("sec"));
+    }
+
+    #[test]
+    fn audit_counters_land_in_csv_but_timings_do_not() {
+        let mut m = ServeMetrics::default();
+        m.record_audit(120, 0);
+        m.record_audit(120, 2);
+        m.record_certificate(0);
+        m.timings.audit = Duration::from_millis(1234);
+        m.timings.equilibrium = Duration::from_millis(77);
+        let csv = m.to_csv();
+        assert!(csv.contains("audits,2\n"));
+        assert!(csv.contains("audit_checks,240\n"));
+        assert!(csv.contains("audit_violations,2\n"));
+        assert!(csv.contains("certificates,1\n"));
+        assert!(csv.contains("certificate_violations,0\n"));
+        // Timings are wall-clock and must never leak into the CSV.
+        assert!(!csv.contains("sec"));
+        assert!(!csv.contains("1234"));
+        let table = m.render_table(Duration::from_secs(1));
+        assert!(table.contains("2 passes (240 checks, 2 violations)"));
+        assert!(table.contains("phase time:"));
+        assert!(table.contains("1.234 s audit"));
     }
 
     #[test]

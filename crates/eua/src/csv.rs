@@ -14,7 +14,7 @@
 
 use std::path::Path;
 
-use idde_model::{Point, Rect};
+use idde_model::{ModelError, Point, Rect};
 use rand::Rng;
 
 use crate::population::BasePopulation;
@@ -22,36 +22,46 @@ use crate::population::BasePopulation;
 /// Mean Earth radius, metres.
 const EARTH_RADIUS_M: f64 = 6_371_000.0;
 
+fn malformed(msg: impl Into<String>) -> ModelError {
+    ModelError::Malformed(msg.into())
+}
+
 /// Parses a `LATITUDE`/`LONGITUDE` CSV (header row required, column order
 /// free, extra columns ignored). Returns `(lat, lon)` pairs in degrees.
-pub fn parse_lat_lon_csv(content: &str) -> Result<Vec<(f64, f64)>, String> {
+///
+/// Malformed content — a missing header, truncated rows, unparsable or
+/// out-of-range coordinates — yields [`ModelError::Malformed`] naming the
+/// offending line; it never panics.
+pub fn parse_lat_lon_csv(content: &str) -> Result<Vec<(f64, f64)>, ModelError> {
     let mut lines = content.lines().filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or("empty CSV")?;
+    let header = lines.next().ok_or_else(|| malformed("empty CSV"))?;
     let columns: Vec<String> =
         header.split(',').map(|c| c.trim().trim_matches('"').to_ascii_uppercase()).collect();
     let lat_idx = columns
         .iter()
         .position(|c| c == "LATITUDE" || c == "LAT")
-        .ok_or("no LATITUDE column")?;
+        .ok_or_else(|| malformed("no LATITUDE column"))?;
     let lon_idx = columns
         .iter()
         .position(|c| c == "LONGITUDE" || c == "LON" || c == "LNG")
-        .ok_or("no LONGITUDE column")?;
+        .ok_or_else(|| malformed("no LONGITUDE column"))?;
     let mut out = Vec::new();
     for (lineno, line) in lines.enumerate() {
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         let lat: f64 = fields
             .get(lat_idx)
-            .ok_or_else(|| format!("line {}: missing latitude", lineno + 2))?
+            .ok_or_else(|| malformed(format!("line {}: missing latitude", lineno + 2)))?
             .parse()
-            .map_err(|e| format!("line {}: bad latitude: {e}", lineno + 2))?;
+            .map_err(|e| malformed(format!("line {}: bad latitude: {e}", lineno + 2)))?;
         let lon: f64 = fields
             .get(lon_idx)
-            .ok_or_else(|| format!("line {}: missing longitude", lineno + 2))?
+            .ok_or_else(|| malformed(format!("line {}: missing longitude", lineno + 2)))?
             .parse()
-            .map_err(|e| format!("line {}: bad longitude: {e}", lineno + 2))?;
+            .map_err(|e| malformed(format!("line {}: bad longitude: {e}", lineno + 2)))?;
+        // NaN fails both `contains` checks, so non-finite coordinates are
+        // rejected here too.
         if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
-            return Err(format!("line {}: coordinates out of range", lineno + 2));
+            return Err(malformed(format!("line {}: coordinates out of range", lineno + 2)));
         }
         out.push((lat, lon));
     }
@@ -85,20 +95,37 @@ pub fn project_to_plane(coords: &[(f64, f64)]) -> Vec<Point> {
 /// them).
 ///
 /// Returns `Ok(None)` when either file is missing — the caller should then
-/// use the synthetic substitute.
+/// use the synthetic substitute. All other failures (unreadable files,
+/// malformed rows, empty site lists, an invalid radius range) come back as
+/// [`ModelError`] rather than a panic.
 pub fn load_base_population(
     servers_csv: &Path,
     users_csv: &Path,
     coverage_radius_m: (f64, f64),
     rng: &mut impl Rng,
-) -> Result<Option<BasePopulation>, String> {
+) -> Result<Option<BasePopulation>, ModelError> {
     if !servers_csv.exists() || !users_csv.exists() {
         return Ok(None);
     }
-    let servers_raw = std::fs::read_to_string(servers_csv).map_err(|e| e.to_string())?;
-    let users_raw = std::fs::read_to_string(users_csv).map_err(|e| e.to_string())?;
+    let (lo, hi) = coverage_radius_m;
+    // `gen_range` panics on an empty or non-finite range; reject it up front.
+    if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 || lo > hi {
+        return Err(malformed(format!("invalid coverage radius range {lo}..={hi} m")));
+    }
+    let servers_raw = std::fs::read_to_string(servers_csv)
+        .map_err(|e| malformed(format!("cannot read {}: {e}", servers_csv.display())))?;
+    let users_raw = std::fs::read_to_string(users_csv)
+        .map_err(|e| malformed(format!("cannot read {}: {e}", users_csv.display())))?;
     let server_coords = parse_lat_lon_csv(&servers_raw)?;
     let user_coords = parse_lat_lon_csv(&users_raw)?;
+    // Header-only files parse to zero rows; the projection's bounding box
+    // would degenerate to infinities, so fail with a location instead.
+    if server_coords.is_empty() {
+        return Err(malformed(format!("{}: no data rows", servers_csv.display())));
+    }
+    if user_coords.is_empty() {
+        return Err(malformed(format!("{}: no data rows", users_csv.display())));
+    }
 
     // Shift both clouds into one positive-quadrant plane.
     let mut all = server_coords.clone();
@@ -114,9 +141,7 @@ pub fn load_base_population(
         projected[..server_coords.len()].iter().map(|&p| shift(p)).collect();
     let user_sites: Vec<Point> =
         projected[server_coords.len()..].iter().map(|&p| shift(p)).collect();
-    let coverage_radii_m = (0..server_sites.len())
-        .map(|_| rng.gen_range(coverage_radius_m.0..=coverage_radius_m.1))
-        .collect();
+    let coverage_radii_m = (0..server_sites.len()).map(|_| rng.gen_range(lo..=hi)).collect();
 
     let population = BasePopulation {
         area: Rect::with_size(max_x - min_x, max_y - min_y),
@@ -124,7 +149,7 @@ pub fn load_base_population(
         user_sites,
         coverage_radii_m,
     };
-    population.validate()?;
+    population.validate().map_err(ModelError::Inconsistent)?;
     Ok(Some(population))
 }
 
@@ -155,6 +180,60 @@ mod tests {
         assert!(parse_lat_lon_csv("FOO,BAR\n1,2\n").is_err());
         assert!(parse_lat_lon_csv("LATITUDE,LONGITUDE\nnope,3.0\n").is_err());
         assert!(parse_lat_lon_csv("LATITUDE,LONGITUDE\n95.0,3.0\n").is_err());
+    }
+
+    #[test]
+    fn truncated_and_garbage_rows_error_instead_of_panicking() {
+        // Every corruption of a valid file must come back as a located
+        // ModelError::Malformed — none may panic or silently succeed.
+        let corruptions: &[&str] = &[
+            "LATITUDE,LONGITUDE\n-37.81",                       // truncated mid-row
+            "LATITUDE,LONGITUDE\n-37.81,",                      // empty longitude field
+            "SITE_ID,NAME,LATITUDE,LONGITUDE\n1,site-a,-37.81", // row shorter than header
+            "LATITUDE,LONGITUDE\n\u{1F4A3},144.96\n",           // non-numeric garbage
+            "LATITUDE,LONGITUDE\nnan,144.96\n",                 // parses, but not a coordinate
+            "LATITUDE,LONGITUDE\ninf,144.96\n",
+            "LATITUDE,LONGITUDE\n-37.81,1e999\n",               // overflows to +inf
+            "LATITUDE,LONGITUDE\n-37.81,144.96\n-91.0,0.0\n",   // bad row after a good one
+            "LATITUDE\n-37.81\n",                               // longitude column missing
+            "\"LATITUDE\"\n",                                   // header only, no usable columns
+        ];
+        for content in corruptions {
+            let err = parse_lat_lon_csv(content)
+                .expect_err(&format!("{content:?} must be rejected"));
+            assert!(
+                matches!(err, idde_model::ModelError::Malformed(_)),
+                "{content:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_load_inputs_error_instead_of_panicking() {
+        let dir = std::env::temp_dir().join("idde-eua-csv-degenerate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sp = dir.join("servers.csv");
+        let up = dir.join("users.csv");
+        std::fs::write(&sp, SERVERS).unwrap();
+        std::fs::write(&up, USERS).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+        // An inverted or non-finite radius range would make gen_range panic.
+        for range in [(300.0, 150.0), (0.0, 100.0), (f64::NAN, 300.0), (150.0, f64::INFINITY)] {
+            let err = load_base_population(&sp, &up, range, &mut rng).unwrap_err();
+            assert!(matches!(err, idde_model::ModelError::Malformed(_)), "{range:?}: {err:?}");
+        }
+
+        // Header-only files would degenerate the projection bounding box.
+        std::fs::write(&sp, "LATITUDE,LONGITUDE\n").unwrap();
+        let err = load_base_population(&sp, &up, (150.0, 300.0), &mut rng).unwrap_err();
+        assert!(matches!(err, idde_model::ModelError::Malformed(_)), "{err:?}");
+
+        // Garbage rows surface parse_lat_lon_csv's located error.
+        std::fs::write(&sp, "LATITUDE,LONGITUDE\n-37.81").unwrap();
+        let err = load_base_population(&sp, &up, (150.0, 300.0), &mut rng).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

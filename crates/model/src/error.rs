@@ -11,6 +11,9 @@ pub enum ModelError {
     /// The scenario wiring is inconsistent (id gaps, cross-references to
     /// missing entities, mismatched matrix dimensions…).
     Inconsistent(String),
+    /// External input (a dataset file, CSV row, config value) could not be
+    /// parsed; the payload locates the offending record.
+    Malformed(String),
 }
 
 impl fmt::Display for ModelError {
@@ -18,6 +21,7 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::InvalidEntity(msg) => write!(f, "invalid entity: {msg}"),
             ModelError::Inconsistent(msg) => write!(f, "inconsistent scenario: {msg}"),
+            ModelError::Malformed(msg) => write!(f, "malformed input: {msg}"),
         }
     }
 }
@@ -34,5 +38,7 @@ mod tests {
         assert_eq!(e.to_string(), "invalid entity: server 3: bad radius");
         let e = ModelError::Inconsistent("user 0 out of range".into());
         assert!(e.to_string().contains("inconsistent"));
+        let e = ModelError::Malformed("line 7: bad latitude".into());
+        assert_eq!(e.to_string(), "malformed input: line 7: bad latitude");
     }
 }

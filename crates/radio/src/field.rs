@@ -141,17 +141,23 @@ impl<'a> InterferenceField<'a> {
     pub fn deallocate(&mut self, user: UserId) {
         if let Some((server, channel)) = self.alloc.set(user, None) {
             let g = self.global(server, channel);
-            let p = self.scenario.users[user.index()].power.value();
             let pos = self.occupants[g]
                 .iter()
                 .position(|&u| u == user)
                 .expect("field out of sync: allocated user missing from occupant list");
             self.occupants[g].swap_remove(pos);
-            self.power_sum[g] -= p;
-            if self.occupants[g].is_empty() {
-                // Snap accumulated float error to exact zero on empty channels.
-                self.power_sum[g] = 0.0;
-            }
+            // Resnap the cached sum from the surviving occupants instead of
+            // subtracting: subtract-on-remove accumulates rounding drift
+            // under long allocate/deallocate churn and cancels
+            // catastrophically when occupant powers span many orders of
+            // magnitude. The resummation is O(occupancy) — the same cost as
+            // the position scan above — and leaves at most one fresh
+            // summation of rounding error; an emptied channel snaps to an
+            // exact 0.0 for free.
+            self.power_sum[g] = self.occupants[g]
+                .iter()
+                .map(|&t| self.scenario.users[t.index()].power.value())
+                .sum();
         }
     }
 
@@ -273,12 +279,49 @@ impl<'a> InterferenceField<'a> {
         }
     }
 
+    /// The uniform-gain congestion benefit used by the Theorem 3 proof:
+    /// `β_j = p_j / Σ_{u_t ∈ U_{i,x}(α) ∪ {j}} p_t` (cross-server
+    /// interference and channel gains ignored), evaluated *as if* `user`
+    /// were allocated to `c_{i,x}`.
+    ///
+    /// This is the single shared implementation of the congestion form:
+    /// `idde-core`'s game engine (`BenefitModel::Congestion`, which the
+    /// DUP-G baseline runs on), its Nash verifier and its potential-function
+    /// module all delegate here, so the three can never diverge.
+    pub fn congestion_benefit_at(
+        &self,
+        user: UserId,
+        server: ServerId,
+        channel: ChannelIndex,
+    ) -> f64 {
+        let p = self.scenario.users[user.index()].power.value();
+        let others = self.co_channel_power_excluding(user, server, channel);
+        p / (others + p)
+    }
+
+    /// Congestion benefit of the user's current decision; zero when
+    /// unallocated.
+    pub fn congestion_benefit(&self, user: UserId) -> f64 {
+        match self.alloc.decision(user) {
+            Some((s, x)) => self.congestion_benefit_at(user, s, x),
+            None => 0.0,
+        }
+    }
+
+    /// Relative tolerance within which the incrementally maintained power
+    /// sums must agree with a from-scratch resummation. With the
+    /// resnap-on-remove discipline of [`InterferenceField::deallocate`] the
+    /// live and rebuilt sums differ only by summation order, which is far
+    /// inside this bound for any realistic occupancy.
+    pub const POWER_SUM_REL_TOL: f64 = 1e-12;
+
     /// Verifies the incremental state against a from-scratch rebuild; used
-    /// by tests and debug assertions.
+    /// by tests, debug assertions and the `idde-audit` subsystem.
     pub fn consistency_check(&self) -> bool {
         let rebuilt = Self::from_allocation(self.env, self.scenario, &self.alloc);
         for g in 0..self.power_sum.len() {
-            if (self.power_sum[g] - rebuilt.power_sum[g]).abs() > 1e-9 {
+            let (a, b) = (self.power_sum[g], rebuilt.power_sum[g]);
+            if (a - b).abs() > Self::POWER_SUM_REL_TOL * a.abs().max(b.abs()) {
                 return false;
             }
             let mut a = self.occupants[g].clone();
@@ -298,6 +341,7 @@ mod tests {
     use super::*;
     use crate::RadioParams;
     use idde_model::testkit;
+    use idde_model::{Point, Watts};
 
     fn setup(scenario: &Scenario) -> RadioEnvironment {
         RadioEnvironment::new(scenario, RadioParams::paper())
@@ -468,6 +512,104 @@ mod tests {
             ((actual - expected) / expected).abs() < 1e-12,
             "Eq. 2 mismatch: {actual} vs {expected}"
         );
+    }
+
+    /// Regression: `deallocate` must resnap the cached power sum instead of
+    /// subtracting. With occupant powers spanning many orders of magnitude
+    /// the subtraction cancels catastrophically: `(1e17 + 1.0) - 1e17`
+    /// evaluates to `0.0` in f64, so the pre-fix code left a channel holding
+    /// a 1 W user with a recorded power of zero.
+    #[test]
+    fn deallocate_resnaps_across_power_magnitudes() {
+        let mut b = idde_model::ScenarioBuilder::new();
+        let s0 = b.server(
+            Point::new(0.0, 0.0),
+            500.0,
+            2,
+            MegaBytesPerSec(200.0),
+            idde_model::MegaBytes(60.0),
+        );
+        let big = b.user(Point::new(10.0, 0.0), Watts(1e17), MegaBytesPerSec(200.0));
+        let small = b.user(Point::new(20.0, 0.0), Watts(1.0), MegaBytesPerSec(200.0));
+        let scenario = b.build().expect("two-user scenario must validate");
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+
+        field.allocate(big, s0, ChannelIndex(0));
+        field.allocate(small, s0, ChannelIndex(0));
+        field.deallocate(big);
+
+        let remaining = field.channel_power(s0, ChannelIndex(0));
+        assert!(
+            (remaining - 1.0).abs() <= 1e-12,
+            "surviving occupant's 1 W lost to cancellation: channel power = {remaining}"
+        );
+        assert!(field.consistency_check());
+
+        // Emptying the channel must snap the sum to an exact 0.0.
+        field.deallocate(small);
+        assert_eq!(field.channel_power(s0, ChannelIndex(0)), 0.0);
+    }
+
+    /// Regression (ISSUE 2 satellite): a 10k-move random walk over
+    /// allocate/deallocate must keep every cached channel power within 1e-12
+    /// *relative* tolerance of a from-scratch rebuild. Pre-fix, the
+    /// subtract-on-remove drift accumulated across the walk and blew far
+    /// past this bound whenever large-power users churned through channels
+    /// whose steady occupants are small-power users.
+    #[test]
+    fn ten_thousand_move_random_walk_matches_rebuilt_field() {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+
+        // One cluster of servers covering every user; powers span eleven
+        // orders of magnitude so cancellation has teeth.
+        let mut b = idde_model::ScenarioBuilder::new();
+        for i in 0..3 {
+            b.server(
+                Point::new(i as f64 * 50.0, 0.0),
+                500.0,
+                3,
+                MegaBytesPerSec(200.0),
+                idde_model::MegaBytes(60.0),
+            );
+        }
+        for j in 0..12 {
+            let power = 10f64.powi(j % 12 - 3); // 1e-3 .. 1e8 W
+            b.user(Point::new(5.0 * j as f64, 10.0), Watts(power), MegaBytesPerSec(200.0));
+        }
+        let scenario = b.build().expect("walk scenario must validate");
+        let env = setup(&scenario);
+        let mut field = InterferenceField::new(&env, &scenario);
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let user = UserId(rng.gen_range(0..scenario.num_users() as u32));
+            if rng.gen_bool(0.25) {
+                field.deallocate(user);
+            } else {
+                let servers = scenario.coverage.servers_of(user);
+                let server = servers[rng.gen_range(0..servers.len())];
+                let channels = scenario.servers[server.index()].num_channels as usize;
+                let channel = ChannelIndex(rng.gen_range(0..channels as u16));
+                field.allocate(user, server, channel);
+            }
+        }
+
+        let rebuilt =
+            InterferenceField::from_allocation(&env, &scenario, field.allocation());
+        for server in scenario.server_ids() {
+            for channel in scenario.servers[server.index()].channels() {
+                let live = field.channel_power(server, channel);
+                let reference = rebuilt.channel_power(server, channel);
+                let scale = live.abs().max(reference.abs());
+                assert!(
+                    (live - reference).abs() <= 1e-12 * scale,
+                    "channel ({server}, {channel}) drifted: live {live} vs rebuilt {reference}"
+                );
+            }
+        }
+        assert!(field.consistency_check());
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub struct RunConfig {
     /// (the paper's "all users can be allocated" assumption); `false`
     /// draws uniformly, leaving an N-dependent share unallocated.
     pub require_coverage: bool,
+    /// Audit every produced strategy with [`idde_audit::Auditor`] and panic
+    /// on any invariant violation (slow; meant for seeded CI sweeps).
+    pub audit_strategies: bool,
 }
 
 impl Default for RunConfig {
@@ -54,6 +57,7 @@ impl Default for RunConfig {
             iddeip_budget: Duration::from_secs(1),
             skip_iddeip: false,
             require_coverage: true,
+            audit_strategies: false,
         }
     }
 }
@@ -180,6 +184,18 @@ impl Runner {
                         let t0 = Instant::now();
                         let strategy = approach.solve_seeded(&problem, rep as u64);
                         let elapsed = t0.elapsed().as_secs_f64();
+                        if self.config.audit_strategies {
+                            let report = idde_audit::Auditor::default().audit_strategy(
+                                &problem,
+                                &strategy.allocation,
+                                &strategy.placement,
+                            );
+                            assert!(
+                                report.is_clean(),
+                                "{} rep {rep}: {report}",
+                                approach.name()
+                            );
+                        }
                         let metrics = problem.evaluate(&strategy);
                         (
                             metrics.average_data_rate.value(),
@@ -229,6 +245,7 @@ mod tests {
             iddeip_budget: Duration::from_millis(30),
             skip_iddeip: false,
             require_coverage: true,
+            audit_strategies: false,
         }
     }
 
@@ -272,6 +289,19 @@ mod tests {
             p0.scenario.users.iter().map(|u| u.power.value()).collect::<Vec<_>>(),
             p1.scenario.users.iter().map(|u| u.power.value()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn audited_point_run_passes_every_strategy_audit() {
+        let mut cfg = quick_config();
+        cfg.repetitions = 2;
+        cfg.skip_iddeip = true;
+        cfg.audit_strategies = true;
+        let runner = Runner::new(cfg);
+        let point = ExperimentPoint { n: 10, m: 25, k: 3, density: 1.0 };
+        // Panics inside run_point if any panel strategy fails its audit.
+        let result = runner.run_point(1, 0, &point);
+        assert_eq!(result.approaches.len(), 4);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub use idde_audit as audit;
 pub use idde_baselines as baselines;
 pub use idde_core as core;
 pub use idde_engine as engine;
@@ -46,6 +47,7 @@ pub fn seeded_rng(seed: u64) -> rand_chacha::ChaCha8Rng {
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use idde_audit::{AuditConfig, AuditReport, Auditor};
     pub use idde_baselines::{Cdp, DeliveryStrategy, DupG, IddeGStrategy, IddeIp, Saa};
     pub use idde_core::{IddeG, Metrics, Problem, Strategy};
     pub use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};

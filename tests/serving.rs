@@ -1,8 +1,11 @@
 //! Online serving engine correctness: a 500-event churn run where the
 //! incremental repairs must keep the interference field consistent after
 //! every churn event (`paranoid` mode asserts `consistency_check` inside
-//! each repair) and the repaired equilibrium must stay within the drift
-//! threshold of a from-scratch re-solve at every checkpoint.
+//! each repair), every 50th event triggers a full invariant audit (Eqs. 2–4
+//! field cross-check plus the Eq. 6/8 placement audit), converged repairs
+//! are Nash-certified over their dirty sets, and the repaired equilibrium
+//! must stay within the drift threshold of a from-scratch re-solve at every
+//! checkpoint.
 
 use idde::engine::{EngineConfig, EventQueue};
 use idde::prelude::*;
@@ -19,6 +22,7 @@ fn five_hundred_events_of_incremental_repair_stay_consistent() {
         // Checkpoints are driven by hand below, per event count not ticks.
         checkpoint_interval: 0,
         paranoid: true,
+        audit_every: 50,
         ..Default::default()
     };
     let workload_config = WorkloadConfig {
@@ -74,4 +78,13 @@ fn five_hundred_events_of_incremental_repair_stay_consistent() {
     // The workload actually exercised every event kind.
     assert!(metrics.arrivals > 0 && metrics.departures > 0);
     assert!(metrics.moves > 0 && metrics.requests > 0);
+    // The periodic audits ran and every invariant held.
+    assert!(metrics.audits >= 10, "expected ≥10 audits over 500+ events");
+    assert!(metrics.audit_checks > 0);
+    assert_eq!(metrics.audit_violations, 0, "audited churn run must be violation-free");
+    assert!(metrics.certificates > 0, "converged repairs must be Nash-certified");
+    assert_eq!(metrics.certificate_violations, 0);
+    // A final full audit of the end state is clean too.
+    let report = engine.run_audit();
+    assert!(report.is_clean(), "{report}");
 }

@@ -182,3 +182,32 @@ fn theorem7_latency_never_exceeds_the_cloud_reference() {
         assert!(greedy.final_total_latency.value() <= greedy.initial_total_latency.value() + 1e-9);
     }
 }
+
+mod certification {
+    use super::*;
+    use idde::audit::Auditor;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Every converged IDDE-U outcome carries its claimed certificate: no
+        /// player holds a unilateral deviation the game's own acceptance
+        /// discipline would commit — under either benefit model.
+        #[test]
+        fn converged_outcomes_pass_nash_certification(seed in 0u64..5_000) {
+            let problem = small_random_problem(seed);
+            let benefit = if seed % 2 == 0 {
+                BenefitModel::PaperEq12
+            } else {
+                BenefitModel::Congestion
+            };
+            let game = IddeUGame::new(GameConfig { benefit, ..GameConfig::default() });
+            let outcome = game.run(&problem);
+            prop_assert!(outcome.converged, "seed {seed}: game hit the pass cap");
+            let cert = Auditor::default().certify_equilibrium(&game, &outcome.field, None);
+            prop_assert!(cert.is_clean(), "seed {seed}: {cert}");
+            prop_assert_eq!(cert.checks, problem.scenario.num_users() as u64);
+        }
+    }
+}
