@@ -1,11 +1,94 @@
 //! In-tree offline drop-in for the subset of `rayon` this workspace uses:
-//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`.
+//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`, plus the
+//! thread-pool sizing surface ([`ThreadPoolBuilder`],
+//! [`current_num_threads`]).
 //!
 //! Work really does run in parallel — items are split into contiguous
 //! chunks, one scoped `std::thread` per chunk — and output order matches
 //! input order, exactly as rayon's indexed parallel iterators guarantee.
+//!
+//! ## Thread-count resolution
+//!
+//! The worker count is resolved per `collect()` in this order:
+//!
+//! 1. a process-global override installed via
+//!    [`ThreadPoolBuilder::build_global`] (mirrors real rayon's global
+//!    pool),
+//! 2. the `RAYON_NUM_THREADS` environment variable (same contract as real
+//!    rayon: a positive integer; `0`, garbage or absence fall through),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Because every map closure is a pure function of its input item and the
+//! chunking never reorders outputs, **results are bit-identical for every
+//! worker count** — the workspace's determinism-under-parallelism tests
+//! pin that contract down.
 
 #![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-global thread-count override; `0` means "not set".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Mirrors `rayon::ThreadPoolBuilder` for the one use this workspace has:
+/// fixing the global worker count (`RAYON_NUM_THREADS` equivalent, but
+/// settable in-process — the bench thread sweep relies on it).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with no explicit thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` restores automatic sizing.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configured count as the process-global default. Unlike
+    /// real rayon this may be called repeatedly (the offline drop-in has no
+    /// persistent pool to tear down), which is exactly what an in-process
+    /// thread sweep needs.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] (never produced by the
+/// offline drop-in; present for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool could not be configured")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// The worker count parallel operations will use right now (override →
+/// `RAYON_NUM_THREADS` → available parallelism), clamped to at least 1.
+pub fn current_num_threads() -> usize {
+    let global = GLOBAL_THREADS.load(Ordering::SeqCst);
+    if global > 0 {
+        return global;
+    }
+    if let Ok(var) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
 
 /// Conversion into a parallel iterator (blanket impl over any
 /// `IntoIterator` with `Send` items).
@@ -62,10 +145,7 @@ impl<T, F> ParMap<T, F> {
         C: FromIterator<U>,
     {
         let n = self.items.len();
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.max(1));
+        let threads = current_num_threads().min(n.max(1));
         let f = &self.f;
         if threads <= 1 {
             return self.items.into_iter().map(f).collect();
@@ -102,6 +182,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -130,5 +211,20 @@ mod tests {
         let out: Vec<usize> = (0usize..64).into_par_iter().map(|x| x + base).collect();
         assert_eq!(out[0], 10);
         assert_eq!(out[63], 73);
+    }
+
+    #[test]
+    fn global_override_wins_and_results_stay_identical() {
+        let reference: Vec<u64> = (0u64..257).map(|x| x.wrapping_mul(2654435761)).collect();
+        for threads in [1usize, 2, 3, 8] {
+            ThreadPoolBuilder::new().num_threads(threads).build_global().unwrap();
+            assert_eq!(current_num_threads(), threads);
+            let out: Vec<u64> =
+                (0u64..257).into_par_iter().map(|x| x.wrapping_mul(2654435761)).collect();
+            assert_eq!(out, reference, "{threads} threads changed the output");
+        }
+        // Restore automatic sizing for the rest of the test binary.
+        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+        assert!(current_num_threads() >= 1);
     }
 }

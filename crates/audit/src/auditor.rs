@@ -12,12 +12,18 @@ use crate::report::{AuditReport, Violation};
 /// Tolerances of the audit comparisons; see the crate docs for the policy.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AuditConfig {
-    /// Relative tolerance for derived quantities (SINR, rate, latency).
+    /// Relative tolerance for derived quantities: the Eq. 2 SINR, the
+    /// Eq. 3–4 capped Shannon rates and the Eq. 8 delivery latencies, each
+    /// recomputed from first principles and compared with the bookkept
+    /// value.
     pub rel_tol: f64,
-    /// Relative tolerance for per-channel power sums (live vs rebuilt).
+    /// Relative tolerance for per-channel power sums (live vs rebuilt) —
+    /// the Eq. 2 interference denominators. Defaults to
+    /// [`InterferenceField::POWER_SUM_REL_TOL`] so the auditor and the
+    /// field's own `consistency_check` enforce the same bound.
     pub power_rel_tol: f64,
-    /// Absolute tolerance for storage counters, MB (matches
-    /// [`Placement::respects_storage`]).
+    /// Absolute tolerance for the Eq. 6 storage-budget counters, MB
+    /// (matches [`Placement::respects_storage`]).
     pub storage_tol: f64,
 }
 

@@ -38,7 +38,7 @@
 //! storage counters use the absolute [`AuditConfig::storage_tol`] megabytes,
 //! matching [`idde_model::Placement::respects_storage`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod auditor;

@@ -1,0 +1,466 @@
+//! The benchmark ledger — reproducible, committed performance baselines.
+//!
+//! The ledger answers two questions the ad-hoc Criterion benches cannot:
+//!
+//! 1. **What did it cost on a known workload?** Each suite runs *seeded*
+//!    workloads (the paper-scale 125-server/816-user EUA sample for the
+//!    solver; a churning serve for the engine) and records median + p95
+//!    wall-clock per case, so numbers are comparable across commits.
+//! 2. **Is the determinism contract holding?** Every case is swept across
+//!    worker counts (default 1/2/4/8 via [`idde_par::set_threads`]) and a
+//!    result *fingerprint* — a hash over the bit patterns of the produced
+//!    equilibrium metrics or serve CSV — is recorded per thread point. The
+//!    contract "same seed + any thread count ⇒ identical result" is checked
+//!    right here, not just claimed: `deterministic` in the emitted JSON is
+//!    the conjunction over the sweep.
+//!
+//! Timing numbers are honest measurements of the host that ran them; the
+//! JSON therefore records `host.available_parallelism`. On a single-core
+//! container the >1-thread points measure oversubscription, not speedup —
+//! interpret them accordingly (see EXPERIMENTS.md § Benchmarking).
+//!
+//! Output is hand-rolled JSON (the workspace is offline and carries no
+//! serde), written by `idde-cli bench` as `BENCH_engine.json` and
+//! `BENCH_solver.json`.
+
+use std::time::Instant;
+
+use idde_core::{GameConfig, GreedyDelivery, IddeG, IddeUGame, Problem, ScoringMode};
+use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};
+use idde_eua::SyntheticEua;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of a ledger run.
+#[derive(Clone, Debug)]
+pub struct LedgerConfig {
+    /// Timing samples per `(case, thread-count)` point.
+    pub samples: usize,
+    /// Worker counts to sweep, in order.
+    pub threads: Vec<usize>,
+    /// Master seed for workload construction.
+    pub seed: u64,
+}
+
+impl Default for LedgerConfig {
+    fn default() -> Self {
+        Self { samples: 5, threads: vec![1, 2, 4, 8], seed: 2022 }
+    }
+}
+
+/// One `(case, thread-count)` measurement.
+#[derive(Clone, Debug)]
+pub struct ThreadPoint {
+    /// Worker count this point ran under.
+    pub threads: usize,
+    /// Raw wall-clock samples, milliseconds, in execution order.
+    pub samples_ms: Vec<f64>,
+    /// FNV-1a hash over the bit patterns of the case's result.
+    pub fingerprint: u64,
+}
+
+impl ThreadPoint {
+    /// Median of the samples (lower of the two middles for even counts).
+    pub fn median_ms(&self) -> f64 {
+        percentile(&self.samples_ms, 0.5)
+    }
+
+    /// 95th percentile of the samples (nearest-rank).
+    pub fn p95_ms(&self) -> f64 {
+        percentile(&self.samples_ms, 0.95)
+    }
+}
+
+/// One benchmarked case: a fixed workload swept across thread counts.
+#[derive(Clone, Debug)]
+pub struct BenchCase {
+    /// Stable case identifier (a JSON key, effectively).
+    pub name: String,
+    /// Human-readable workload description.
+    pub workload: String,
+    /// One entry per swept thread count.
+    pub points: Vec<ThreadPoint>,
+}
+
+impl BenchCase {
+    /// True iff every thread point produced the same result fingerprint —
+    /// the determinism contract, observed rather than asserted.
+    pub fn deterministic(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].fingerprint == w[1].fingerprint)
+    }
+}
+
+/// A full suite run, ready to serialise.
+#[derive(Clone, Debug)]
+pub struct Ledger {
+    /// Suite identifier (`"engine"` or `"solver"`).
+    pub suite: String,
+    /// Master seed the workloads were built from.
+    pub seed: u64,
+    /// Samples per thread point.
+    pub samples: usize,
+    /// `std::thread::available_parallelism()` of the measuring host —
+    /// required context for reading the thread sweep.
+    pub host_parallelism: usize,
+    /// The benchmarked cases.
+    pub cases: Vec<BenchCase>,
+}
+
+impl Ledger {
+    /// Serialises the ledger as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"suite\": {},\n", json_str(&self.suite)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"samples_per_point\": {},\n", self.samples));
+        out.push_str("  \"host\": {\n");
+        out.push_str(&format!(
+            "    \"available_parallelism\": {}\n  }},\n",
+            self.host_parallelism
+        ));
+        out.push_str("  \"cases\": [\n");
+        for (i, case) in self.cases.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_str(&case.name)));
+            out.push_str(&format!("      \"workload\": {},\n", json_str(&case.workload)));
+            out.push_str(&format!(
+                "      \"deterministic_across_threads\": {},\n",
+                case.deterministic()
+            ));
+            out.push_str("      \"points\": [\n");
+            for (j, p) in case.points.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"threads\": {}, \"median_ms\": {}, \"p95_ms\": {}, \
+                     \"fingerprint\": \"{:016x}\", \"samples_ms\": [{}]}}{}\n",
+                    p.threads,
+                    json_f64(p.median_ms()),
+                    json_f64(p.p95_ms()),
+                    p.fingerprint,
+                    p.samples_ms.iter().map(|&s| json_f64(s)).collect::<Vec<_>>().join(", "),
+                    if j + 1 == case.points.len() { "" } else { "," },
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 == self.cases.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Nearest-rank percentile over unsorted samples (`q` in `[0, 1]`).
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite `f64` → JSON number (shortest round-trip form).
+fn json_f64(v: f64) -> String {
+    assert!(v.is_finite(), "JSON numbers must be finite");
+    format!("{v}")
+}
+
+/// FNV-1a over a stream of words — stable, dependency-free fingerprinting.
+#[derive(Clone, Copy, Debug)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs one 64-bit word (e.g. an `f64`'s bit pattern).
+    pub fn absorb(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs raw bytes (e.g. a CSV artefact).
+    pub fn absorb_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The accumulated digest.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The paper-scale problem instance both suites measure against:
+/// `N = 125` servers, `M = 816` users (the EUA dataset scale the paper
+/// samples from), `K = 5` data items, standard radio/topology substrates.
+pub fn fullscale_problem(seed: u64) -> Problem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let scenario = SyntheticEua::default().sample(125, 816, 5, &mut rng);
+    Problem::standard(scenario, &mut rng)
+}
+
+/// Phase #1 configuration used by the solver suite: parallel scoring with
+/// otherwise-default knobs, so the sweep exercises the frozen-snapshot path.
+fn par_game() -> GameConfig {
+    GameConfig { scoring: ScoringMode::Parallel, ..GameConfig::default() }
+}
+
+/// Runs `case` once per thread count per sample, timing each run and
+/// fingerprinting each result.
+fn sweep<R>(
+    cfg: &LedgerConfig,
+    name: &str,
+    workload: &str,
+    mut run: impl FnMut() -> R,
+    fingerprint: impl Fn(&R) -> u64,
+) -> BenchCase {
+    let mut points = Vec::with_capacity(cfg.threads.len());
+    for &t in &cfg.threads {
+        idde_par::set_threads(t);
+        let mut samples_ms = Vec::with_capacity(cfg.samples);
+        let mut digest = 0u64;
+        for _ in 0..cfg.samples {
+            let start = Instant::now();
+            let result = run();
+            samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            digest = fingerprint(&result);
+        }
+        points.push(ThreadPoint { threads: t, samples_ms, fingerprint: digest });
+    }
+    // Leave the pool at the ambient default rather than the last sweep value.
+    idde_par::set_threads(0);
+    BenchCase { name: name.into(), workload: workload.into(), points }
+}
+
+fn metrics_fingerprint(problem: &Problem, strategy: &idde_core::Strategy) -> u64 {
+    let m = problem.evaluate(strategy);
+    let mut fp = Fingerprint::new();
+    fp.absorb(m.average_data_rate.value().to_bits());
+    fp.absorb(m.average_delivery_latency.value().to_bits());
+    fp.digest()
+}
+
+/// The solver suite: Phase #1, Phase #2 and end-to-end IDDE-G on the
+/// paper-scale instance.
+pub fn run_solver_suite(cfg: &LedgerConfig) -> Ledger {
+    let problem = fullscale_problem(cfg.seed);
+    let workload = "SyntheticEua 125 servers / 816 users / 5 data, standard substrates";
+
+    let game_case = sweep(
+        cfg,
+        "iddeu_game",
+        workload,
+        || IddeUGame::new(par_game()).run(&problem).field.into_allocation(),
+        |alloc| {
+            let mut fp = Fingerprint::new();
+            for user in problem.scenario.user_ids() {
+                match alloc.decision(user) {
+                    Some((s, x)) => {
+                        fp.absorb(s.index() as u64 + 1);
+                        fp.absorb(x.index() as u64 + 1);
+                    }
+                    None => fp.absorb(0),
+                }
+            }
+            fp.digest()
+        },
+    );
+
+    let fixed_alloc = IddeUGame::new(par_game()).run(&problem).field.into_allocation();
+    let delivery_case = sweep(
+        cfg,
+        "greedy_delivery",
+        workload,
+        || GreedyDelivery::default().run(&problem, &fixed_alloc),
+        |outcome| {
+            let mut fp = Fingerprint::new();
+            fp.absorb(outcome.final_total_latency.value().to_bits());
+            fp.digest()
+        },
+    );
+
+    let end_to_end = sweep(
+        cfg,
+        "iddeg_end_to_end",
+        workload,
+        || IddeG { game: par_game(), ..IddeG::default() }.solve(&problem),
+        |strategy| metrics_fingerprint(&problem, strategy),
+    );
+
+    Ledger {
+        suite: "solver".into(),
+        seed: cfg.seed,
+        samples: cfg.samples,
+        host_parallelism: host_parallelism(),
+        cases: vec![game_case, delivery_case, end_to_end],
+    }
+}
+
+/// The engine suite: initial solve and a churning serve on the paper-scale
+/// instance, with the engine's default (parallel-scoring) configuration.
+pub fn run_engine_suite(cfg: &LedgerConfig) -> Ledger {
+    let problem = fullscale_problem(cfg.seed);
+    let num_data = problem.scenario.num_data();
+    let workload = "SyntheticEua 125/816/5; WorkloadConfig::default churn, 50 ticks";
+
+    let init_case = sweep(
+        cfg,
+        "engine_initial_solve",
+        workload,
+        || {
+            let mut wl = WorkloadGenerator::new(WorkloadConfig::default(), num_data, cfg.seed);
+            let initial = wl.initial_active(problem.scenario.num_users());
+            Engine::new(problem.clone(), EngineConfig::default(), initial)
+        },
+        |engine| {
+            let mut fp = Fingerprint::new();
+            fp.absorb(engine.average_active_rate().to_bits());
+            fp.digest()
+        },
+    );
+
+    let serve_case = sweep(
+        cfg,
+        "engine_serve_50_ticks",
+        workload,
+        || {
+            let mut wl = WorkloadGenerator::new(WorkloadConfig::default(), num_data, cfg.seed);
+            let initial = wl.initial_active(problem.scenario.num_users());
+            let mut engine = Engine::new(problem.clone(), EngineConfig::default(), initial);
+            engine.run(&mut wl, 50);
+            engine.metrics().to_csv()
+        },
+        |csv| {
+            let mut fp = Fingerprint::new();
+            fp.absorb_bytes(csv.as_bytes());
+            fp.digest()
+        },
+    );
+
+    Ledger {
+        suite: "engine".into(),
+        seed: cfg.seed,
+        samples: cfg.samples,
+        host_parallelism: host_parallelism(),
+        cases: vec![init_case, serve_case],
+    }
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LedgerConfig {
+        LedgerConfig { samples: 2, threads: vec![1, 2], seed: 7 }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&s, 0.5), 3.0);
+        assert_eq!(percentile(&s, 0.95), 5.0);
+        assert_eq!(percentile(&[7.5], 0.5), 7.5);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_streams() {
+        let mut a = Fingerprint::new();
+        let mut b = Fingerprint::new();
+        a.absorb(1);
+        a.absorb(2);
+        b.absorb(2);
+        b.absorb(1);
+        assert_ne!(a.digest(), b.digest(), "order must matter");
+    }
+
+    #[test]
+    fn json_escapes_and_parses_shape() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let ledger = Ledger {
+            suite: "solver".into(),
+            seed: 1,
+            samples: 2,
+            host_parallelism: 4,
+            cases: vec![BenchCase {
+                name: "x".into(),
+                workload: "w".into(),
+                points: vec![ThreadPoint {
+                    threads: 1,
+                    samples_ms: vec![1.25, 2.5],
+                    fingerprint: 0xdead_beef,
+                }],
+            }],
+        };
+        let json = ledger.to_json();
+        assert!(json.contains("\"suite\": \"solver\""));
+        assert!(json.contains("\"available_parallelism\": 4"));
+        assert!(json.contains("\"deterministic_across_threads\": true"));
+        assert!(json.contains("\"fingerprint\": \"00000000deadbeef\""));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser in the dependency set.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn solver_suite_is_deterministic_across_the_sweep() {
+        // A scaled-down run of the real harness: thread sweep 1→2 must not
+        // change any case's fingerprint. (The committed BENCH_*.json files
+        // re-check this at full scale on every regeneration.)
+        let cfg = tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let scenario = SyntheticEua::default().sample(20, 120, 3, &mut rng);
+        let problem = Problem::standard(scenario, &mut rng);
+        let case = sweep(
+            &cfg,
+            "iddeg_small",
+            "20/120/3",
+            || IddeG { game: par_game(), ..IddeG::default() }.solve(&problem),
+            |s| metrics_fingerprint(&problem, s),
+        );
+        assert!(case.deterministic(), "thread sweep changed the equilibrium");
+        assert_eq!(case.points.len(), 2);
+        assert!(case.points.iter().all(|p| p.samples_ms.len() == 2));
+        assert!(case.points.iter().all(|p| p.median_ms() > 0.0));
+    }
+}

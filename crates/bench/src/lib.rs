@@ -22,6 +22,8 @@
 
 #![warn(missing_docs)]
 
+pub mod ledger;
+
 use std::path::PathBuf;
 use std::time::Duration;
 

@@ -24,6 +24,10 @@ commands:
              [--scenario FILE | --servers N --users M --data K]
              [--seed S] [--ticks T] [--density D] [--net-seed S]
              [--checkpoint T] [--drift X] [--csv FILE] [--audit N]
+  bench      run the reproducible benchmark ledger (seeded workloads,
+             thread sweep, BENCH_<suite>.json output)
+             [--suite all|engine|solver] [--samples N]
+             [--threads 1,2,4,8] [--seed S] [--out DIR] [--json]
 
 Scenario files use the plain-text `idde_model::io` format; `--out -`
 and `--scenario -` mean stdout/stdin. `serve` samples a synthetic
@@ -31,7 +35,10 @@ scenario when no `--scenario` is given; `--csv -` prints the
 deterministic metrics CSV to stdout instead of the summary table.
 `--audit N` runs a full invariant audit every N events (plus Nash
 certificates after converged repairs) and exits nonzero when any
-violation is found; 0 (the default) disables auditing.";
+violation is found; 0 (the default) disables auditing. `bench`
+writes one BENCH_<suite>.json per suite into --out (default `.`);
+`--json` additionally prints the ledgers to stdout instead of the
+summary table.";
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -113,6 +120,21 @@ pub enum Command {
         /// Events between invariant audits (0 = never audit).
         audit: u64,
     },
+    /// `idde bench`
+    Bench {
+        /// Suite selector: `"all"`, `"engine"` or `"solver"`.
+        suite: String,
+        /// Timing samples per `(case, thread-count)` point.
+        samples: usize,
+        /// Worker counts to sweep.
+        threads: Vec<usize>,
+        /// Master workload seed.
+        seed: u64,
+        /// Directory the `BENCH_<suite>.json` files are written into.
+        out: PathBuf,
+        /// Print the ledgers as JSON on stdout instead of the summary table.
+        json: bool,
+    },
     /// `idde compare`
     Compare {
         /// Scenario path (None = stdin).
@@ -138,15 +160,20 @@ fn path_arg(value: &str) -> Option<PathBuf> {
 
 /// Parses an argument vector (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
-    let mut it = argv.iter();
+    let mut it = argv.iter().peekable();
     let command = it.next().ok_or("missing command")?;
 
-    // Collect --key value pairs.
+    // Collect --key value pairs. `--json` is the one boolean flag: its
+    // value may be omitted (equivalent to `--json true`).
     let mut opts: Vec<(String, String)> = Vec::new();
     while let Some(key) = it.next() {
         let key = key
             .strip_prefix("--")
             .ok_or_else(|| format!("expected an option, got {key:?}"))?;
+        if key == "json" && it.peek().is_none_or(|v| v.starts_with("--")) {
+            opts.push((key.to_string(), "true".to_string()));
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("option --{key} needs a value"))?;
         opts.push((key.to_string(), value.clone()));
     }
@@ -236,6 +263,47 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 drift: parse_f64("drift", 0.05)?,
                 csv: take("csv").map(|v| path_arg(&v)),
                 audit: parse_u64("audit", 0)?,
+            })
+        }
+        "bench" => {
+            known(&["suite", "samples", "threads", "seed", "out", "json"])?;
+            let suite = take("suite").unwrap_or_else(|| "all".into()).to_lowercase();
+            if !["all", "engine", "solver"].contains(&suite.as_str()) {
+                return Err(format!("--suite: expected all|engine|solver, got {suite:?}"));
+            }
+            let samples = take("samples")
+                .map(|v| v.parse::<usize>().map_err(|_| "--samples: bad integer".to_string()))
+                .unwrap_or(Ok(5))?;
+            if samples == 0 {
+                return Err("--samples must be positive".into());
+            }
+            let threads = match take("threads") {
+                None => vec![1, 2, 4, 8],
+                Some(list) => {
+                    let parsed: Result<Vec<usize>, _> = list
+                        .split(',')
+                        .map(|v| v.trim().parse::<usize>().map_err(|_| list.clone()))
+                        .collect();
+                    let parsed =
+                        parsed.map_err(|l| format!("--threads: bad list {l:?} (want 1,2,4,8)"))?;
+                    if parsed.is_empty() || parsed.contains(&0) {
+                        return Err("--threads needs positive worker counts".into());
+                    }
+                    parsed
+                }
+            };
+            let json = match take("json").as_deref() {
+                None | Some("false") => false,
+                Some("true") => true,
+                Some(other) => return Err(format!("--json: expected true|false, got {other:?}")),
+            };
+            Ok(Command::Bench {
+                suite,
+                samples,
+                threads,
+                seed: parse_u64("seed", 2022)?,
+                out: take("out").map(PathBuf::from).unwrap_or_else(|| PathBuf::from(".")),
+                json,
             })
         }
         "render" => {
@@ -348,6 +416,58 @@ mod tests {
             other => unreachable!("parse returned the wrong command variant: {other:?}"),
         }
         assert!(parse(&argv("serve --audit fifty")).is_err());
+    }
+
+    #[test]
+    fn parses_bench_with_defaults() {
+        let cmd = parse(&argv("bench")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                suite: "all".into(),
+                samples: 5,
+                threads: vec![1, 2, 4, 8],
+                seed: 2022,
+                out: PathBuf::from("."),
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_bench_options_and_bare_json_flag() {
+        // `--json` mid-stream (no value) and an explicit thread list.
+        let cmd =
+            parse(&argv("bench --suite solver --json --threads 1,8 --samples 3 --out b")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                suite: "solver".into(),
+                samples: 3,
+                threads: vec![1, 8],
+                seed: 2022,
+                out: PathBuf::from("b"),
+                json: true,
+            }
+        );
+        // Trailing bare `--json` and an explicit `--json false`.
+        assert!(matches!(
+            parse(&argv("bench --json")).unwrap(),
+            Command::Bench { json: true, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("bench --json false")).unwrap(),
+            Command::Bench { json: false, .. }
+        ));
+    }
+
+    #[test]
+    fn bench_rejects_bad_inputs() {
+        assert!(parse(&argv("bench --suite everything")).is_err());
+        assert!(parse(&argv("bench --threads 1,zero")).is_err());
+        assert!(parse(&argv("bench --threads 0")).is_err());
+        assert!(parse(&argv("bench --samples 0")).is_err());
+        assert!(parse(&argv("bench --json maybe")).is_err());
     }
 
     #[test]

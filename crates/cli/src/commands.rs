@@ -29,6 +29,9 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Compare { scenario, seed, density, net_seed, iddeip_ms } => {
             compare(scenario.as_deref(), seed, density, net_seed, iddeip_ms)
         }
+        Command::Bench { suite, samples, threads, seed, out, json } => {
+            bench(&suite, samples, threads, seed, &out, json)
+        }
         Command::Render { scenario, out, solve, seed, density, net_seed } => {
             render(scenario.as_deref(), out.as_deref(), solve, seed, density, net_seed)
         }
@@ -220,6 +223,76 @@ fn compare(
         );
     }
     Ok(())
+}
+
+fn bench(
+    suite: &str,
+    samples: usize,
+    threads: Vec<usize>,
+    seed: u64,
+    out: &Path,
+    json: bool,
+) -> Result<(), String> {
+    use idde_bench::ledger::{Ledger, LedgerConfig};
+
+    let cfg = LedgerConfig { samples, threads, seed };
+    std::fs::create_dir_all(out)
+        .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let suites: &[&str] = match suite {
+        "engine" => &["engine"],
+        "solver" => &["solver"],
+        _ => &["engine", "solver"],
+    };
+    for &name in suites {
+        eprintln!(
+            "benchmarking {name} suite ({} samples × threads {:?}, seed {}) …",
+            cfg.samples, cfg.threads, cfg.seed
+        );
+        let ledger: Ledger = match name {
+            "engine" => idde_bench::ledger::run_engine_suite(&cfg),
+            _ => idde_bench::ledger::run_solver_suite(&cfg),
+        };
+        let path = out.join(format!("BENCH_{name}.json"));
+        std::fs::write(&path, ledger.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        if json {
+            print!("{}", ledger.to_json());
+        } else {
+            print_ledger_table(&ledger);
+        }
+        eprintln!("wrote {}", path.display());
+        for case in &ledger.cases {
+            if !case.deterministic() {
+                return Err(format!(
+                    "determinism contract violated: case {:?} produced different results \
+                     across the thread sweep (see {})",
+                    case.name,
+                    path.display()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_ledger_table(ledger: &idde_bench::ledger::Ledger) {
+    println!(
+        "suite {:?} (seed {}, {} samples/point, host parallelism {})",
+        ledger.suite, ledger.seed, ledger.samples, ledger.host_parallelism
+    );
+    println!("{:>24} {:>8} {:>12} {:>12} {:>14}", "case", "threads", "median (ms)", "p95 (ms)", "deterministic");
+    for case in &ledger.cases {
+        for point in &case.points {
+            println!(
+                "{:>24} {:>8} {:>12.3} {:>12.3} {:>14}",
+                case.name,
+                point.threads,
+                point.median_ms(),
+                point.p95_ms(),
+                case.deterministic()
+            );
+        }
+    }
 }
 
 /// `idde serve` inputs (mirrors `Command::Serve`).
@@ -430,6 +503,20 @@ mod tests {
             .parse()
             .unwrap();
         assert!(audits >= 2, "expected periodic + final audits, got {audits}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_writes_a_parsable_ledger() {
+        let dir = std::env::temp_dir().join("idde-cli-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Solver suite only (the engine suite serves 50 full-scale ticks —
+        // too heavy for a unit test), minimal sweep.
+        bench("solver", 1, vec![1, 2], 2022, &dir, false).unwrap();
+        let json = std::fs::read_to_string(dir.join("BENCH_solver.json")).unwrap();
+        assert!(json.contains("\"suite\": \"solver\""));
+        assert!(json.contains("\"deterministic_across_threads\": true"));
+        assert!(json.contains("\"iddeg_end_to_end\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -22,8 +22,20 @@
 //! with bitwise-identical results (asserted by tests, measured by
 //! `bench_ablation`). Set [`DeliveryConfig::incremental_rescoring`] to
 //! `false` for the naive full-rescan variant.
+//!
+//! ## Parallel scoring
+//!
+//! Each Eq. 17 candidate score is a pure function of the frozen per-request
+//! latency state `cur`, so a column's per-server reductions are computed
+//! with `idde_par::par_fill` — fanned out over worker threads into a
+//! reusable scratch buffer (an `idde_par::ScratchPool` keeps the steady
+//! state allocation-free), then scattered into the score matrix by the
+//! single committing thread. The fill preserves index order and every slot
+//! is an independent pure computation, so results are bit-identical for any
+//! worker count, including the sequential small-input fallback.
 
 use idde_model::{Allocation, DataId, Milliseconds, Placement, ServerId};
+use idde_par::ScratchPool;
 
 use crate::problem::Problem;
 
@@ -154,10 +166,13 @@ impl GreedyDelivery {
             }
             None => Placement::empty(n, k_total),
         };
-        // Candidate scores: latency reduction per MB of σ_{i,k}.
+        // Candidate scores: latency reduction per MB of σ_{i,k}. Columns are
+        // scored in parallel into pooled scratch buffers and scattered by
+        // this (committing) thread.
         let mut scores = vec![0.0f64; n * k_total];
+        let mut scratch: ScratchPool<f64> = ScratchPool::new();
         for k in 0..k_total {
-            rescore_data(problem, &reqs_by_data, &cur, k, &mut scores);
+            rescore_data(problem, &reqs_by_data, &cur, k, &mut scores, &mut scratch);
         }
 
         let mut iterations = 0usize;
@@ -201,10 +216,10 @@ impl GreedyDelivery {
             }
             // Rescore.
             if self.config.incremental_rescoring {
-                rescore_data(problem, &reqs_by_data, &cur, k, &mut scores);
+                rescore_data(problem, &reqs_by_data, &cur, k, &mut scores, &mut scratch);
             } else {
                 for kk in 0..k_total {
-                    rescore_data(problem, &reqs_by_data, &cur, kk, &mut scores);
+                    rescore_data(problem, &reqs_by_data, &cur, kk, &mut scores, &mut scratch);
                 }
             }
         }
@@ -268,28 +283,41 @@ pub fn evict_useless_replicas(
 
 /// Recomputes column `k` of the score matrix: for every server `i`, the
 /// total latency reduction of placing `d_k` on `v_i`, divided by `s_k`.
+///
+/// The per-server reductions are independent pure reads of the frozen
+/// latency row `cur[k]`, so they fan out over `idde-par` workers into a
+/// pooled scratch buffer; the caller's thread scatters the column into the
+/// strided score matrix afterwards. Bit-identical for any worker count.
 fn rescore_data(
     problem: &Problem,
     reqs_by_data: &[Vec<ServerId>],
     cur: &[Vec<f64>],
     k: usize,
     scores: &mut [f64],
+    scratch: &mut ScratchPool<f64>,
 ) {
     let scenario = &problem.scenario;
     let topology = &problem.topology;
     let k_total = scenario.num_data();
     let size = scenario.data[k].size;
-    for i in 0..scenario.num_servers() {
+    let targets = &reqs_by_data[k];
+    let row = &cur[k];
+    let mut col = scratch.acquire();
+    idde_par::par_fill(&mut col, scenario.num_servers(), |i| {
         let server = ServerId::from_index(i);
         let mut reduction = 0.0;
-        for (r, &target) in reqs_by_data[k].iter().enumerate() {
+        for (r, &target) in targets.iter().enumerate() {
             let via = topology.edge_latency(size, server, target).value();
-            if via < cur[k][r] {
-                reduction += cur[k][r] - via;
+            if via < row[r] {
+                reduction += row[r] - via;
             }
         }
-        scores[i * k_total + k] = reduction / size.value();
+        reduction / size.value()
+    });
+    for (i, &score) in col.iter().enumerate() {
+        scores[i * k_total + k] = score;
     }
+    scratch.release(col);
 }
 
 #[cfg(test)]

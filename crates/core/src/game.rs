@@ -34,6 +34,32 @@
 //! used by the Theorem 3 proof (which assumes uniform gains) — the latter
 //! admits the *exact* potential of [`crate::potential`], which the property
 //! tests exercise.
+//!
+//! ## Parallel scoring ([`ScoringMode`])
+//!
+//! Scanning a player's `(server, channel)` candidates is a pure read of the
+//! interference field, so the per-player scans of one pass are
+//! embarrassingly parallel. [`ScoringMode::Parallel`] runs each pass as the
+//! `idde-par` frozen-snapshot / serialized-commit discipline:
+//!
+//! 1. **score** — every player's improving move is computed read-only
+//!    against the pass-start field, fanned out over worker threads
+//!    (`idde_par::par_map`, order-preserving);
+//! 2. **commit** — candidates are applied one by one in pass order, each
+//!    **re-validated** against the *current* field first (still improving
+//!    by more than epsilon, still accepted by the Lyapunov guard); stale
+//!    candidates are dropped and rescanned next pass.
+//!
+//! Every commit is therefore exactly as principled as a serial-mode commit
+//! — a strict, guard-accepted unilateral improvement against the live
+//! profile — so the potential-game termination argument and the
+//! `idde-audit` Nash certificates apply unchanged. Because scoring is pure
+//! and the commit order is fixed, the trajectory is **bit-identical for
+//! every worker count** (the workspace determinism contract: same seed +
+//! any `RAYON_NUM_THREADS` ⇒ identical equilibrium). The trajectory does
+//! differ from [`ScoringMode::Serial`]'s — serial scans see earlier commits
+//! of the same pass, parallel scans see the pass-start snapshot — which is
+//! why both modes exist and `Serial` stays the default.
 
 use idde_model::{ChannelIndex, ServerId, UserId};
 use idde_radio::InterferenceField;
@@ -105,6 +131,21 @@ pub enum AcceptanceRule {
     BenefitOnly,
 }
 
+/// How each pass evaluates the players' candidate deviations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Classic asynchronous best response: players are scanned one by one,
+    /// each scan seeing every earlier commit of the same pass. The default;
+    /// matches the paper's Algorithm 1 reading and all pre-existing
+    /// behaviour bit for bit.
+    #[default]
+    Serial,
+    /// Frozen-snapshot scoring with serialized, re-validated commits (see
+    /// the module docs). Candidate scans fan out over `idde-par` worker
+    /// threads; results are bit-identical for every worker count.
+    Parallel,
+}
+
 /// Tunables of the IDDE-U game engine.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GameConfig {
@@ -114,8 +155,15 @@ pub struct GameConfig {
     pub benefit: BenefitModel,
     /// Move acceptance rule (Lyapunov guard on/off).
     pub acceptance: AcceptanceRule,
+    /// Pass evaluation strategy (serial scan vs frozen-snapshot parallel
+    /// scoring).
+    pub scoring: ScoringMode,
     /// Relative improvement a move must achieve to count, guarding against
-    /// floating-point livelock on ties.
+    /// floating-point livelock on ties: a deviation is accepted only when
+    /// its Eq. 12 benefit gain exceeds `epsilon · |β_current|`. The same
+    /// threshold gates the serialized-commit re-validation in
+    /// [`ScoringMode::Parallel`], so both modes accept exactly the same
+    /// class of moves.
     pub epsilon: f64,
     /// Hard cap on game passes; `converged = false` in the outcome when hit.
     /// The potential-game property makes this a safety net, not a tuning
@@ -131,6 +179,7 @@ impl Default for GameConfig {
             arbitration: ArbitrationPolicy::ShuffledSequential,
             benefit: BenefitModel::PaperEq12,
             acceptance: AcceptanceRule::LyapunovGuarded,
+            scoring: ScoringMode::Serial,
             epsilon: 1e-9,
             max_passes: 10_000,
             seed: 0,
@@ -274,11 +323,32 @@ impl IddeUGame {
                         order.shuffle(&mut rng);
                     }
                     let mut any = false;
-                    for &user in &order {
-                        if let Some(mv) = self.improving_move(&field, user) {
-                            field.allocate(user, mv.0, mv.1);
-                            moves += 1;
-                            any = true;
+                    match self.config.scoring {
+                        ScoringMode::Serial => {
+                            for &user in &order {
+                                if let Some(mv) = self.improving_move(&field, user) {
+                                    field.allocate(user, mv.0, mv.1);
+                                    moves += 1;
+                                    any = true;
+                                }
+                            }
+                        }
+                        ScoringMode::Parallel => {
+                            // Score every player read-only against the
+                            // pass-start snapshot, then commit in pass order
+                            // with per-candidate re-validation. The first
+                            // surviving candidate always commits (the field
+                            // is unchanged when it is re-checked), so a pass
+                            // with candidates always makes progress and
+                            // `!any` still certifies quiescence.
+                            for cand in self.scan_pass(&field, &order) {
+                                let Some((user, s, x, _)) = cand else { continue };
+                                if self.revalidates(&field, user, s, x) {
+                                    field.allocate(user, s, x);
+                                    moves += 1;
+                                    any = true;
+                                }
+                            }
                         }
                     }
                     if !any {
@@ -287,13 +357,11 @@ impl IddeUGame {
                     }
                 }
                 ArbitrationPolicy::MaxGainWinner | ArbitrationPolicy::RandomWinner => {
-                    // Collect all update requests of this pass.
-                    let mut requests: Vec<(UserId, ServerId, ChannelIndex, f64)> = Vec::new();
-                    for &user in players {
-                        if let Some(req) = self.improving_move_with_gain(&field, user) {
-                            requests.push(req);
-                        }
-                    }
+                    // Collect all update requests of this pass. Both winner
+                    // policies already score against the frozen pass-start
+                    // field, so the parallel scan is a pure drop-in here.
+                    let requests: Vec<(UserId, ServerId, ChannelIndex, f64)> =
+                        self.scan_pass(&field, players).into_iter().flatten().collect();
                     if requests.is_empty() {
                         converged = true;
                         break;
@@ -312,6 +380,75 @@ impl IddeUGame {
         }
 
         GameOutcome { field, passes, moves, converged }
+    }
+
+    /// Scores every player of one pass against the frozen `field` snapshot,
+    /// returning each player's committable improving move (or `None`), in
+    /// player order.
+    ///
+    /// Under [`ScoringMode::Parallel`] the scan fans out over `idde-par`
+    /// worker threads; under [`ScoringMode::Serial`] it runs inline. Both
+    /// paths evaluate the identical pure function per player, and the
+    /// parallel map preserves order, so the returned vector is bit-identical
+    /// across modes and worker counts — `tests/parallel.rs` asserts exactly
+    /// that against a serial rescan.
+    fn scan_pass(
+        &self,
+        field: &InterferenceField<'_>,
+        players: &[UserId],
+    ) -> Vec<Option<(UserId, ServerId, ChannelIndex, f64)>> {
+        match self.config.scoring {
+            ScoringMode::Serial => {
+                players.iter().map(|&u| self.improving_move_with_gain(field, u)).collect()
+            }
+            ScoringMode::Parallel => {
+                idde_par::par_map(players, |&u| self.improving_move_with_gain(field, u))
+            }
+        }
+    }
+
+    /// Scores the profitable deviations of `players` against `field` in one
+    /// (potentially parallel, always order-preserving) pass — the batch
+    /// sibling of [`IddeUGame::profitable_deviation`], returned in player
+    /// order.
+    ///
+    /// This is the read-only scoring half of the frozen-snapshot/commit
+    /// contract exposed for auditors and tests: entry `i` is exactly what
+    /// `profitable_deviation(field, players[i])` returns, for any worker
+    /// count.
+    pub fn scan_deviations(
+        &self,
+        field: &InterferenceField<'_>,
+        players: &[UserId],
+    ) -> Vec<Option<(ServerId, ChannelIndex, f64)>> {
+        self.scan_pass(field, players)
+            .into_iter()
+            .map(|c| c.map(|(_, s, x, gain)| (s, x, gain)))
+            .collect()
+    }
+
+    /// Re-validates a snapshot-scored candidate against the *current* field:
+    /// the specific move `(server, channel)` must still clear the relative
+    /// epsilon improvement threshold and (when configured) the Lyapunov
+    /// guard. This is the serialized-commit half of the parallel discipline
+    /// — O(one candidate) instead of O(full rescan).
+    fn revalidates(
+        &self,
+        field: &InterferenceField<'_>,
+        user: UserId,
+        server: ServerId,
+        channel: ChannelIndex,
+    ) -> bool {
+        if field.allocation().decision(user) == Some((server, channel)) {
+            return false; // the mover already sits there (no-op)
+        }
+        let best = self.benefit_at(field, user, server, channel);
+        let current = self.current_benefit(field, user);
+        let gain = best - current;
+        gain > self.config.epsilon * current.abs().max(1e-30)
+            && gain > 0.0
+            && (self.config.acceptance != AcceptanceRule::LyapunovGuarded
+                || self.guard_accepts(field, user, server, channel))
     }
 
     /// The user's improving move, if any: its best response when it beats
@@ -560,6 +697,78 @@ mod tests {
         let b = game.run_restricted(p.field(), &all);
         assert_eq!(a.field.allocation(), b.field.allocation());
         assert_eq!(a.moves, b.moves);
+    }
+
+    #[test]
+    fn parallel_scoring_converges_to_a_guarded_equilibrium() {
+        let p = problem();
+        for arbitration in [
+            ArbitrationPolicy::ShuffledSequential,
+            ArbitrationPolicy::Sequential,
+            ArbitrationPolicy::MaxGainWinner,
+            ArbitrationPolicy::RandomWinner,
+        ] {
+            let game = IddeUGame::new(GameConfig {
+                arbitration,
+                scoring: ScoringMode::Parallel,
+                seed: 3,
+                ..Default::default()
+            });
+            let outcome = game.run(&p);
+            assert!(outcome.converged, "{arbitration:?} (parallel) did not converge");
+            assert!(
+                is_nash_equilibrium(&game, &outcome.field, 1e-9),
+                "{arbitration:?} (parallel) did not reach a Nash equilibrium"
+            );
+            // Quiescence means the batch scan finds nothing either.
+            let players: Vec<UserId> = p.scenario.user_ids().collect();
+            assert!(game
+                .scan_deviations(&outcome.field, &players)
+                .iter()
+                .all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn winner_policies_are_scoring_mode_invariant() {
+        // MaxGainWinner and RandomWinner score against the frozen pass-start
+        // field in both modes, so parallel scoring must reproduce the serial
+        // trajectory exactly — same equilibrium, same move count.
+        let p = problem();
+        for arbitration in [ArbitrationPolicy::MaxGainWinner, ArbitrationPolicy::RandomWinner] {
+            let serial = IddeUGame::new(GameConfig { arbitration, seed: 5, ..Default::default() })
+                .run(&p);
+            let parallel = IddeUGame::new(GameConfig {
+                arbitration,
+                scoring: ScoringMode::Parallel,
+                seed: 5,
+                ..Default::default()
+            })
+            .run(&p);
+            assert_eq!(serial.field.allocation(), parallel.field.allocation(), "{arbitration:?}");
+            assert_eq!(serial.moves, parallel.moves, "{arbitration:?}");
+            assert_eq!(serial.passes, parallel.passes, "{arbitration:?}");
+        }
+    }
+
+    #[test]
+    fn scan_deviations_matches_the_serial_primitive() {
+        let p = problem();
+        let game = IddeUGame::new(GameConfig {
+            scoring: ScoringMode::Parallel,
+            ..Default::default()
+        });
+        // Mid-trajectory field: stop after one pass so deviations exist.
+        let outcome = IddeUGame::new(GameConfig { max_passes: 1, ..Default::default() }).run(&p);
+        let players: Vec<UserId> = p.scenario.user_ids().collect();
+        let batch = game.scan_deviations(&outcome.field, &players);
+        for (i, &user) in players.iter().enumerate() {
+            assert_eq!(
+                batch[i],
+                game.profitable_deviation(&outcome.field, user),
+                "user {user} scored differently in the batch scan"
+            );
+        }
     }
 
     #[test]

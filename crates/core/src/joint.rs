@@ -59,6 +59,14 @@ pub struct JointReport {
     pub rounds: usize,
     /// Users moved by latency-aware re-allocation across all rounds.
     pub reallocations: usize,
+    /// Allocated players encountered mid-solve whose coverage set was empty
+    /// (constraint (1) holes — e.g. stale decisions after mobility).
+    ///
+    /// Pre-fix these were silently `continue`d past, indistinguishable from
+    /// the perfectly normal "covered but no improving deviation" case; now
+    /// each occurrence is counted (per round, so a persistent hole shows up
+    /// once per round it survives) and surfaced here instead of dropped.
+    pub uncovered_players: usize,
     /// Plain IDDE-G's metrics (rate, latency) for comparison.
     pub baseline: (f64, Milliseconds),
     /// The refined metrics.
@@ -89,13 +97,15 @@ impl JointIddeG {
         let mut best_metrics = base_metrics;
         let mut current = base_strategy;
         let mut reallocations = 0usize;
+        let mut uncovered_players = 0usize;
         let mut rounds = 0usize;
 
         for _ in 0..self.config.max_rounds {
             rounds += 1;
-            let moved = self.latency_aware_reallocation(problem, &mut current);
-            reallocations += moved;
-            if moved == 0 {
+            let pass = self.latency_aware_reallocation(problem, &mut current);
+            reallocations += pass.moved;
+            uncovered_players += pass.uncovered;
+            if pass.moved == 0 {
                 break;
             }
             // Re-fit the delivery profile to the refined allocation.
@@ -123,23 +133,56 @@ impl JointIddeG {
             strategy: best,
             rounds,
             reallocations,
+            uncovered_players,
             baseline,
         }
     }
 
     /// One pass of latency-aware re-allocation: each user may move to a
     /// near-best-response decision with strictly lower delivery latency
-    /// under the current placement. Returns the number of moved users.
-    fn latency_aware_reallocation(&self, problem: &Problem, strategy: &mut Strategy) -> usize {
+    /// under the current placement.
+    fn latency_aware_reallocation(&self, problem: &Problem, strategy: &mut Strategy) -> PassReport {
+        let mut field = InterferenceField::from_allocation(
+            &problem.radio,
+            &problem.scenario,
+            &strategy.allocation,
+        );
+        let pass = self.reallocation_pass(problem, &strategy.placement, &mut field);
+        strategy.allocation = field.into_allocation();
+        pass
+    }
+
+    /// The body of [`Self::latency_aware_reallocation`], operating on a
+    /// caller-provided field. Split out so the field may predate a coverage
+    /// mutation (the mobility race that produces allocated-but-uncovered
+    /// players; rebuilding from the allocation would trip the constraint (1)
+    /// debug assertion before the pass ever saw the hole).
+    fn reallocation_pass(
+        &self,
+        problem: &Problem,
+        placement: &idde_model::Placement,
+        field: &mut InterferenceField<'_>,
+    ) -> PassReport {
         let scenario = &problem.scenario;
         let game = IddeUGame::new(self.config.base.game);
-        let mut field =
-            InterferenceField::from_allocation(&problem.radio, scenario, &strategy.allocation);
         let mut moved = 0usize;
+        let mut uncovered = 0usize;
 
         for user in scenario.user_ids() {
             let Some((cur_server, _)) = field.allocation().decision(user) else { continue };
-            let Some((_, _, best_benefit)) = game.best_response(&field, user) else { continue };
+            // `best_response` is `None` exactly when no server covers the
+            // user — an *allocated* yet uncovered player is a constraint (1)
+            // hole, not the benign "no improving deviation" case (the scan
+            // always returns the best decision, improving or not). Count the
+            // hole instead of silently dropping it.
+            let Some((_, _, best_benefit)) = game.best_response(field, user) else {
+                debug_assert!(
+                    scenario.coverage.servers_of(user).is_empty(),
+                    "best_response returned None for covered user {user}"
+                );
+                uncovered += 1;
+                continue;
+            };
             let threshold = best_benefit * (1.0 - self.config.rate_tolerance);
 
             let user_latency = |server: ServerId| -> f64 {
@@ -151,7 +194,7 @@ impl JointIddeG {
                         let size = scenario.data[d.index()].size;
                         problem
                             .topology
-                            .delivery_latency(&strategy.placement, d, size, server)
+                            .delivery_latency(placement, d, size, server)
                             .0
                             .value()
                     })
@@ -181,9 +224,17 @@ impl JointIddeG {
                 moved += 1;
             }
         }
-        strategy.allocation = field.into_allocation();
-        moved
+        PassReport { moved, uncovered }
     }
+}
+
+/// Outcome of one latency-aware re-allocation pass.
+struct PassReport {
+    /// Users moved to a strictly-lower-latency near-best-response decision.
+    moved: usize,
+    /// Allocated users with an empty coverage set (see
+    /// [`JointReport::uncovered_players`]).
+    uncovered: usize,
 }
 
 /// Convenience: the refined strategy only.
@@ -243,6 +294,56 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn healthy_problems_report_no_uncovered_players() {
+        // Every fig2 player is covered, so the constraint-(1)-hole counter
+        // must stay at zero regardless of how many rounds run.
+        for seed in [1u64, 5, 9] {
+            let report = JointIddeG::default().solve_with_report(&problem(seed));
+            assert_eq!(report.uncovered_players, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stale_allocation_counts_uncovered_players() {
+        use idde_model::Point;
+
+        // Solve normally, then simulate a mobility event that strands an
+        // allocated user outside every coverage disc. The re-allocation pass
+        // must *count* the hole (former silent-`continue` site) rather than
+        // conflate it with "no improving deviation".
+        let mut p = problem(7);
+        let engine = JointIddeG::default();
+        let strategy = engine.config.base.solve(&p);
+        let stranded = p
+            .scenario
+            .user_ids()
+            .find(|&u| strategy.allocation.server_of(u).is_some())
+            .expect("fig2 solve allocates at least one user");
+
+        // Apply the mobility event first, then rebuild the field carrying
+        // the pre-move decision via the unchecked path — the allocated-but-
+        // uncovered transient release builds would hand the pass.
+        let (stale_server, stale_channel) =
+            strategy.allocation.decision(stranded).expect("stranded user is allocated");
+        let mut user = p.scenario.users[stranded.index()].clone();
+        user.position = Point::new(1.0e7, 1.0e7);
+        p.scenario.coverage.update_user(&p.scenario.servers, &user);
+        p.scenario.users[stranded.index()] = user;
+        assert!(p.scenario.coverage.servers_of(stranded).is_empty());
+
+        let mut covered_only = strategy.allocation.clone();
+        covered_only.set(stranded, None);
+        let mut field = InterferenceField::from_allocation(&p.radio, &p.scenario, &covered_only);
+        field.allocate_unchecked(stranded, stale_server, stale_channel);
+
+        let pass = engine.reallocation_pass(&p, &strategy.placement, &mut field);
+        assert_eq!(pass.uncovered, 1, "exactly the stranded user is a hole");
+        // The pass must leave the stale decision alone — repair is the
+        // serving engine's job, not the refinement's.
+        assert!(field.allocation().decision(stranded).is_some());
     }
 
     #[test]

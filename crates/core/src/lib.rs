@@ -23,7 +23,7 @@
 //!   phases (ε-slack latency-aware re-allocation), an extension beyond the
 //!   paper's lexicographic treatment.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod delivery;
@@ -38,7 +38,10 @@ pub mod problem;
 pub mod strategy;
 
 pub use delivery::{evict_useless_replicas, DeliveryConfig, DeliveryOutcome, GreedyDelivery};
-pub use game::{AcceptanceRule, ArbitrationPolicy, BenefitModel, GameConfig, GameOutcome, IddeUGame};
+pub use game::{
+    AcceptanceRule, ArbitrationPolicy, BenefitModel, GameConfig, GameOutcome, IddeUGame,
+    ScoringMode,
+};
 pub use iddeg::{IddeG, IddeGReport};
 pub use joint::{solve_joint, JointConfig, JointIddeG, JointReport};
 pub use metrics::Metrics;

@@ -25,7 +25,7 @@ use std::time::Instant;
 use idde_audit::{AuditConfig, AuditReport, Auditor};
 use idde_core::{
     evict_useless_replicas, DeliveryConfig, GameConfig, GreedyDelivery, IddeUGame, Problem,
-    Strategy,
+    ScoringMode, Strategy,
 };
 use idde_model::{Allocation, ChannelIndex, Placement, Point, ServerId, UserId};
 use idde_net::DeliverySource;
@@ -39,7 +39,11 @@ use crate::workload::WorkloadGenerator;
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Phase #1 (allocation game) configuration, shared by repairs and
-    /// checkpoint re-solves.
+    /// checkpoint re-solves. The engine default switches the game to
+    /// [`ScoringMode::Parallel`]: every repair and checkpoint then scores
+    /// candidates against a frozen field snapshot on the rayon pool and
+    /// commits serially, which is bit-identical for any worker count (the
+    /// serve CSV stays byte-stable under `RAYON_NUM_THREADS=1,2,8,…`).
     pub game: GameConfig,
     /// Phase #2 (greedy delivery) configuration.
     pub delivery: DeliveryConfig,
@@ -62,7 +66,7 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         Self {
-            game: GameConfig::default(),
+            game: GameConfig { scoring: ScoringMode::Parallel, ..GameConfig::default() },
             delivery: DeliveryConfig::default(),
             drift_threshold: 0.05,
             checkpoint_interval: 50,

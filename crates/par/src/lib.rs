@@ -1,0 +1,220 @@
+//! # idde-par — deterministic parallel-evaluation primitives
+//!
+//! The IDDE-G hot paths are embarrassingly parallel *per candidate*: the
+//! best-response scan of Phase #1 evaluates every `(server, channel)`
+//! decision of every player against a **frozen** interference field, and
+//! the Eq. 17 greedy of Phase #2 scores every `(data, server)` placement
+//! candidate against a frozen latency state. Only the *commit* of a chosen
+//! candidate mutates shared state.
+//!
+//! This crate is the thin, auditable layer those hot paths share:
+//!
+//! * [`par_map`] — an order-preserving parallel map with a sequential
+//!   small-input fallback;
+//! * [`par_fill`] — an in-place variant writing into a caller-owned buffer
+//!   (the greedy's per-round scratch, reused across rounds so steady-state
+//!   rescoring allocates nothing);
+//! * [`ScratchPool`] — a trivial free-list of reusable `Vec` buffers for
+//!   callers that need whole owned buffers per round;
+//! * [`num_threads`] / [`set_threads`] — the worker-count surface the
+//!   bench ledger's thread sweep drives.
+//!
+//! ## The frozen-snapshot / serialized-commit contract
+//!
+//! Every parallel evaluation in this workspace follows one discipline:
+//!
+//! 1. **Score** (parallel, read-only): each item is scored against an
+//!    immutable snapshot of the shared state. Closures must be pure
+//!    functions of `(snapshot, item)`.
+//! 2. **Commit** (serial, re-validated): results are consumed in input
+//!    order by a single thread; any commit that mutates the shared state
+//!    re-validates its candidate against the *current* state first.
+//!
+//! Because scoring closures are pure and both [`par_map`] and [`par_fill`]
+//! preserve input order, the scored results — and therefore everything
+//! committed downstream — are **bit-identical for every worker count**.
+//! That is the workspace's determinism contract: *same seed + any
+//! `RAYON_NUM_THREADS` ⇒ identical equilibrium, placement and CSV*, and
+//! `tests/parallel.rs` enforces it end to end.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use rayon::prelude::*;
+
+/// Below this many items, [`par_map`] and [`par_fill`] run inline on the
+/// calling thread: thread spawn/join overhead dwarfs the work and the
+/// results are identical either way.
+pub const PAR_THRESHOLD: usize = 32;
+
+/// The number of worker threads parallel evaluations will use right now.
+///
+/// Resolution order (see the workspace's `rayon` drop-in): the in-process
+/// override installed by [`set_threads`] → the `RAYON_NUM_THREADS`
+/// environment variable → the machine's available parallelism.
+pub fn num_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Installs an in-process worker-count override (`0` restores automatic
+/// sizing). The bench ledger's thread sweep calls this between timed runs;
+/// production code normally leaves sizing to `RAYON_NUM_THREADS`.
+pub fn set_threads(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("offline rayon drop-in never fails to configure");
+}
+
+/// Order-preserving parallel map: returns `f` applied to every item, in
+/// input order, with a sequential fallback below [`PAR_THRESHOLD`] items
+/// (or when only one worker is available).
+///
+/// `f` must be a pure function of its item for the determinism contract to
+/// hold; nothing enforces that beyond the `Fn(&T)` borrow, so keep scoring
+/// closures free of interior mutability.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() < PAR_THRESHOLD || num_threads() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    items.into_par_iter().map(f).collect()
+}
+
+/// In-place order-preserving parallel fill: resizes `out` to `len` and sets
+/// `out[i] = f(i)` for every index. The buffer is caller-owned, so a loop
+/// that rescoreed candidates every round reuses one allocation for the
+/// whole run (the "reusable scratch buffer" of the Eq. 17 greedy).
+///
+/// Falls back to a sequential fill below [`PAR_THRESHOLD`] items or when
+/// only one worker is available; either path writes identical bytes.
+pub fn par_fill<U, F>(out: &mut Vec<U>, len: usize, f: F)
+where
+    U: Send + Default + Clone,
+    F: Fn(usize) -> U + Sync,
+{
+    out.clear();
+    out.resize(len, U::default());
+    let threads = num_threads().min(len.max(1));
+    if len < PAR_THRESHOLD || threads <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk_size = len.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, chunk) in out.chunks_mut(chunk_size).enumerate() {
+            let base = c * chunk_size;
+            scope.spawn(move || {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(base + i);
+                }
+            });
+        }
+    });
+}
+
+/// A trivial free-list of reusable `Vec<T>` buffers.
+///
+/// The greedy placement loop needs a few scratch vectors per round (one
+/// score column per rescored data item); acquiring from the pool instead of
+/// allocating keeps the steady state allocation-free. Buffers keep their
+/// capacity across acquire/release cycles.
+#[derive(Debug, Default)]
+pub struct ScratchPool<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T> ScratchPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self { free: Vec::new() }
+    }
+
+    /// Takes a cleared buffer from the pool (or allocates a fresh one).
+    pub fn acquire(&mut self) -> Vec<T> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn release(&mut self, buf: Vec<T>) {
+        self.free.push(buf);
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 31 + 7).collect();
+        let parallel = par_map(&items, |x| x * 31 + 7);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_small_inputs_stay_inline() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map(&items, |x| x + 1), vec![2, 3, 4]);
+        let empty: [u32; 0] = [];
+        assert!(par_map(&empty, |x| x + 1).is_empty());
+    }
+
+    #[test]
+    fn par_fill_is_identical_across_thread_counts() {
+        let mut reference = Vec::new();
+        set_threads(1);
+        par_fill(&mut reference, 513, |i| (i as f64).sqrt());
+        for threads in [2usize, 3, 8] {
+            set_threads(threads);
+            let mut out = Vec::new();
+            par_fill(&mut out, 513, |i| (i as f64).sqrt());
+            assert_eq!(
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{threads} threads changed the fill"
+            );
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_fill_reuses_the_buffer() {
+        let mut buf: Vec<usize> = Vec::with_capacity(64);
+        par_fill(&mut buf, 10, |i| i);
+        assert_eq!(buf, (0..10).collect::<Vec<_>>());
+        let cap = buf.capacity();
+        par_fill(&mut buf, 8, |i| i * 2);
+        assert_eq!(buf.len(), 8);
+        assert!(buf.capacity() >= cap.min(64), "capacity must survive refills");
+    }
+
+    #[test]
+    fn scratch_pool_round_trips_capacity() {
+        let mut pool: ScratchPool<f64> = ScratchPool::new();
+        let mut a = pool.acquire();
+        a.extend([1.0, 2.0, 3.0]);
+        let cap = a.capacity();
+        pool.release(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.acquire();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(pool.idle(), 0);
+    }
+}

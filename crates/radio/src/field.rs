@@ -137,6 +137,26 @@ impl<'a> InterferenceField<'a> {
         self.alloc.set(user, Some((server, channel)));
     }
 
+    /// Like [`Self::allocate`], but without the constraint (1) coverage
+    /// assertion. Models *transient* infeasible states — a mobility event
+    /// updates the coverage map while the field still carries the user's
+    /// pre-move decision — so repair and audit paths can be exercised
+    /// against exactly the stale profiles release builds would hand them.
+    /// The channel-existence assertion is kept: a dangling channel index is
+    /// memory-unsafe bookkeeping, not a modelling state.
+    pub fn allocate_unchecked(&mut self, user: UserId, server: ServerId, channel: ChannelIndex) {
+        debug_assert!(
+            channel.index() < self.scenario.servers[server.index()].num_channels as usize,
+            "server {server} has no channel {channel}"
+        );
+        self.deallocate(user);
+        let g = self.global(server, channel);
+        let p = self.scenario.users[user.index()].power.value();
+        self.occupants[g].push(user);
+        self.power_sum[g] += p;
+        self.alloc.set(user, Some((server, channel)));
+    }
+
     /// Removes `user` from its channel, if allocated.
     pub fn deallocate(&mut self, user: UserId) {
         if let Some((server, channel)) = self.alloc.set(user, None) {
@@ -308,11 +328,15 @@ impl<'a> InterferenceField<'a> {
         }
     }
 
-    /// Relative tolerance within which the incrementally maintained power
-    /// sums must agree with a from-scratch resummation. With the
+    /// Relative tolerance within which the incrementally maintained
+    /// co-channel power sums `Σ_{u_t ∈ U_{i,x}(α)} p_t` — the denominators
+    /// of the Eq. 2 SINR and hence of every Eq. 3–4 rate the solver and the
+    /// audits derive — must agree with a from-scratch resummation. With the
     /// resnap-on-remove discipline of [`InterferenceField::deallocate`] the
     /// live and rebuilt sums differ only by summation order, which is far
-    /// inside this bound for any realistic occupancy.
+    /// inside this bound for any realistic occupancy. `idde-audit` adopts
+    /// this constant as its `power_rel_tol` default, so the serving path
+    /// and the offline checks can never drift apart silently.
     pub const POWER_SUM_REL_TOL: f64 = 1e-12;
 
     /// Verifies the incremental state against a from-scratch rebuild; used

@@ -83,22 +83,25 @@ impl<'a> PlacementSearch<'a> {
                 vec![cloud; targets[k].len()]
             })
             .collect();
-        let best_any: Vec<Vec<f64>> = (0..k_total)
-            .map(|k| {
-                let size = scenario.data[k].size;
-                targets[k]
-                    .iter()
-                    .map(|&t| {
-                        let mut best = topology.cloud_latency(size).value();
-                        for i in 0..n {
-                            best = best
-                                .min(topology.edge_latency(size, ServerId::from_index(i), t).value());
-                        }
-                        best
-                    })
-                    .collect()
-            })
-            .collect();
+        // `best_any` is the storage-ignored relaxation: O(K·R·N) independent
+        // pure lookups, by far the heaviest part of root setup — fan the
+        // per-data columns out over idde-par workers (order-preserving, so
+        // the bound and hence the search trajectory stay bit-identical).
+        let data_ids: Vec<usize> = (0..k_total).collect();
+        let best_any: Vec<Vec<f64>> = idde_par::par_map(&data_ids, |&k| {
+            let size = scenario.data[k].size;
+            targets[k]
+                .iter()
+                .map(|&t| {
+                    let mut best = topology.cloud_latency(size).value();
+                    for i in 0..n {
+                        best = best
+                            .min(topology.edge_latency(size, ServerId::from_index(i), t).value());
+                    }
+                    best
+                })
+                .collect()
+        });
 
         let mut state = SearchState {
             problem: self.problem,

@@ -2,8 +2,10 @@
 //!
 //! Façade crate re-exporting the whole IDDE workspace: the problem model,
 //! the wireless and network substrates, the IDDE-G algorithm, the four
-//! baselines, the EUA-like dataset generator, the simulation harness and the
-//! online serving engine.
+//! baselines, the EUA-like dataset generator, the simulation harness, the
+//! online serving engine with its invariant auditor, and the deterministic
+//! parallel-evaluation layer ([`par`], see `ARCHITECTURE.md` §3 for the
+//! thread-count determinism contract).
 //!
 //! This reproduces *"Formulating Interference-aware Data Delivery Strategies
 //! in Edge Storage Systems"* (Xia et al., ICPP 2022). See `README.md` for a
@@ -31,6 +33,7 @@ pub use idde_engine as engine;
 pub use idde_eua as eua;
 pub use idde_model as model;
 pub use idde_net as net;
+pub use idde_par as par;
 pub use idde_radio as radio;
 pub use idde_sim as sim;
 pub use idde_solver as solver;

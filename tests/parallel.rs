@@ -1,0 +1,178 @@
+//! Determinism under parallelism: the contract documented in
+//! `crates/par` and ARCHITECTURE.md — *same seed + any worker count ⇒
+//! identical equilibrium, identical placement, byte-identical serve CSV* —
+//! checked end to end.
+//!
+//! All sweeping tests funnel through [`with_threads`], which serialises
+//! access to the global worker-count override (the test harness runs tests
+//! concurrently; the override is process-wide).
+
+use idde::core::{GameConfig, IddeUGame, Problem, ScoringMode};
+use idde::prelude::*;
+use idde_radio::InterferenceField;
+use proptest::prelude::*;
+// `idde::prelude::*` also exports a `Strategy` (the solution pair), which
+// shadows the proptest trait in the glob — import the trait explicitly.
+use proptest::strategy::Strategy as _;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serialises tests that mutate the process-wide worker-count override.
+fn threads_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        // A panic under a previous override must not poison the suite.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Runs `f` once per worker count in `sweep`, restoring the ambient
+/// default afterwards, and returns the per-count results.
+fn with_threads<R>(sweep: &[usize], mut f: impl FnMut() -> R) -> Vec<R> {
+    let _guard = threads_lock();
+    let results = sweep
+        .iter()
+        .map(|&t| {
+            idde::par::set_threads(t);
+            f()
+        })
+        .collect();
+    idde::par::set_threads(0);
+    results
+}
+
+fn sampled_problem(seed: u64) -> Problem {
+    let mut rng = idde::seeded_rng(seed);
+    let scenario = SyntheticEua::default().sample(15, 80, 4, &mut rng);
+    Problem::standard(scenario, &mut rng)
+}
+
+fn parallel_game() -> GameConfig {
+    GameConfig { scoring: ScoringMode::Parallel, ..GameConfig::default() }
+}
+
+#[test]
+fn serve_csv_and_final_strategy_are_thread_count_invariant() {
+    // The tentpole contract on the full online path: engine default config
+    // (parallel scoring), churning workload, worker counts 1/2/8.
+    let runs = with_threads(&[1, 2, 8], || {
+        let problem = sampled_problem(42);
+        let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), 4, 42);
+        let initial = workload.initial_active(problem.scenario.num_users());
+        let mut engine = Engine::new(problem, EngineConfig::default(), initial);
+        engine.run(&mut workload, 25);
+        (engine.metrics().to_csv(), engine.strategy())
+    });
+    let (csv_1, strategy_1) = &runs[0];
+    for (t, (csv, strategy)) in [1usize, 2, 8].into_iter().zip(&runs) {
+        assert_eq!(csv, csv_1, "serve CSV changed between 1 and {t} workers");
+        assert_eq!(
+            strategy.allocation, strategy_1.allocation,
+            "final allocation changed between 1 and {t} workers"
+        );
+        assert_eq!(
+            strategy.placement, strategy_1.placement,
+            "final placement changed between 1 and {t} workers"
+        );
+    }
+}
+
+#[test]
+fn offline_solve_is_thread_count_invariant() {
+    // Phase #1 + Phase #2 from scratch, parallel scoring mode, swept
+    // across worker counts: the equilibrium and its metrics must not move
+    // a single bit.
+    let runs = with_threads(&[1, 2, 3, 8], || {
+        let problem = sampled_problem(7);
+        let strategy = idde::core::IddeG { game: parallel_game(), ..Default::default() }
+            .solve(&problem);
+        let metrics = problem.evaluate(&strategy);
+        (
+            strategy,
+            metrics.average_data_rate.value().to_bits(),
+            metrics.average_delivery_latency.value().to_bits(),
+        )
+    });
+    for run in &runs[1..] {
+        assert_eq!(run.0, runs[0].0, "strategy differs across worker counts");
+        assert_eq!(run.1, runs[0].1, "rate differs at the bit level");
+        assert_eq!(run.2, runs[0].2, "latency differs at the bit level");
+    }
+}
+
+#[test]
+fn scoring_modes_agree_under_winner_arbitration() {
+    // Under MaxGainWinner arbitration the parallel scan is a pure drop-in
+    // for the serial scan: identical trajectory, not merely an equally good
+    // equilibrium.
+    use idde::core::game::ArbitrationPolicy;
+    for seed in [3u64, 11] {
+        let problem = sampled_problem(seed);
+        let solve = |scoring| {
+            let game = IddeUGame::new(GameConfig {
+                arbitration: ArbitrationPolicy::MaxGainWinner,
+                scoring,
+                ..GameConfig::default()
+            });
+            let outcome = game.run(&problem);
+            (outcome.passes, outcome.moves, outcome.field.into_allocation())
+        };
+        assert_eq!(
+            solve(ScoringMode::Serial),
+            solve(ScoringMode::Parallel),
+            "seed {seed}: winner arbitration must be scoring-mode invariant"
+        );
+    }
+}
+
+/// Small random problems; the seed rides along for shrink reports.
+fn arb_problem() -> impl proptest::strategy::Strategy<Value = (u64, Problem)> {
+    (0u64..5_000).prop_map(|seed| {
+        let mut rng = idde::seeded_rng(seed);
+        let n = 3 + (seed % 5) as usize;
+        let m = 5 + (seed % 12) as usize;
+        let k = 1 + (seed % 4) as usize;
+        let gen = SyntheticEua {
+            num_servers: 8,
+            num_users: 20,
+            width_m: 900.0,
+            height_m: 700.0,
+            ..Default::default()
+        };
+        let scenario = gen.sample(n, m, k, &mut rng);
+        (seed, Problem::standard(scenario, &mut rng))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The parallel scoring pass (`scan_deviations`) must select exactly
+    /// the deviation the serial per-player primitive
+    /// (`profitable_deviation`) selects, for every player, at an arbitrary
+    /// mid-trajectory profile.
+    #[test]
+    fn parallel_scan_matches_serial_deviations(
+        (seed, problem) in arb_problem(),
+        passes in 0usize..3,
+    ) {
+        // Walk the game a few passes to land on a non-trivial profile.
+        let game = IddeUGame::new(GameConfig {
+            max_passes: passes,
+            ..GameConfig::default()
+        });
+        let field: InterferenceField<'_> = game.run(&problem).field;
+
+        let players: Vec<UserId> = problem.scenario.user_ids().collect();
+        let par_game = IddeUGame::new(parallel_game());
+        let batch = par_game.scan_deviations(&field, &players);
+        prop_assert_eq!(batch.len(), players.len());
+        for (&user, scanned) in players.iter().zip(&batch) {
+            let serial = par_game.profitable_deviation(&field, user);
+            prop_assert_eq!(
+                scanned, &serial,
+                "seed {}: user {} scored differently in the batch scan", seed, user
+            );
+        }
+    }
+}
