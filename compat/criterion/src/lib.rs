@@ -79,10 +79,8 @@ impl Default for Criterion {
             }
             // Other harness flags (--bench, --color, ...) are ignored.
         }
-        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(10);
+        let sample_size =
+            std::env::var("CRITERION_SAMPLE_SIZE").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
         Self { sample_size, test_mode, filters }
     }
 }
@@ -111,8 +109,7 @@ impl Criterion {
         sample_size: usize,
         mut f: F,
     ) {
-        let full_id =
-            if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+        let full_id = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
         if !self.selected(&full_id) {
             return;
         }
@@ -185,8 +182,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let sample_size = self.sample_size;
-        self.criterion
-            .run_one(&self.name, &id.to_string(), sample_size, |b| f(b, input));
+        self.criterion.run_one(&self.name, &id.to_string(), sample_size, |b| f(b, input));
         self
     }
 

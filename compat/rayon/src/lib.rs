@@ -199,8 +199,7 @@ mod tests {
 
     #[test]
     fn nested_vectors_collect() {
-        let out: Vec<Vec<usize>> =
-            (0usize..16).into_par_iter().map(|r| vec![r; 3]).collect();
+        let out: Vec<Vec<usize>> = (0usize..16).into_par_iter().map(|r| vec![r; 3]).collect();
         assert_eq!(out.len(), 16);
         assert_eq!(out[7], vec![7, 7, 7]);
     }

@@ -2,9 +2,7 @@
 //! against the incremental serving-path state.
 
 use idde_core::{IddeUGame, Problem};
-use idde_model::{
-    Allocation, ChannelIndex, DataId, Placement, Scenario, ServerId, UserId,
-};
+use idde_model::{Allocation, ChannelIndex, DataId, Placement, Scenario, ServerId, UserId};
 use idde_radio::{capped_rate, InterferenceField, RadioEnvironment};
 
 use crate::report::{AuditReport, Violation};
@@ -86,15 +84,14 @@ impl Auditor {
 
                 let live_power = field.channel_power(server, channel);
                 let rebuilt_power = rebuilt.channel_power(server, channel);
-                report.check(
-                    close(live_power, rebuilt_power, self.config.power_rel_tol),
-                    || Violation::PowerSumDrift {
+                report.check(close(live_power, rebuilt_power, self.config.power_rel_tol), || {
+                    Violation::PowerSumDrift {
                         server,
                         channel,
                         live: live_power,
                         rebuilt: rebuilt_power,
-                    },
-                );
+                    }
+                });
             }
         }
 
@@ -109,8 +106,10 @@ impl Auditor {
 
             let reference = reference_sinr(env, scenario, alloc, user, server, channel);
             let live = field.sinr(user).expect("decision exists");
-            report.check(close(live, reference, self.config.rel_tol), || {
-                Violation::SinrMismatch { user, live, reference }
+            report.check(close(live, reference, self.config.rel_tol), || Violation::SinrMismatch {
+                user,
+                live,
+                reference,
             });
 
             let reference_rate = capped_rate(
@@ -180,20 +179,16 @@ impl Auditor {
         let mut report = AuditReport::new();
 
         for server in scenario.server_ids() {
-            let recomputed: f64 = placement
-                .data_on(server)
-                .map(|d| scenario.data[d.index()].size.value())
-                .sum();
+            let recomputed: f64 =
+                placement.data_on(server).map(|d| scenario.data[d.index()].size.value()).sum();
             let cached = placement.used(server).value();
-            report.check(
-                (cached - recomputed).abs() <= self.config.storage_tol,
-                || Violation::StorageCacheDrift { server, cached, recomputed },
-            );
+            report.check((cached - recomputed).abs() <= self.config.storage_tol, || {
+                Violation::StorageCacheDrift { server, cached, recomputed }
+            });
             let capacity = scenario.servers[server.index()].storage.value();
-            report.check(
-                recomputed <= capacity + self.config.storage_tol,
-                || Violation::StorageBudgetExceeded { server, used: recomputed, capacity },
-            );
+            report.check(recomputed <= capacity + self.config.storage_tol, || {
+                Violation::StorageBudgetExceeded { server, used: recomputed, capacity }
+            });
         }
 
         for (user, data) in scenario.requests.pairs() {
@@ -201,15 +196,9 @@ impl Auditor {
             let size = scenario.data[data.index()].size;
             let (live, _) = topology.delivery_latency(placement, data, size, target);
             let reference = reference_latency(problem, placement, data, target);
-            report.check(
-                close(live.value(), reference, self.config.rel_tol),
-                || Violation::LatencyMismatch {
-                    user,
-                    data,
-                    live: live.value(),
-                    reference,
-                },
-            );
+            report.check(close(live.value(), reference, self.config.rel_tol), || {
+                Violation::LatencyMismatch { user, data, live: live.value(), reference }
+            });
         }
 
         report
@@ -226,6 +215,46 @@ impl Auditor {
             InterferenceField::from_allocation(&problem.radio, &problem.scenario, allocation);
         let mut report = self.audit_field(&field);
         report.merge(self.audit_placement(problem, allocation, placement));
+        report
+    }
+
+    /// The fault-mode invariant: a downed server serves nobody and stores
+    /// nothing. Run after every outage/restoration to certify that graceful
+    /// degradation actually displaced the occupants and stripped the
+    /// replicas — the states every other audit implicitly assumes.
+    pub fn audit_liveness(
+        &self,
+        scenario: &Scenario,
+        allocation: &Allocation,
+        placement: &Placement,
+        down: &[ServerId],
+    ) -> AuditReport {
+        let mut report = AuditReport::new();
+        for &server in down {
+            for (user, decision) in allocation.iter() {
+                report.check(decision.map(|(s, _)| s) != Some(server), || {
+                    Violation::DeadServerDecision { user, server }
+                });
+            }
+            for data in scenario.data_ids() {
+                report.check(!placement.stores(server, data), || Violation::DeadServerReplica {
+                    server,
+                    data,
+                });
+            }
+            report.check(placement.used(server).value() == 0.0, || Violation::StorageCacheDrift {
+                server,
+                cached: placement.used(server).value(),
+                recomputed: 0.0,
+            });
+            // A dead server must also have fallen out of the coverage
+            // relation, or the game could still allocate onto it.
+            for user in scenario.user_ids() {
+                report.check(!scenario.coverage.covers(server, user), || {
+                    Violation::DeadServerDecision { user, server }
+                });
+            }
+        }
         report
     }
 }
@@ -263,7 +292,7 @@ pub fn reference_sinr(
             cross += env.gain(server, t) * p_t;
         }
     }
-    g * p / (g * own + cross + env.params.noise.value())
+    g * p / (g * own + cross + env.params.noise.value() + env.jamming_floor(server))
 }
 
 /// Eq. 8 from first principles: the delivery latency of `data` to a user
@@ -321,10 +350,7 @@ mod tests {
         assert!(placement_report.is_clean(), "{placement_report}");
 
         let combined = auditor.audit_strategy(&p, &alloc, &delivery.placement);
-        assert_eq!(
-            combined.checks,
-            field_report.checks + placement_report.checks
-        );
+        assert_eq!(combined.checks, field_report.checks + placement_report.checks);
     }
 
     #[test]
@@ -373,13 +399,9 @@ mod tests {
         let field = &outcome.field;
         for user in p.scenario.user_ids() {
             let Some((s, x)) = field.allocation().decision(user) else { continue };
-            let reference =
-                reference_sinr(&p.radio, &p.scenario, field.allocation(), user, s, x);
+            let reference = reference_sinr(&p.radio, &p.scenario, field.allocation(), user, s, x);
             let live = field.sinr(user).unwrap();
-            assert!(
-                close(live, reference, 1e-9),
-                "user {user}: {live} vs {reference}"
-            );
+            assert!(close(live, reference, 1e-9), "user {user}: {live} vs {reference}");
         }
     }
 
@@ -387,8 +409,7 @@ mod tests {
     fn overfull_storage_is_flagged() {
         let p = problem(5);
         let alloc = IddeUGame::default().run(&p).field.into_allocation();
-        let mut placement =
-            Placement::empty(p.scenario.num_servers(), p.scenario.num_data());
+        let mut placement = Placement::empty(p.scenario.num_servers(), p.scenario.num_data());
         // fig2 servers hold 120 MB; four 60 MB items overflow by 120 MB.
         for k in 0..p.scenario.num_data() {
             placement.place(ServerId(0), DataId::from_index(k), p.scenario.data[k].size);
@@ -398,6 +419,44 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, Violation::StorageBudgetExceeded { server: ServerId(0), .. })));
+    }
+
+    #[test]
+    fn liveness_audit_finds_stranded_users_and_replicas() {
+        let mut p = problem(7);
+        let game = IddeUGame::default();
+        let alloc = game.run(&p).field.into_allocation();
+        let placement = GreedyDelivery::default().run(&p, &alloc).placement;
+        let auditor = Auditor::default();
+
+        // Declare server 0 down without any degradation handling: everything
+        // it was serving or storing must be flagged.
+        let down = [ServerId(0)];
+        let report = auditor.audit_liveness(&p.scenario, &alloc, &placement, &down);
+        let stranded = alloc.iter().filter(|(_, d)| d.map(|(s, _)| s) == Some(ServerId(0))).count();
+        let replicas = placement.data_on(ServerId(0)).count();
+        assert!(stranded > 0 && replicas > 0, "fig2 seed must load server 0");
+        assert!(!report.is_clean());
+
+        // Now actually degrade: displace users, strip replicas, close coverage.
+        let mut alloc = alloc;
+        let mut placement = placement;
+        for user in p.scenario.user_ids() {
+            if alloc.server_of(user) == Some(ServerId(0)) {
+                alloc.set(user, None);
+            }
+        }
+        for data in placement.data_on(ServerId(0)).collect::<Vec<_>>() {
+            placement.remove(ServerId(0), data, p.scenario.data[data.index()].size);
+        }
+        p.scenario.coverage.disable_server(ServerId(0));
+        let report = auditor.audit_liveness(&p.scenario, &alloc, &placement, &down);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.checks > 0);
+
+        // No declared outages ⇒ trivially clean, zero checks.
+        let empty = auditor.audit_liveness(&p.scenario, &alloc, &placement, &[]);
+        assert!(empty.is_clean() && empty.checks == 0);
     }
 
     #[test]

@@ -89,6 +89,22 @@ pub enum Violation {
         /// Server capacity, MB.
         capacity: f64,
     },
+    /// A user is still allocated to (or coverable by) a server that is
+    /// down — graceful degradation failed to displace them.
+    DeadServerDecision {
+        /// The stranded user.
+        user: UserId,
+        /// The downed server.
+        server: ServerId,
+    },
+    /// A replica survives on a downed server — outage handling failed to
+    /// strip its storage.
+    DeadServerReplica {
+        /// The downed server.
+        server: ServerId,
+        /// The surviving replica's data item.
+        data: DataId,
+    },
     /// A request's bookkept Eq. 8 delivery latency disagrees with the
     /// brute-force re-derivation (min over all replicas and the cloud).
     LatencyMismatch {
@@ -138,6 +154,14 @@ impl fmt::Display for Violation {
                 f,
                 "server {server}: storage budget exceeded ({used} MB used of {capacity} MB)"
             ),
+            Violation::DeadServerDecision { user, server } => write!(
+                f,
+                "user {user}: still tied to downed server {server}"
+            ),
+            Violation::DeadServerReplica { server, data } => write!(
+                f,
+                "server {server}: replica of data {data} survives the outage"
+            ),
             Violation::LatencyMismatch { user, data, live, reference } => write!(
                 f,
                 "request ({user}, {data}): latency mismatch (bookkept {live} vs re-derived {reference} ms)"
@@ -185,12 +209,7 @@ impl AuditReport {
 
 impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "audit: {} checks, {} violations",
-            self.checks,
-            self.violations.len()
-        )?;
+        writeln!(f, "audit: {} checks, {} violations", self.checks, self.violations.len())?;
         for v in &self.violations {
             writeln!(f, "  VIOLATION: {v}")?;
         }

@@ -31,23 +31,15 @@ impl Cdp {
         let scenario = &problem.scenario;
         let mut allocation = Allocation::unallocated(scenario.num_users());
         // Channel load counters, indexed per server.
-        let mut load: Vec<Vec<usize>> = scenario
-            .servers
-            .iter()
-            .map(|s| vec![0usize; s.num_channels as usize])
-            .collect();
+        let mut load: Vec<Vec<usize>> =
+            scenario.servers.iter().map(|s| vec![0usize; s.num_channels as usize]).collect();
         for user in scenario.user_ids() {
             let position = scenario.users[user.index()].position;
-            let nearest = scenario
-                .coverage
-                .servers_of(user)
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    let da = scenario.servers[a.index()].position.distance_sq(position);
-                    let db = scenario.servers[b.index()].position.distance_sq(position);
-                    da.partial_cmp(&db).expect("distances are finite")
-                });
+            let nearest = scenario.coverage.servers_of(user).iter().copied().min_by(|&a, &b| {
+                let da = scenario.servers[a.index()].position.distance_sq(position);
+                let db = scenario.servers[b.index()].position.distance_sq(position);
+                da.partial_cmp(&db).expect("distances are finite")
+            });
             let Some(server) = nearest else { continue };
             let channels = &mut load[server.index()];
             let (channel, _) = channels
@@ -126,8 +118,7 @@ mod tests {
             for &other in p.scenario.coverage.servers_of(user) {
                 assert!(
                     p.scenario.servers[server.index()].position.distance_sq(position)
-                        <= p.scenario.servers[other.index()].position.distance_sq(position)
-                            + 1e-9,
+                        <= p.scenario.servers[other.index()].position.distance_sq(position) + 1e-9,
                     "user {user} not at its nearest server"
                 );
             }

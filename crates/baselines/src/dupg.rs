@@ -104,9 +104,12 @@ mod tests {
         let s = DupG::default().solve_seeded(&p, 0);
         for server in p.scenario.server_ids() {
             for data in s.placement.data_on(server) {
-                let locally_wanted = p.scenario.requests.of_data(data).iter().any(|&u| {
-                    s.allocation.server_of(u) == Some(server)
-                });
+                let locally_wanted = p
+                    .scenario
+                    .requests
+                    .of_data(data)
+                    .iter()
+                    .any(|&u| s.allocation.server_of(u) == Some(server));
                 assert!(
                     locally_wanted,
                     "server {server} cached {data} although none of its users wants it"
@@ -143,9 +146,6 @@ mod tests {
     #[test]
     fn is_reproducible_per_seed() {
         let p = problem(4);
-        assert_eq!(
-            DupG::default().solve_seeded(&p, 11),
-            DupG::default().solve_seeded(&p, 11)
-        );
+        assert_eq!(DupG::default().solve_seeded(&p, 11), DupG::default().solve_seeded(&p, 11));
     }
 }

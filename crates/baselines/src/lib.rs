@@ -93,11 +93,7 @@ mod tests {
         let problem = Problem::standard(testkit::fig2_example(), &mut rng);
         for strategy in standard_panel(Duration::from_millis(20)) {
             let s = strategy.solve_seeded(&problem, 7);
-            assert!(
-                problem.is_feasible(&s),
-                "{} produced an infeasible strategy",
-                strategy.name()
-            );
+            assert!(problem.is_feasible(&s), "{} produced an infeasible strategy", strategy.name());
         }
     }
 }

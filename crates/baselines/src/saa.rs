@@ -80,8 +80,7 @@ impl Saa {
             for _ in 0..self.samples {
                 for &(_, data) in &local_requests {
                     if rng.gen_bool(self.demand_probability) {
-                        let save =
-                            problem.topology.cloud_latency(scenario.data[data.index()].size);
+                        let save = problem.topology.cloud_latency(scenario.data[data.index()].size);
                         utility[data.index()] += save.value() + 1.0;
                     }
                 }

@@ -18,12 +18,8 @@ fn strategies(c: &mut Criterion) {
     group.bench_function("IDDE-G", |b| {
         b.iter(|| IddeGStrategy::default().solve_seeded(black_box(&problem), 1))
     });
-    group.bench_function("SAA", |b| {
-        b.iter(|| Saa::default().solve_seeded(black_box(&problem), 1))
-    });
-    group.bench_function("CDP", |b| {
-        b.iter(|| Cdp.solve_seeded(black_box(&problem), 1))
-    });
+    group.bench_function("SAA", |b| b.iter(|| Saa::default().solve_seeded(black_box(&problem), 1)));
+    group.bench_function("CDP", |b| b.iter(|| Cdp.solve_seeded(black_box(&problem), 1)));
     group.bench_function("DUP-G", |b| {
         b.iter(|| DupG::default().solve_seeded(black_box(&problem), 1))
     });

@@ -9,7 +9,10 @@ fn main() {
     let cfg = idde_bench::BinConfig::from_args();
     let bars = fig1_latency_test(&Fig1Config { samples_per_target: 168, seed: cfg.seed });
     println!("Fig. 1 — end-to-end network latency test (simulated, ms)");
-    println!("{:>12} {:>8} {:>8} {:>8} {:>8} {:>8}", "target", "mean", "min", "median", "q3", "max");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "target", "mean", "min", "median", "q3", "max"
+    );
     let mut csv = String::from("target,mean,min,q1,median,q3,max\n");
     for bar in &bars {
         let s = &bar.summary;

@@ -15,13 +15,13 @@ fn main() {
         // Pool every point's timing samples per approach.
         let names: Vec<&str> = result.points[0].approaches.iter().map(|a| a.name).collect();
         println!("\nSet #{}:", set.id);
-        println!("{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}", "approach", "mean", "q1", "median", "q3", "max");
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "approach", "mean", "q1", "median", "q3", "max"
+        );
         for (a, name) in names.iter().enumerate() {
-            let samples: Vec<f64> = result
-                .points
-                .iter()
-                .flat_map(|p| p.approaches[a].times.iter().copied())
-                .collect();
+            let samples: Vec<f64> =
+                result.points.iter().flat_map(|p| p.approaches[a].times.iter().copied()).collect();
             let s = Summary::of(&samples);
             println!(
                 "{name:>10} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",

@@ -24,7 +24,11 @@ use idde_radio::{RadioEnvironment, RadioParams};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn run_mode(name: &str, heterogeneous: bool, cfg: &idde_bench::BinConfig) -> Vec<(String, f64, f64)> {
+fn run_mode(
+    name: &str,
+    heterogeneous: bool,
+    cfg: &idde_bench::BinConfig,
+) -> Vec<(String, f64, f64)> {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xBEEF);
     let population = SyntheticEua::default().generate(&mut rng);
     let mut totals: Vec<(String, f64, f64)> = Vec::new();

@@ -16,7 +16,10 @@ use rand_chacha::ChaCha8Rng;
 fn main() {
     let cfg = idde_bench::BinConfig::from_args();
     let reps = cfg.reps.min(100);
-    println!("{:>6} {:>12} {:>12} {:>12} {:>12} {:>8}", "tol", "base R", "base L", "plus R", "plus L", "moves");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "tol", "base R", "base L", "plus R", "plus L", "moves"
+    );
     for tolerance in [0.0, 0.02, 0.05, 0.10, 0.20] {
         let mut base_r = 0.0;
         let mut base_l = 0.0;
@@ -27,7 +30,8 @@ fn main() {
             let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (rep as u64).wrapping_mul(0x51ED));
             let scenario = SyntheticEua::default().sample(30, 200, 5, &mut rng);
             let problem = idde_core::Problem::standard(scenario, &mut rng);
-            let engine = JointIddeG::new(JointConfig { rate_tolerance: tolerance, ..Default::default() });
+            let engine =
+                JointIddeG::new(JointConfig { rate_tolerance: tolerance, ..Default::default() });
             let report = engine.solve_with_report(&problem);
             base_r += report.baseline.0 / reps as f64;
             base_l += report.baseline.1.value() / reps as f64;

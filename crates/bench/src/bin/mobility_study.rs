@@ -71,7 +71,10 @@ fn main() {
 
     let print = |name: &str, samples: &[f64]| {
         let s = Summary::of(samples);
-        println!("{name}: mean={:.3} median={:.3} q3={:.3} max={:.3}", s.mean, s.median, s.q3, s.max);
+        println!(
+            "{name}: mean={:.3} median={:.3} q3={:.3} max={:.3}",
+            s.mean, s.median, s.q3, s.max
+        );
         s
     };
     println!("mobility study: {reps} cities × {epochs} epochs (warm / cold ratios)");

@@ -82,10 +82,14 @@ fn main() {
     if skipped > 0 {
         println!("(skipped {skipped} instances whose space exceeded the enumeration cap)");
     }
-    println!("\nTheorem 5 requires PoA ≤ 1:                         {}",
-        if poa.max <= 1.0 + 1e-9 { "holds" } else { "VIOLATED" });
-    println!("Theorem 6 requires greedy ratio ≥ (e−1)/2e ≈ {bound:.3}: {}",
-        if greedy.count == 0 || greedy.min + 1e-9 >= bound { "holds" } else { "VIOLATED" });
+    println!(
+        "\nTheorem 5 requires PoA ≤ 1:                         {}",
+        if poa.max <= 1.0 + 1e-9 { "holds" } else { "VIOLATED" }
+    );
+    println!(
+        "Theorem 6 requires greedy ratio ≥ (e−1)/2e ≈ {bound:.3}: {}",
+        if greedy.count == 0 || greedy.min + 1e-9 >= bound { "holds" } else { "VIOLATED" }
+    );
     assert!(poa.max <= 1.0 + 1e-9);
     assert!(greedy.count == 0 || greedy.min + 1e-9 >= bound);
 }

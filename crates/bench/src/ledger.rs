@@ -115,10 +115,7 @@ impl Ledger {
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"samples_per_point\": {},\n", self.samples));
         out.push_str("  \"host\": {\n");
-        out.push_str(&format!(
-            "    \"available_parallelism\": {}\n  }},\n",
-            self.host_parallelism
-        ));
+        out.push_str(&format!("    \"available_parallelism\": {}\n  }},\n", self.host_parallelism));
         out.push_str("  \"cases\": [\n");
         for (i, case) in self.cases.iter().enumerate() {
             out.push_str("    {\n");
@@ -142,10 +139,7 @@ impl Ledger {
                 ));
             }
             out.push_str("      ]\n");
-            out.push_str(&format!(
-                "    }}{}\n",
-                if i + 1 == self.cases.len() { "" } else { "," }
-            ));
+            out.push_str(&format!("    }}{}\n", if i + 1 == self.cases.len() { "" } else { "," }));
         }
         out.push_str("  ]\n}\n");
         out

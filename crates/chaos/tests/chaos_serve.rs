@@ -1,0 +1,86 @@
+//! End-to-end: a compiled fault plan drives the serving engine alongside
+//! the workload generator, degradation counters move, and the run stays
+//! audit-clean and seed-deterministic.
+
+use idde_chaos::FaultSpec;
+use idde_core::Problem;
+use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};
+use idde_eua::{SampleConfig, SyntheticEua};
+use idde_model::{DataId, ServerId};
+
+const NUM_DATA: usize = 10;
+
+fn build_engine(seed: u64) -> (Engine, WorkloadGenerator) {
+    let mut rng = idde_engine::seeded_rng(seed);
+    let population = SyntheticEua::default().generate(&mut rng);
+    let scenario = SampleConfig::paper(12, 60, NUM_DATA).sample(&population, &mut rng);
+    let problem = Problem::standard(scenario, &mut rng);
+    let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), NUM_DATA, seed);
+    let initial = workload.initial_active(problem.scenario.num_users());
+    let config = EngineConfig { audit_every: 10, ..EngineConfig::default() };
+    (Engine::new(problem, config, initial), workload)
+}
+
+fn chaos_metrics_csv(seed: u64, spec: &str, ticks: u64) -> String {
+    let (mut engine, mut workload) = build_engine(seed);
+    let mut plan = FaultSpec::parse(spec).unwrap().compile(engine.base_graph()).unwrap();
+    engine.run_sources(&mut [&mut plan, &mut workload], ticks);
+    let m = engine.metrics();
+    assert_eq!(m.ticks, ticks);
+    assert_eq!(m.audit_violations, 0, "chaos run must stay audit-clean");
+    m.to_csv()
+}
+
+#[test]
+fn outages_and_cuts_move_the_degradation_counters() {
+    let (mut engine, mut workload) = build_engine(11);
+
+    // Down the server holding the most replicas, so the outage destroys
+    // placements the greedy demonstrably wanted (and will want back).
+    let num_servers = engine.problem().scenario.num_servers();
+    let victim = (0..num_servers)
+        .max_by_key(|&i| {
+            (0..NUM_DATA)
+                .filter(|&k| engine.placement().stores(ServerId(i as u32), DataId(k as u32)))
+                .count()
+        })
+        .map(|i| ServerId(i as u32))
+        .unwrap();
+    assert!(
+        (0..NUM_DATA).any(|k| engine.placement().stores(victim, DataId(k as u32))),
+        "scenario must place at least one replica for the outage to destroy"
+    );
+    // Cut a link incident to the victim too, so paths around it vanish.
+    let cut = engine
+        .base_graph()
+        .links()
+        .iter()
+        .find(|l| l.a == victim || l.b == victim)
+        .copied()
+        .expect("victim has a link");
+
+    let spec = format!("server:{victim}@10+40, link:{}-{}@5+30, jam:4@15+20", cut.a, cut.b);
+    let mut plan = FaultSpec::parse(&spec).unwrap().compile(engine.base_graph()).unwrap();
+    engine.run_sources(&mut [&mut plan, &mut workload], 80);
+
+    let m = engine.metrics();
+    assert_eq!(m.ticks, 80);
+    assert_eq!(m.server_outages, 1);
+    assert_eq!(m.link_faults, 1);
+    assert_eq!(m.jam_events, 1);
+    assert_eq!(m.restorations, 3, "all three faults restore inside the run");
+    assert!(m.lost_replicas > 0, "the downed server held replicas");
+    assert!(m.re_replications > 0, "placement repair re-replicated the losses");
+    assert_eq!(m.audit_violations, 0, "degradation must stay invariant-clean");
+    assert!(engine.faults().is_healthy(), "every fault was restored");
+}
+
+#[test]
+fn chaos_serve_is_seed_deterministic() {
+    let spec = "rand:2022:2:1:1@40+25";
+    let a = chaos_metrics_csv(7, spec, 60);
+    let b = chaos_metrics_csv(7, spec, 60);
+    assert_eq!(a, b, "same seed + same spec must give byte-identical CSV");
+    let c = chaos_metrics_csv(8, spec, 60);
+    assert_ne!(a, c, "a different engine seed should not collide");
+}

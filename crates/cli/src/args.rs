@@ -24,10 +24,16 @@ commands:
              [--scenario FILE | --servers N --users M --data K]
              [--seed S] [--ticks T] [--density D] [--net-seed S]
              [--checkpoint T] [--drift X] [--csv FILE] [--audit N]
+             [--chaos SPEC]
+  chaos      compile a fault spec against a scenario's topology and
+             print the scheduled fault timeline (dry run)
+             --spec SPEC [--scenario FILE | --servers N --users M
+             --data K] [--seed S] [--density D] [--net-seed S]
   bench      run the reproducible benchmark ledger (seeded workloads,
              thread sweep, BENCH_<suite>.json output)
              [--suite all|engine|solver] [--samples N]
              [--threads 1,2,4,8] [--seed S] [--out DIR] [--json]
+             [--check]
 
 Scenario files use the plain-text `idde_model::io` format; `--out -`
 and `--scenario -` mean stdout/stdin. `serve` samples a synthetic
@@ -35,10 +41,15 @@ scenario when no `--scenario` is given; `--csv -` prints the
 deterministic metrics CSV to stdout instead of the summary table.
 `--audit N` runs a full invariant audit every N events (plus Nash
 certificates after converged repairs) and exits nonzero when any
-violation is found; 0 (the default) disables auditing. `bench`
-writes one BENCH_<suite>.json per suite into --out (default `.`);
-`--json` additionally prints the ledgers to stdout instead of the
-summary table.";
+violation is found; 0 (the default) disables auditing. `--chaos SPEC`
+injects a deterministic fault schedule into the serve event stream
+(e.g. 'server:3@40+80,link:0-5@30+60,jam:1@20+30'; see idde-chaos for
+the grammar — `rand:SEED:L:S:J@SPAN+D` draws a seeded random plan).
+`bench` writes one BENCH_<suite>.json per suite into --out (default
+`.`); `--json` additionally prints the ledgers to stdout instead of
+the summary table; `--check` re-runs the suites and exits nonzero if
+the result fingerprints diverge from the committed BENCH_<suite>.json
+(timings are reported but never gate).";
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -119,6 +130,28 @@ pub enum Command {
         csv: Option<Option<PathBuf>>,
         /// Events between invariant audits (0 = never audit).
         audit: u64,
+        /// Fault spec to compile and inject (None = healthy serve).
+        chaos: Option<String>,
+    },
+    /// `idde chaos` — compile a fault spec and print its timeline.
+    Chaos {
+        /// The fault spec to compile.
+        spec: String,
+        /// Scenario path (`Some(None)` = stdin; `None` = sample a synthetic
+        /// scenario from `servers`/`users`/`data`).
+        scenario: Option<Option<PathBuf>>,
+        /// Servers to sample when no scenario file is given.
+        servers: usize,
+        /// Users to sample when no scenario file is given.
+        users: usize,
+        /// Data items to sample when no scenario file is given.
+        data: usize,
+        /// Sampling seed.
+        seed: u64,
+        /// Network density.
+        density: f64,
+        /// Topology seed.
+        net_seed: u64,
     },
     /// `idde bench`
     Bench {
@@ -134,6 +167,9 @@ pub enum Command {
         out: PathBuf,
         /// Print the ledgers as JSON on stdout instead of the summary table.
         json: bool,
+        /// Compare fresh fingerprints against the committed ledgers in
+        /// `out` instead of overwriting them (the CI bench gate).
+        check: bool,
     },
     /// `idde compare`
     Compare {
@@ -163,14 +199,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut it = argv.iter().peekable();
     let command = it.next().ok_or("missing command")?;
 
-    // Collect --key value pairs. `--json` is the one boolean flag: its
-    // value may be omitted (equivalent to `--json true`).
+    // Collect --key value pairs. `--json` and `--check` are the boolean
+    // flags: their value may be omitted (equivalent to `--json true`).
     let mut opts: Vec<(String, String)> = Vec::new();
     while let Some(key) = it.next() {
-        let key = key
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected an option, got {key:?}"))?;
-        if key == "json" && it.peek().is_none_or(|v| v.starts_with("--")) {
+        let key =
+            key.strip_prefix("--").ok_or_else(|| format!("expected an option, got {key:?}"))?;
+        if (key == "json" || key == "check") && it.peek().is_none_or(|v| v.starts_with("--")) {
             opts.push((key.to_string(), "true".to_string()));
             continue;
         }
@@ -241,8 +276,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "serve" => {
             known(&[
-                "scenario", "servers", "users", "data", "seed", "ticks", "density", "net-seed",
-                "checkpoint", "drift", "csv", "audit",
+                "scenario",
+                "servers",
+                "users",
+                "data",
+                "seed",
+                "ticks",
+                "density",
+                "net-seed",
+                "checkpoint",
+                "drift",
+                "csv",
+                "audit",
+                "chaos",
             ])?;
             Ok(Command::Serve {
                 scenario: take("scenario").map(|v| path_arg(&v)),
@@ -263,10 +309,32 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 drift: parse_f64("drift", 0.05)?,
                 csv: take("csv").map(|v| path_arg(&v)),
                 audit: parse_u64("audit", 0)?,
+                chaos: take("chaos"),
+            })
+        }
+        "chaos" => {
+            known(&[
+                "spec", "scenario", "servers", "users", "data", "seed", "density", "net-seed",
+            ])?;
+            Ok(Command::Chaos {
+                spec: take("spec").ok_or("--spec is required")?,
+                scenario: take("scenario").map(|v| path_arg(&v)),
+                servers: take("servers")
+                    .map(|v| v.parse::<usize>().map_err(|_| "--servers: bad integer".to_string()))
+                    .unwrap_or(Ok(20))?,
+                users: take("users")
+                    .map(|v| v.parse::<usize>().map_err(|_| "--users: bad integer".to_string()))
+                    .unwrap_or(Ok(100))?,
+                data: take("data")
+                    .map(|v| v.parse::<usize>().map_err(|_| "--data: bad integer".to_string()))
+                    .unwrap_or(Ok(5))?,
+                seed: parse_u64("seed", 42)?,
+                density: parse_f64("density", 1.0)?,
+                net_seed: parse_u64("net-seed", 1)?,
             })
         }
         "bench" => {
-            known(&["suite", "samples", "threads", "seed", "out", "json"])?;
+            known(&["suite", "samples", "threads", "seed", "out", "json", "check"])?;
             let suite = take("suite").unwrap_or_else(|| "all".into()).to_lowercase();
             if !["all", "engine", "solver"].contains(&suite.as_str()) {
                 return Err(format!("--suite: expected all|engine|solver, got {suite:?}"));
@@ -292,10 +360,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     parsed
                 }
             };
-            let json = match take("json").as_deref() {
-                None | Some("false") => false,
-                Some("true") => true,
-                Some(other) => return Err(format!("--json: expected true|false, got {other:?}")),
+            let flag = |name: &str| -> Result<bool, String> {
+                match take(name).as_deref() {
+                    None | Some("false") => Ok(false),
+                    Some("true") => Ok(true),
+                    Some(other) => Err(format!("--{name}: expected true|false, got {other:?}")),
+                }
             };
             Ok(Command::Bench {
                 suite,
@@ -303,7 +373,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 threads,
                 seed: parse_u64("seed", 2022)?,
                 out: take("out").map(PathBuf::from).unwrap_or_else(|| PathBuf::from(".")),
-                json,
+                json: flag("json")?,
+                check: flag("check")?,
             })
         }
         "render" => {
@@ -395,7 +466,19 @@ mod tests {
     fn parses_serve_with_defaults() {
         let cmd = parse(&argv("serve --seed 42 --ticks 1000")).unwrap();
         match cmd {
-            Command::Serve { scenario, servers, users, data, seed, ticks, checkpoint, drift, csv, audit, .. } => {
+            Command::Serve {
+                scenario,
+                servers,
+                users,
+                data,
+                seed,
+                ticks,
+                checkpoint,
+                drift,
+                csv,
+                audit,
+                ..
+            } => {
                 assert_eq!(scenario, None);
                 assert_eq!((servers, users, data), (20, 100, 5));
                 assert_eq!((seed, ticks, checkpoint), (42, 1000, 50));
@@ -430,6 +513,7 @@ mod tests {
                 seed: 2022,
                 out: PathBuf::from("."),
                 json: false,
+                check: false,
             }
         );
     }
@@ -448,17 +532,57 @@ mod tests {
                 seed: 2022,
                 out: PathBuf::from("b"),
                 json: true,
+                check: false,
             }
         );
         // Trailing bare `--json` and an explicit `--json false`.
-        assert!(matches!(
-            parse(&argv("bench --json")).unwrap(),
-            Command::Bench { json: true, .. }
-        ));
+        assert!(matches!(parse(&argv("bench --json")).unwrap(), Command::Bench { json: true, .. }));
         assert!(matches!(
             parse(&argv("bench --json false")).unwrap(),
             Command::Bench { json: false, .. }
         ));
+        // `--check` is the bench-gate flag, bare or explicit.
+        assert!(matches!(
+            parse(&argv("bench --check --samples 1")).unwrap(),
+            Command::Bench { check: true, samples: 1, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("bench --check true")).unwrap(),
+            Command::Bench { check: true, .. }
+        ));
+        assert!(parse(&argv("bench --check sometimes")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_chaos_spec() {
+        let cmd = parse(&argv("serve --ticks 50 --chaos server:3@10+20,link:0-1@5")).unwrap();
+        match cmd {
+            Command::Serve { chaos, ticks, .. } => {
+                assert_eq!(chaos.as_deref(), Some("server:3@10+20,link:0-1@5"));
+                assert_eq!(ticks, 50);
+            }
+            other => unreachable!("parse returned the wrong command variant: {other:?}"),
+        }
+        assert!(matches!(parse(&argv("serve")).unwrap(), Command::Serve { chaos: None, .. }));
+    }
+
+    #[test]
+    fn parses_chaos_dry_run() {
+        let cmd = parse(&argv("chaos --spec rand:7:2:1:0@100+25 --servers 12 --users 40")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                spec: "rand:7:2:1:0@100+25".into(),
+                scenario: None,
+                servers: 12,
+                users: 40,
+                data: 5,
+                seed: 42,
+                density: 1.0,
+                net_seed: 1,
+            }
+        );
+        assert!(parse(&argv("chaos")).is_err(), "--spec is required");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use idde_baselines::{standard_panel, Cdp, DeliveryStrategy, DupG, IddeGStrategy, IddeIp, Saa};
+use idde_chaos::FaultSpec;
 use idde_core::Problem;
 use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};
 use idde_eua::{SampleConfig, SyntheticEua};
@@ -29,8 +30,11 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Compare { scenario, seed, density, net_seed, iddeip_ms } => {
             compare(scenario.as_deref(), seed, density, net_seed, iddeip_ms)
         }
-        Command::Bench { suite, samples, threads, seed, out, json } => {
-            bench(&suite, samples, threads, seed, &out, json)
+        Command::Bench { suite, samples, threads, seed, out, json, check } => {
+            bench(&suite, samples, threads, seed, &out, json, check)
+        }
+        Command::Chaos { spec, scenario, servers, users, data, seed, density, net_seed } => {
+            chaos_dry_run(&spec, scenario, servers, users, data, seed, density, net_seed)
         }
         Command::Render { scenario, out, solve, seed, density, net_seed } => {
             render(scenario.as_deref(), out.as_deref(), solve, seed, density, net_seed)
@@ -48,6 +52,7 @@ pub fn run(command: Command) -> Result<(), String> {
             drift,
             csv,
             audit,
+            chaos,
         } => serve(ServeOptions {
             scenario,
             servers,
@@ -61,14 +66,16 @@ pub fn run(command: Command) -> Result<(), String> {
             drift,
             csv,
             audit,
+            chaos,
         }),
     }
 }
 
 fn read_scenario(path: Option<&Path>) -> Result<Scenario, String> {
     let text = match path {
-        Some(p) => std::fs::read_to_string(p)
-            .map_err(|e| format!("cannot read {}: {e}", p.display()))?,
+        Some(p) => {
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?
+        }
         None => {
             let mut buf = String::new();
             std::io::stdin()
@@ -107,7 +114,8 @@ fn generate(
     let text = scenario_io::to_string(&scenario);
     match out {
         Some(path) => {
-            std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            std::fs::write(path, text)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             eprintln!(
                 "wrote {} ({} servers, {} users, {} data items, {} requests)",
                 path.display(),
@@ -140,11 +148,7 @@ fn info(path: Option<&Path>) -> Result<(), String> {
         scenario.coverage.mean_candidates_per_user(),
         scenario.coverage.uncovered_users().count()
     );
-    println!(
-        "area:      {:.0} m × {:.0} m",
-        scenario.area.width(),
-        scenario.area.height()
-    );
+    println!("area:      {:.0} m × {:.0} m", scenario.area.width(), scenario.area.height());
     Ok(())
 }
 
@@ -158,7 +162,11 @@ fn approach_by_name(
         "saa" => Box::new(Saa::default()),
         "cdp" => Box::new(Cdp),
         "dup-g" | "dupg" => Box::new(DupG::default()),
-        other => return Err(format!("unknown approach {other:?} (try idde-g, idde-ip, saa, cdp, dup-g)")),
+        other => {
+            return Err(format!(
+                "unknown approach {other:?} (try idde-g, idde-ip, saa, cdp, dup-g)"
+            ))
+        }
     })
 }
 
@@ -232,12 +240,15 @@ fn bench(
     seed: u64,
     out: &Path,
     json: bool,
+    check: bool,
 ) -> Result<(), String> {
     use idde_bench::ledger::{Ledger, LedgerConfig};
 
     let cfg = LedgerConfig { samples, threads, seed };
-    std::fs::create_dir_all(out)
-        .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    if !check {
+        std::fs::create_dir_all(out)
+            .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    }
     let suites: &[&str] = match suite {
         "engine" => &["engine"],
         "solver" => &["solver"],
@@ -253,14 +264,23 @@ fn bench(
             _ => idde_bench::ledger::run_solver_suite(&cfg),
         };
         let path = out.join(format!("BENCH_{name}.json"));
-        std::fs::write(&path, ledger.to_json())
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        if check {
+            // The bench gate: fingerprints must match the committed ledger
+            // exactly; timings are machine-dependent and only annotated.
+            let committed = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read committed ledger {}: {e}", path.display()))?;
+            check_fingerprints(name, &committed, &ledger)?;
+            eprintln!("{name}: fingerprints match {}", path.display());
+        } else {
+            std::fs::write(&path, ledger.to_json())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
         if json {
             print!("{}", ledger.to_json());
         } else {
             print_ledger_table(&ledger);
         }
-        eprintln!("wrote {}", path.display());
         for case in &ledger.cases {
             if !case.deterministic() {
                 return Err(format!(
@@ -275,12 +295,75 @@ fn bench(
     Ok(())
 }
 
+/// Pulls the `(case, fingerprint-per-point)` sequence out of a ledger JSON.
+/// The ledger serialiser is hand-rolled and line-oriented, so a line scan is
+/// exact: each case opens with its `"name"` line, each point line carries
+/// one `"fingerprint"`.
+fn extract_fingerprints(ledger_json: &str) -> Vec<(String, String)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let (_, tail) = line.split_once(&format!("\"{key}\": \""))?;
+        tail.split_once('"').map(|(v, _)| v.to_string())
+    };
+    let mut current_case = String::new();
+    let mut out = Vec::new();
+    for line in ledger_json.lines() {
+        if let Some(name) = field(line, "name") {
+            current_case = name;
+        }
+        if let Some(fp) = field(line, "fingerprint") {
+            out.push((current_case.clone(), fp));
+        }
+    }
+    out
+}
+
+/// Compares a freshly-run ledger's result fingerprints against the
+/// committed ledger JSON, point by point.
+fn check_fingerprints(
+    suite: &str,
+    committed_json: &str,
+    fresh: &idde_bench::ledger::Ledger,
+) -> Result<(), String> {
+    let committed = extract_fingerprints(committed_json);
+    let current = extract_fingerprints(&fresh.to_json());
+    if committed.is_empty() {
+        return Err(format!("committed {suite} ledger contains no fingerprints"));
+    }
+    if committed.len() != current.len() {
+        return Err(format!(
+            "{suite}: committed ledger has {} fingerprint points, this run produced {} \
+             (thread sweep or case set changed — re-run `idde bench` and commit the result)",
+            committed.len(),
+            current.len()
+        ));
+    }
+    let mut diverged = Vec::new();
+    for ((case_a, fp_a), (case_b, fp_b)) in committed.iter().zip(&current) {
+        if case_a != case_b || fp_a != fp_b {
+            diverged.push(format!("{case_b}: committed {case_a}={fp_a}, got {fp_b}"));
+        }
+    }
+    if !diverged.is_empty() {
+        return Err(format!(
+            "{suite}: {} of {} result fingerprints diverged from the committed ledger:\n  {}\n\
+             if the change is intentional, re-run `idde bench` and commit BENCH_{suite}.json",
+            diverged.len(),
+            committed.len(),
+            diverged.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
 fn print_ledger_table(ledger: &idde_bench::ledger::Ledger) {
     println!(
         "suite {:?} (seed {}, {} samples/point, host parallelism {})",
         ledger.suite, ledger.seed, ledger.samples, ledger.host_parallelism
     );
-    println!("{:>24} {:>8} {:>12} {:>12} {:>14}", "case", "threads", "median (ms)", "p95 (ms)", "deterministic");
+    println!(
+        "{:>24} {:>8} {:>12} {:>12} {:>14}",
+        "case", "threads", "median (ms)", "p95 (ms)", "deterministic"
+    );
     for case in &ledger.cases {
         for point in &case.points {
             println!(
@@ -309,24 +392,36 @@ struct ServeOptions {
     drift: f64,
     csv: Option<Option<std::path::PathBuf>>,
     audit: u64,
+    chaos: Option<String>,
+}
+
+/// Loads a scenario file (`Some`) or samples a synthetic one (`None`).
+fn load_or_sample_scenario(
+    scenario: &Option<Option<std::path::PathBuf>>,
+    servers: usize,
+    users: usize,
+    data: usize,
+    seed: u64,
+) -> Result<Scenario, String> {
+    match scenario {
+        Some(path) => read_scenario(path.as_deref()),
+        None => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let population = SyntheticEua::default().generate(&mut rng);
+            if population.num_server_sites() < servers {
+                return Err(format!(
+                    "the base population has {} server sites; --servers {servers} is too large",
+                    population.num_server_sites()
+                ));
+            }
+            Ok(SampleConfig::paper(servers, users, data).sample(&population, &mut rng))
+        }
+    }
 }
 
 fn serve(opts: ServeOptions) -> Result<(), String> {
-    let scenario = match &opts.scenario {
-        Some(path) => read_scenario(path.as_deref())?,
-        None => {
-            let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
-            let population = SyntheticEua::default().generate(&mut rng);
-            if population.num_server_sites() < opts.servers {
-                return Err(format!(
-                    "the base population has {} server sites; --servers {} is too large",
-                    population.num_server_sites(),
-                    opts.servers
-                ));
-            }
-            SampleConfig::paper(opts.servers, opts.users, opts.data).sample(&population, &mut rng)
-        }
-    };
+    let scenario =
+        load_or_sample_scenario(&opts.scenario, opts.servers, opts.users, opts.data, opts.seed)?;
     let num_data = scenario.num_data();
     if num_data == 0 {
         return Err("serve needs a scenario with at least one data item".into());
@@ -342,8 +437,29 @@ fn serve(opts: ServeOptions) -> Result<(), String> {
     let initial = workload.initial_active(problem.scenario.num_users());
     let mut engine = Engine::new(problem, config, initial);
 
+    // Compile the fault plan against the healthy topology; scheduled fault
+    // events join the same deterministic `(tick, seq)` stream as the
+    // workload (faults first within a tick).
+    let mut plan = match &opts.chaos {
+        Some(spec) => {
+            let plan = FaultSpec::parse(spec)
+                .and_then(|s| s.compile(engine.base_graph()))
+                .map_err(|e| format!("--chaos: {e}"))?;
+            eprintln!(
+                "chaos: {} fault windows, {} scheduled events",
+                plan.windows().len(),
+                plan.len()
+            );
+            Some(plan)
+        }
+        None => None,
+    };
+
     let t0 = Instant::now();
-    engine.run(&mut workload, opts.ticks);
+    match plan.as_mut() {
+        Some(plan) => engine.run_sources(&mut [plan, &mut workload], opts.ticks),
+        None => engine.run(&mut workload, opts.ticks),
+    }
     let elapsed = t0.elapsed();
 
     // One final audit catches anything the periodic cadence missed (e.g.
@@ -375,6 +491,35 @@ fn serve(opts: ServeOptions) -> Result<(), String> {
             metrics.audit_violations, metrics.certificate_violations, metrics.audits
         ));
     }
+    Ok(())
+}
+
+/// `idde chaos`: compile a fault spec against a scenario's healthy topology
+/// and print the scheduled timeline without serving anything.
+#[allow(clippy::too_many_arguments)]
+fn chaos_dry_run(
+    spec: &str,
+    scenario: Option<Option<std::path::PathBuf>>,
+    servers: usize,
+    users: usize,
+    data: usize,
+    seed: u64,
+    density: f64,
+    net_seed: u64,
+) -> Result<(), String> {
+    let scenario = load_or_sample_scenario(&scenario, servers, users, data, seed)?;
+    let problem = build_problem(scenario, density, net_seed);
+    let plan = FaultSpec::parse(spec)
+        .and_then(|s| s.compile(problem.topology.graph()))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} fault windows over {} servers / {} links → {} scheduled events",
+        plan.windows().len(),
+        problem.scenario.num_servers(),
+        problem.topology.graph().num_links(),
+        plan.len()
+    );
+    print!("{}", plan.describe());
     Ok(())
 }
 
@@ -460,6 +605,7 @@ mod tests {
                 drift: 0.05,
                 csv: Some(Some(path.clone())),
                 audit: 0,
+                chaos: None,
             })
             .unwrap();
             std::fs::read_to_string(path).unwrap()
@@ -490,18 +636,15 @@ mod tests {
             drift: 0.05,
             csv: Some(Some(path.clone())),
             audit: 10,
+            chaos: None,
         })
         .unwrap();
         let csv = std::fs::read_to_string(&path).unwrap();
         assert!(csv.contains("audit_violations,0\n"), "{csv}");
         assert!(csv.contains("certificate_violations,0\n"), "{csv}");
         // At least the periodic audits plus the final one ran.
-        let audits: u64 = csv
-            .lines()
-            .find_map(|l| l.strip_prefix("audits,"))
-            .unwrap()
-            .parse()
-            .unwrap();
+        let audits: u64 =
+            csv.lines().find_map(|l| l.strip_prefix("audits,")).unwrap().parse().unwrap();
         assert!(audits >= 2, "expected periodic + final audits, got {audits}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -512,12 +655,82 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         // Solver suite only (the engine suite serves 50 full-scale ticks —
         // too heavy for a unit test), minimal sweep.
-        bench("solver", 1, vec![1, 2], 2022, &dir, false).unwrap();
+        bench("solver", 1, vec![1, 2], 2022, &dir, false, false).unwrap();
         let json = std::fs::read_to_string(dir.join("BENCH_solver.json")).unwrap();
         assert!(json.contains("\"suite\": \"solver\""));
         assert!(json.contains("\"deterministic_across_threads\": true"));
         assert!(json.contains("\"iddeg_end_to_end\""));
+
+        // The bench gate passes against the ledger the run just wrote (same
+        // seed → same fingerprints) and fails once the ledger is tampered
+        // with or missing.
+        bench("solver", 1, vec![1, 2], 2022, &dir, false, true).unwrap();
+        let tampered = json.replacen("\"fingerprint\": \"", "\"fingerprint\": \"beef", 1);
+        std::fs::write(dir.join("BENCH_solver.json"), tampered).unwrap();
+        let err = bench("solver", 1, vec![1, 2], 2022, &dir, false, true).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+        let err = bench("solver", 1, vec![1, 2], 2022, &dir, false, true).unwrap_err();
+        assert!(err.contains("cannot read committed ledger"), "{err}");
+    }
+
+    #[test]
+    fn chaos_serve_counts_faults_and_stays_deterministic() {
+        let dir = std::env::temp_dir().join("idde-cli-chaos-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |name: &str| -> String {
+            let path = dir.join(name);
+            serve(ServeOptions {
+                scenario: None,
+                servers: 10,
+                users: 40,
+                data: 6,
+                seed: 42,
+                ticks: 30,
+                density: 1.0,
+                net_seed: 1,
+                checkpoint: 10,
+                drift: 0.05,
+                csv: Some(Some(path.clone())),
+                audit: 25,
+                chaos: Some("rand:2022:2:1:1@20+8".into()),
+            })
+            .unwrap();
+            std::fs::read_to_string(path).unwrap()
+        };
+        let first = run("a.csv");
+        assert_eq!(first, run("b.csv"), "chaos serve must be byte-identical per seed");
+        let outages: u64 =
+            first.lines().find_map(|l| l.strip_prefix("server_outages,")).unwrap().parse().unwrap();
+        assert_eq!(outages, 1, "the random batch schedules one outage:\n{first}");
+        assert!(first.contains("audit_violations,0\n"), "{first}");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // A malformed spec is a clean CLI error, not a panic.
+        let err = serve(ServeOptions {
+            scenario: None,
+            servers: 8,
+            users: 30,
+            data: 3,
+            seed: 42,
+            ticks: 5,
+            density: 1.0,
+            net_seed: 1,
+            checkpoint: 5,
+            drift: 0.05,
+            csv: None,
+            audit: 0,
+            chaos: Some("meteor:3@4".into()),
+        })
+        .unwrap_err();
+        assert!(err.contains("--chaos"), "{err}");
+    }
+
+    #[test]
+    fn chaos_dry_run_prints_a_timeline() {
+        chaos_dry_run("rand:7:2:1:1@50+10", None, 10, 40, 4, 42, 1.0, 1).unwrap();
+        let err = chaos_dry_run("server:99@5", None, 10, 40, 4, 42, 1.0, 1).unwrap_err();
+        assert!(err.contains("outside the scenario"), "{err}");
     }
 
     #[test]

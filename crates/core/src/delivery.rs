@@ -141,8 +141,7 @@ impl GreedyDelivery {
             })
             .collect();
 
-        let initial_total = cloud_pinned_total
-            + cur.iter().flatten().sum::<f64>();
+        let initial_total = cloud_pinned_total + cur.iter().flatten().sum::<f64>();
 
         let mut placement = match initial {
             Some(existing) => {
@@ -154,8 +153,7 @@ impl GreedyDelivery {
                     let size = scenario.data[k].size;
                     for origin in existing.servers_with(DataId::from_index(k)) {
                         for (r, &target) in reqs_by_data[k].iter().enumerate() {
-                            let via =
-                                problem.topology.edge_latency(size, origin, target).value();
+                            let via = problem.topology.edge_latency(size, origin, target).value();
                             if via < cur[k][r] {
                                 cur[k][r] = via;
                             }
@@ -181,8 +179,8 @@ impl GreedyDelivery {
             // (deterministic tie-break: smallest server id, then data id).
             let mut best: Option<(usize, usize, f64)> = None;
             for i in 0..n {
-                let remaining =
-                    scenario.servers[i].storage.value() - placement.used(ServerId::from_index(i)).value();
+                let remaining = scenario.servers[i].storage.value()
+                    - placement.used(ServerId::from_index(i)).value();
                 for k in 0..k_total {
                     if placement.stores(ServerId::from_index(i), DataId::from_index(k)) {
                         continue;
@@ -232,7 +230,6 @@ impl GreedyDelivery {
             final_total_latency: Milliseconds(final_total),
         }
     }
-
 }
 
 /// Removes replicas whose removal would not increase any request's Eq. 8
@@ -265,8 +262,7 @@ pub fn evict_useless_replicas(
                     .edge_latency(size, server, target)
                     .value()
                     .min(problem.topology.delivery_latency_from(&others, size, target).value());
-                let without =
-                    problem.topology.delivery_latency_from(&others, size, target).value();
+                let without = problem.topology.delivery_latency_from(&others, size, target).value();
                 if with + 1e-12 < without {
                     needed = true;
                     break;
@@ -394,16 +390,12 @@ mod tests {
         let p = problem(6);
         let alloc = solved_allocation(&p);
         let lean = GreedyDelivery::default().run(&p, &alloc);
-        let full = GreedyDelivery::new(DeliveryConfig {
-            fill_zero_benefit: true,
-            ..Default::default()
-        })
-        .run(&p, &alloc);
+        let full =
+            GreedyDelivery::new(DeliveryConfig { fill_zero_benefit: true, ..Default::default() })
+                .run(&p, &alloc);
         assert!(full.placement.num_placements() >= lean.placement.num_placements());
         // Zero-benefit filler must not change the achieved latency.
-        assert!(
-            (full.final_total_latency.value() - lean.final_total_latency.value()).abs() < 1e-9
-        );
+        assert!((full.final_total_latency.value() - lean.final_total_latency.value()).abs() < 1e-9);
         assert!(full.placement.respects_storage(&p.scenario));
     }
 

@@ -502,7 +502,7 @@ impl IddeUGame {
         let p = field.scenario().users[user.index()].power.value();
         let s_old = field.channel_power(old_server, old_channel); // includes p
         let s_new = field.channel_power(server, channel); // excludes p
-        // ΔΦ of the move for Φ = Σ_c S_c²; see crate::potential.
+                                                          // ΔΦ of the move for Φ = Σ_c S_c²; see crate::potential.
         let delta_phi = p * (s_new + p - s_old);
         let tol = 1e-9 * (s_old + s_new + p).max(1.0);
         if delta_phi < -tol {
@@ -612,10 +612,8 @@ mod tests {
     #[test]
     fn congestion_model_also_converges() {
         let p = problem();
-        let game = IddeUGame::new(GameConfig {
-            benefit: BenefitModel::Congestion,
-            ..Default::default()
-        });
+        let game =
+            IddeUGame::new(GameConfig { benefit: BenefitModel::Congestion, ..Default::default() });
         let outcome = game.run(&p);
         assert!(outcome.converged);
         assert!(is_nash_equilibrium(&game, &outcome.field, 1e-9));
@@ -722,10 +720,7 @@ mod tests {
             );
             // Quiescence means the batch scan finds nothing either.
             let players: Vec<UserId> = p.scenario.user_ids().collect();
-            assert!(game
-                .scan_deviations(&outcome.field, &players)
-                .iter()
-                .all(Option::is_none));
+            assert!(game.scan_deviations(&outcome.field, &players).iter().all(Option::is_none));
         }
     }
 
@@ -736,8 +731,8 @@ mod tests {
         // trajectory exactly — same equilibrium, same move count.
         let p = problem();
         for arbitration in [ArbitrationPolicy::MaxGainWinner, ArbitrationPolicy::RandomWinner] {
-            let serial = IddeUGame::new(GameConfig { arbitration, seed: 5, ..Default::default() })
-                .run(&p);
+            let serial =
+                IddeUGame::new(GameConfig { arbitration, seed: 5, ..Default::default() }).run(&p);
             let parallel = IddeUGame::new(GameConfig {
                 arbitration,
                 scoring: ScoringMode::Parallel,
@@ -754,10 +749,8 @@ mod tests {
     #[test]
     fn scan_deviations_matches_the_serial_primitive() {
         let p = problem();
-        let game = IddeUGame::new(GameConfig {
-            scoring: ScoringMode::Parallel,
-            ..Default::default()
-        });
+        let game =
+            IddeUGame::new(GameConfig { scoring: ScoringMode::Parallel, ..Default::default() });
         // Mid-trajectory field: stop after one pass so deviations exist.
         let outcome = IddeUGame::new(GameConfig { max_passes: 1, ..Default::default() }).run(&p);
         let players: Vec<UserId> = p.scenario.user_ids().collect();

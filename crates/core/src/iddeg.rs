@@ -103,8 +103,7 @@ mod tests {
         // (storage is ample in fig2).
         assert_eq!(metrics.allocated_users, p.scenario.num_users());
         assert!(metrics.average_data_rate.value() > 0.0);
-        let all_cloud =
-            p.all_cloud_latency().value() / p.scenario.requests.total_requests() as f64;
+        let all_cloud = p.all_cloud_latency().value() / p.scenario.requests.total_requests() as f64;
         assert!(
             metrics.average_delivery_latency.value() < all_cloud,
             "{} !< {all_cloud}",

@@ -192,11 +192,7 @@ impl JointIddeG {
                     .iter()
                     .map(|&d| {
                         let size = scenario.data[d.index()].size;
-                        problem
-                            .topology
-                            .delivery_latency(placement, d, size, server)
-                            .0
-                            .value()
+                        problem.topology.delivery_latency(placement, d, size, server).0.value()
                     })
                     .sum()
             };
@@ -279,11 +275,8 @@ mod tests {
         let cfg = JointConfig::default();
         let report = JointIddeG::new(cfg).solve_with_report(&p);
         let game = IddeUGame::new(cfg.base.game);
-        let field = InterferenceField::from_allocation(
-            &p.radio,
-            &p.scenario,
-            &report.strategy.allocation,
-        );
+        let field =
+            InterferenceField::from_allocation(&p.radio, &p.scenario, &report.strategy.allocation);
         for user in p.scenario.user_ids() {
             let Some((s, x)) = field.allocation().decision(user) else { continue };
             let current = field.benefit_at(user, s, x);

@@ -21,9 +21,7 @@
 //! and the game work, which the `mobility` example compares against the
 //! cold re-solve.
 
-use idde_model::{
-    Allocation, CoverageMap, DataId, MegaBytes, Placement, Scenario, ServerId,
-};
+use idde_model::{Allocation, CoverageMap, DataId, MegaBytes, Placement, Scenario, ServerId};
 use idde_radio::InterferenceField;
 use rand::Rng;
 
@@ -116,7 +114,11 @@ impl MobileSolver {
     /// Re-formulates the strategy for `problem`, warm-starting from
     /// `previous` when given. With `previous = None` this is exactly
     /// Algorithm 1.
-    pub fn resolve(&self, problem: &Problem, previous: Option<&Strategy>) -> (Strategy, EpochReport) {
+    pub fn resolve(
+        &self,
+        problem: &Problem,
+        previous: Option<&Strategy>,
+    ) -> (Strategy, EpochReport) {
         let scenario = &problem.scenario;
         let mut report = EpochReport::default();
 
@@ -126,8 +128,7 @@ impl MobileSolver {
             for (user, decision) in prev.allocation.iter() {
                 if let Some((server, channel)) = decision {
                     let feasible = scenario.coverage.covers(server, user)
-                        && channel.index()
-                            < scenario.servers[server.index()].num_channels as usize;
+                        && channel.index() < scenario.servers[server.index()].num_channels as usize;
                     if feasible {
                         warm.set(user, Some((server, channel)));
                     }
@@ -157,10 +158,8 @@ impl MobileSolver {
             report.evicted_replicas =
                 crate::delivery::evict_useless_replicas(problem, &allocation, &mut carried);
         }
-        let before: Vec<(ServerId, DataId)> = scenario
-            .server_ids()
-            .flat_map(|s| carried.data_on(s).map(move |d| (s, d)))
-            .collect();
+        let before: Vec<(ServerId, DataId)> =
+            scenario.server_ids().flat_map(|s| carried.data_on(s).map(move |d| (s, d))).collect();
         let delivery =
             GreedyDelivery::new(self.delivery).run_from(problem, &allocation, Some(&carried));
         report.new_replicas = delivery.iterations;
@@ -174,7 +173,6 @@ impl MobileSolver {
         report.migrated = MegaBytes(if migrated == 0.0 { 0.0 } else { migrated });
         (Strategy::new(allocation, delivery.placement), report)
     }
-
 }
 
 #[cfg(test)]
@@ -244,11 +242,8 @@ mod tests {
         for _ in 0..5 {
             let (scenario, _) = RandomWaypoint::default().step(&current.scenario, &mut rng);
             current = rebuild(&current, scenario);
-            let (next, report) =
-                MobileSolver { evict_useless: true, ..Default::default() }.resolve(
-                    &current,
-                    Some(&strategy),
-                );
+            let (next, report) = MobileSolver { evict_useless: true, ..Default::default() }
+                .resolve(&current, Some(&strategy));
             assert!(current.is_feasible(&next));
             total_migrated += report.migrated.value();
             strategy = next;
@@ -268,11 +263,8 @@ mod tests {
         let (strategy, _) = MobileSolver::default().resolve(&p, None);
         let before = p.evaluate(&strategy);
         let mut placement = strategy.placement.clone();
-        let evicted = crate::delivery::evict_useless_replicas(
-            &p,
-            &strategy.allocation,
-            &mut placement,
-        );
+        let evicted =
+            crate::delivery::evict_useless_replicas(&p, &strategy.allocation, &mut placement);
         let after = p.evaluate(&Strategy::new(strategy.allocation.clone(), placement));
         assert!(
             (after.average_delivery_latency.value() - before.average_delivery_latency.value())

@@ -55,8 +55,7 @@ pub fn congestion_potential(field: &InterferenceField<'_>) -> f64 {
 /// of the quadratic term, so that allocating a user always increases the
 /// potential (the paper's `T_j` bound plays the same role in Eq. 13).
 fn allocation_reward(field: &InterferenceField<'_>) -> f64 {
-    let total_power: f64 =
-        field.scenario().users.iter().map(|u| u.power.value()).sum();
+    let total_power: f64 = field.scenario().users.iter().map(|u| u.power.value()).sum();
     // |Δ quadratic| ≤ p_j·(2·total + p_j) ≤ 3·total² for any single move.
     3.0 * total_power * total_power + 1.0
 }

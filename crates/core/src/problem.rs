@@ -48,7 +48,8 @@ impl Problem {
     /// (the Set #4 experiment parameter).
     pub fn with_density(scenario: Scenario, density: f64, rng: &mut impl Rng) -> Self {
         let radio = RadioEnvironment::new(&scenario, RadioParams::paper());
-        let topology = generate_topology(scenario.num_servers(), &TopologyConfig::paper(density), rng);
+        let topology =
+            generate_topology(scenario.num_servers(), &TopologyConfig::paper(density), rng);
         Self::new(scenario, radio, topology)
     }
 
@@ -83,11 +84,7 @@ impl Problem {
     /// Total delivery latency `L(σ)` over all requests (the quantity Phase
     /// #2's greedy reduces, and the numerator of Eq. 9).
     pub fn total_latency(&self, strategy: &Strategy) -> Milliseconds {
-        self.scenario
-            .requests
-            .pairs()
-            .map(|(u, d)| self.request_latency(strategy, u, d))
-            .sum()
+        self.scenario.requests.pairs().map(|(u, d)| self.request_latency(strategy, u, d)).sum()
     }
 
     /// The all-cloud total latency `φ` (every request served from the
@@ -181,9 +178,7 @@ mod tests {
         assert_eq!(m.placements, 0);
         // φ / #requests == L_ave for the empty strategy.
         let phi = p.all_cloud_latency().value();
-        assert!(
-            (m.average_delivery_latency.value() - phi / m.total_requests as f64).abs() < 1e-9
-        );
+        assert!((m.average_delivery_latency.value() - phi / m.total_requests as f64).abs() < 1e-9);
     }
 
     #[test]
@@ -238,12 +233,8 @@ mod tests {
     fn total_latency_sums_request_latencies() {
         let p = problem();
         let s = Strategy::empty(&p.scenario);
-        let direct: f64 = p
-            .scenario
-            .requests
-            .pairs()
-            .map(|(u, d)| p.request_latency(&s, u, d).value())
-            .sum();
+        let direct: f64 =
+            p.scenario.requests.pairs().map(|(u, d)| p.request_latency(&s, u, d).value()).sum();
         assert!((p.total_latency(&s).value() - direct).abs() < 1e-9);
         assert!((p.total_latency(&s).value() - p.all_cloud_latency().value()).abs() < 1e-9);
     }
@@ -253,7 +244,10 @@ mod tests {
     fn mismatched_topology_is_rejected() {
         let scenario = testkit::fig2_example();
         let radio = RadioEnvironment::new(&scenario, idde_radio::RadioParams::paper());
-        let topo = Topology::new(idde_net::EdgeGraph::disconnected(99), idde_model::MegaBytesPerSec(600.0));
+        let topo = Topology::new(
+            idde_net::EdgeGraph::disconnected(99),
+            idde_model::MegaBytesPerSec(600.0),
+        );
         let _ = Problem::new(scenario, radio, topo);
     }
 }

@@ -27,13 +27,29 @@ use idde_core::{
     evict_useless_replicas, DeliveryConfig, GameConfig, GreedyDelivery, IddeUGame, Problem,
     ScoringMode, Strategy,
 };
-use idde_model::{Allocation, ChannelIndex, Placement, Point, ServerId, UserId};
-use idde_net::DeliverySource;
+use idde_model::{Allocation, ChannelIndex, DataId, Placement, Point, ServerId, UserId};
+use idde_net::{DeliverySource, EdgeGraph, LinkState, NetworkFaults};
 use idde_radio::InterferenceField;
 
 use crate::events::{Event, EventQueue};
 use crate::metrics::ServeMetrics;
 use crate::workload::WorkloadGenerator;
+
+/// A deterministic producer of scheduled events: the workload generator, a
+/// chaos fault plan, or any external feed. Sources are polled once per tick
+/// in caller order and must push the same events for the same
+/// `(tick, active)` inputs — the whole serve-loop determinism contract
+/// reduces to this.
+pub trait EventSource {
+    /// Pushes this source's events for `tick` onto `queue`.
+    fn push_tick(&mut self, tick: u64, active: &[bool], queue: &mut EventQueue);
+}
+
+impl EventSource for WorkloadGenerator {
+    fn push_tick(&mut self, tick: u64, active: &[bool], queue: &mut EventQueue) {
+        WorkloadGenerator::push_tick(self, tick, active, queue);
+    }
+}
 
 /// Engine tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +102,11 @@ pub struct Engine {
     allocation: Allocation,
     placement: Placement,
     metrics: ServeMetrics,
+    /// The healthy baseline link graph; `problem.topology` is always the
+    /// surviving topology derived from it through `faults`.
+    base_graph: EdgeGraph,
+    /// Current link/server fault overlay.
+    faults: NetworkFaults,
 }
 
 impl Engine {
@@ -107,6 +128,8 @@ impl Engine {
         let outcome = IddeUGame::new(config.game).run_restricted(problem.field(), &active_ids);
         let allocation = outcome.field.into_allocation();
         let delivery = GreedyDelivery::new(config.delivery).run_from(&problem, &allocation, None);
+        let base_graph = problem.topology.graph().clone();
+        let faults = NetworkFaults::healthy(problem.scenario.num_servers(), base_graph.num_links());
         Self {
             problem,
             config,
@@ -114,6 +137,8 @@ impl Engine {
             allocation,
             placement: delivery.placement,
             metrics: ServeMetrics::default(),
+            base_graph,
+            faults,
         }
     }
 
@@ -129,12 +154,7 @@ impl Engine {
 
     /// IDs of the currently active users, ascending.
     pub fn active_users(&self) -> Vec<UserId> {
-        self.active
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a)
-            .map(|(j, _)| UserId(j as u32))
-            .collect()
+        self.active.iter().enumerate().filter(|(_, &a)| a).map(|(j, _)| UserId(j as u32)).collect()
     }
 
     /// The current allocation profile.
@@ -184,24 +204,47 @@ impl Engine {
         }
     }
 
-    /// Runs `ticks` ticks of `workload` through the engine: each tick's
-    /// events are enqueued, applied in order, the per-tick rate sample is
-    /// taken, and checkpoints fire every
+    /// Runs `ticks` ticks of one event source through the engine: each
+    /// tick's events are enqueued, applied in order, the per-tick rate
+    /// sample is taken, and checkpoints fire every
     /// [`EngineConfig::checkpoint_interval`] ticks.
-    pub fn run(&mut self, workload: &mut WorkloadGenerator, ticks: u64) {
+    pub fn run<S: EventSource>(&mut self, source: &mut S, ticks: u64) {
+        let mut sources: [&mut dyn EventSource; 1] = [source];
+        self.run_sources(&mut sources, ticks);
+    }
+
+    /// Runs several event sources interleaved: every tick, each source is
+    /// polled in slice order before the queue drains, so a fault plan passed
+    /// *before* the workload injects its faults ahead of that tick's churn.
+    /// Any fixed order is deterministic (the queue's `seq` is assigned at
+    /// push time).
+    pub fn run_sources(&mut self, sources: &mut [&mut dyn EventSource], ticks: u64) {
         let mut queue = EventQueue::new();
         for tick in 0..ticks {
-            workload.push_tick(tick, &self.active, &mut queue);
+            for source in sources.iter_mut() {
+                source.push_tick(tick, &self.active, &mut queue);
+            }
             while let Some(scheduled) = queue.pop() {
                 self.apply(&scheduled.event);
             }
             self.metrics.ticks += 1;
+            self.metrics.unreachable_item_ticks += self.count_edgeless_items();
             self.metrics.sample_rate(self.average_active_rate());
             let interval = self.config.checkpoint_interval;
             if interval > 0 && (tick + 1) % interval == 0 {
                 self.checkpoint();
             }
         }
+    }
+
+    /// Number of data items with no replica on any live edge server — such
+    /// items are cloud-only until a placement repair re-replicates them.
+    fn count_edgeless_items(&self) -> u64 {
+        self.problem
+            .scenario
+            .data_ids()
+            .filter(|&data| self.placement.servers_with(data).next().is_none())
+            .count() as u64
     }
 
     /// Applies one event. Events that no longer make sense (arrival of an
@@ -215,9 +258,19 @@ impl Engine {
             Event::Depart { user } => self.apply_depart(user),
             Event::Move { user, dx, dy } => self.apply_move(user, dx, dy),
             Event::Request { user, data } => self.apply_request(user, data),
+            Event::LinkDown { a, b } => self.apply_link_down(a, b),
+            Event::LinkRestore { a, b } => self.apply_link_restore(a, b),
+            Event::LinkDegrade { a, b, factor } => self.apply_link_degrade(a, b, factor),
+            Event::ServerDown { server } => self.apply_server_down(server),
+            Event::ServerRestore { server } => self.apply_server_restore(server),
+            Event::Jam { server, floor_w } => self.apply_jam(server, floor_w),
+            Event::Unjam { server } => self.apply_unjam(server),
         }
         let every = self.config.audit_every;
-        if every > 0 && self.metrics.events.is_multiple_of(every) {
+        // `events % every` rather than `u64::is_multiple_of` — the latter
+        // needs Rust 1.87, above the workspace MSRV.
+        #[allow(clippy::manual_is_multiple_of)]
+        if every > 0 && self.metrics.events % every == 0 {
             self.run_audit();
         }
     }
@@ -225,19 +278,36 @@ impl Engine {
     /// Runs one full invariant audit over the current strategy: the
     /// interference-field cross-check (Eqs. 2–4 versus a from-scratch
     /// rebuild) plus the placement audit (storage budget and Eq. 8 latency
-    /// re-derivation). Counted in the metrics; returns the report so callers
-    /// can fail hard on violations.
+    /// re-derivation). When servers are down, the liveness audit also
+    /// certifies that degradation displaced their users and stripped their
+    /// replicas. Counted in the metrics; returns the report so callers can
+    /// fail hard on violations.
     pub fn run_audit(&mut self) -> AuditReport {
         let started = Instant::now();
-        let report = Auditor::new(self.config.audit).audit_strategy(
-            &self.problem,
-            &self.allocation,
-            &self.placement,
-        );
-        self.metrics
-            .record_audit(report.checks, report.violations.len() as u64);
+        let auditor = Auditor::new(self.config.audit);
+        let mut report = auditor.audit_strategy(&self.problem, &self.allocation, &self.placement);
+        let down: Vec<ServerId> = self.faults.down_servers().collect();
+        if !down.is_empty() {
+            report.merge(auditor.audit_liveness(
+                &self.problem.scenario,
+                &self.allocation,
+                &self.placement,
+                &down,
+            ));
+        }
+        self.metrics.record_audit(report.checks, report.violations.len() as u64);
         self.metrics.timings.audit += started.elapsed();
         report
+    }
+
+    /// The current link/server fault overlay.
+    pub fn faults(&self) -> &NetworkFaults {
+        &self.faults
+    }
+
+    /// The healthy baseline link graph faults are applied against.
+    pub fn base_graph(&self) -> &EdgeGraph {
+        &self.base_graph
     }
 
     fn apply_arrive(&mut self, user: UserId) {
@@ -269,8 +339,7 @@ impl Engine {
         }
         self.metrics.moves += 1;
         let old_decision = self.allocation.decision(user);
-        let old_cover: Vec<ServerId> =
-            self.problem.scenario.coverage.servers_of(user).to_vec();
+        let old_cover: Vec<ServerId> = self.problem.scenario.coverage.servers_of(user).to_vec();
 
         // Mutate the scenario in place: position, then the O(N)-per-user
         // coverage and gain refresh hooks.
@@ -302,7 +371,7 @@ impl Engine {
         }
     }
 
-    fn apply_request(&mut self, user: UserId, data: idde_model::DataId) {
+    fn apply_request(&mut self, user: UserId, data: DataId) {
         if !self.active[user.index()] {
             return;
         }
@@ -311,11 +380,199 @@ impl Engine {
             Some(target) => {
                 let (latency, source) =
                     self.problem.topology.delivery_latency(&self.placement, data, size, target);
-                (latency, matches!(source, DeliverySource::Edge(_)))
+                let from_edge = matches!(source, DeliverySource::Edge(_));
+                // Eq. 7 fallback *forced* by unreachability (no live replica
+                // the target can reach) — as opposed to the cloud simply
+                // winning the Eq. 8 min on latency.
+                if !from_edge
+                    && !self
+                        .placement
+                        .servers_with(data)
+                        .any(|origin| self.problem.topology.is_reachable(origin, target))
+                {
+                    self.metrics.cloud_fallback_requests += 1;
+                }
+                (latency, from_edge)
             }
             None => (self.problem.topology.cloud_latency(size), false),
         };
         self.metrics.record_request(latency.value(), from_edge);
+    }
+
+    /// Re-derives `problem.topology` from the healthy baseline through the
+    /// current fault overlay (all-pairs recompute on the surviving graph).
+    fn rebuild_topology(&mut self) {
+        let cloud_speed = self.problem.topology.cloud_speed();
+        let path_model = self.problem.topology.path_model();
+        self.problem.topology =
+            self.faults.effective_topology(&self.base_graph, cloud_speed, path_model);
+    }
+
+    /// A placement repair triggered by a fault: same machinery as churn
+    /// repair, but the greedy's insertions are additionally accounted as
+    /// re-replications (they re-create what the fault destroyed or
+    /// disconnected).
+    fn refresh_placement_after_fault(&mut self) {
+        let before = self.metrics.new_replicas;
+        self.repair_placement();
+        self.metrics.re_replications += self.metrics.new_replicas - before;
+    }
+
+    fn apply_link_down(&mut self, a: ServerId, b: ServerId) {
+        let Some(index) = self.base_graph.find_link(a, b) else { return };
+        if self.faults.link_state(index) == LinkState::Down {
+            return;
+        }
+        self.faults.set_link(index, LinkState::Down);
+        self.metrics.link_faults += 1;
+        self.rebuild_topology();
+        self.refresh_placement_after_fault();
+    }
+
+    fn apply_link_restore(&mut self, a: ServerId, b: ServerId) {
+        let Some(index) = self.base_graph.find_link(a, b) else { return };
+        if self.faults.link_state(index) == LinkState::Up {
+            return;
+        }
+        self.faults.set_link(index, LinkState::Up);
+        self.metrics.restorations += 1;
+        // Paths are back; the next placement repair or checkpoint reclaims
+        // the capacity — restoration itself must not thrash the strategy.
+        self.rebuild_topology();
+    }
+
+    fn apply_link_degrade(&mut self, a: ServerId, b: ServerId, factor: f64) {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return;
+        }
+        let Some(index) = self.base_graph.find_link(a, b) else { return };
+        if self.faults.link_state(index) == LinkState::Degraded(factor) {
+            return;
+        }
+        self.faults.set_link(index, LinkState::Degraded(factor));
+        self.metrics.link_faults += 1;
+        self.rebuild_topology();
+        self.refresh_placement_after_fault();
+    }
+
+    fn apply_server_down(&mut self, server: ServerId) {
+        if !self.faults.server_up(server) {
+            return;
+        }
+        self.metrics.server_outages += 1;
+        // Users whose interference/coverage environment the outage touches —
+        // gathered before the coverage relation forgets the server.
+        let affected: Vec<UserId> = self.problem.scenario.coverage.users_of(server).to_vec();
+
+        // Displace the channel occupants through the field, so the vacated
+        // power sums follow the same resnap discipline as any departure.
+        let displaced: Vec<UserId> = self
+            .allocation
+            .iter()
+            .filter(|(_, d)| d.map(|(s, _)| s) == Some(server))
+            .map(|(u, _)| u)
+            .collect();
+        if !displaced.is_empty() {
+            let mut field = InterferenceField::from_allocation(
+                &self.problem.radio,
+                &self.problem.scenario,
+                &self.allocation,
+            );
+            for &user in &displaced {
+                field.deallocate(user);
+            }
+            self.allocation = field.into_allocation();
+            self.metrics.displaced_users += displaced.len() as u64;
+        }
+
+        // Replicas on the dead server are lost (Eq. 6 capacity is gone).
+        let lost: Vec<DataId> = self.placement.data_on(server).collect();
+        for &data in &lost {
+            let size = self.problem.scenario.data[data.index()].size;
+            self.placement.remove(server, data, size);
+        }
+        self.metrics.lost_replicas += lost.len() as u64;
+
+        // Network and coverage forget the server until restoration.
+        self.faults.set_server(server, false);
+        self.rebuild_topology();
+        self.problem.scenario.coverage.disable_server(server);
+
+        // Equilibrium repair over the displaced users and the surviving
+        // neighbourhood, then re-replication of what was lost.
+        let dirty = self.neighbourhood_dirty_set(&affected);
+        self.repair(&dirty);
+        self.refresh_placement_after_fault();
+    }
+
+    fn apply_server_restore(&mut self, server: ServerId) {
+        if self.faults.server_up(server) {
+            return;
+        }
+        self.metrics.restorations += 1;
+        self.faults.set_server(server, true);
+        self.rebuild_topology();
+        let scenario = &mut self.problem.scenario;
+        scenario.coverage.enable_server(&scenario.servers[server.index()], &scenario.users);
+        // The server returns empty-handed; subsequent repairs and
+        // checkpoints re-populate its channels and storage.
+    }
+
+    fn apply_jam(&mut self, server: ServerId, floor_w: f64) {
+        if !(floor_w.is_finite() && floor_w > 0.0)
+            || self.problem.radio.jamming_floor(server) == floor_w
+        {
+            return;
+        }
+        self.problem.radio.set_jamming(server, floor_w);
+        self.metrics.jam_events += 1;
+        // Everyone the jammed server covers sees a different Eq. 2/Eq. 12
+        // trade-off now; let them re-evaluate.
+        let affected: Vec<UserId> = self.problem.scenario.coverage.users_of(server).to_vec();
+        let dirty = self.neighbourhood_dirty_set(&affected);
+        self.repair(&dirty);
+    }
+
+    fn apply_unjam(&mut self, server: ServerId) {
+        if self.problem.radio.jamming_floor(server) == 0.0 {
+            return;
+        }
+        self.problem.radio.set_jamming(server, 0.0);
+        self.metrics.restorations += 1;
+        let affected: Vec<UserId> = self.problem.scenario.coverage.users_of(server).to_vec();
+        let dirty = self.neighbourhood_dirty_set(&affected);
+        self.repair(&dirty);
+    }
+
+    /// The dirty set of a server-scoped fault: the affected users plus every
+    /// active allocated user within cross-interference range of a server
+    /// covering one of them — the same neighbourhood notion as
+    /// [`Engine::dirty_set`], widened from one mover to a user set.
+    fn neighbourhood_dirty_set(&self, affected: &[UserId]) -> Vec<UserId> {
+        let coverage = &self.problem.scenario.coverage;
+        let mut near: Vec<ServerId> = Vec::new();
+        for &user in affected {
+            near.extend_from_slice(coverage.servers_of(user));
+        }
+        near.sort_unstable();
+        near.dedup();
+
+        let mut dirty: Vec<UserId> =
+            affected.iter().copied().filter(|u| self.active[u.index()]).collect();
+        for (other, decision) in self.allocation.iter() {
+            if !self.active[other.index()] {
+                continue;
+            }
+            let allocated_near = decision.is_some_and(|(s, _)| near.binary_search(&s).is_ok());
+            let covered_near =
+                coverage.servers_of(other).iter().any(|s| near.binary_search(s).is_ok());
+            if allocated_near || covered_near {
+                dirty.push(other);
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
     }
 
     /// The dirty set of a churn event concerning `user`: the user itself (if
@@ -358,10 +615,7 @@ impl Engine {
             // Cross-interference range of the mover's neighbourhood: users
             // allocated to, or covered by, a server that covers the mover.
             let in_range = near.binary_search(&server).is_ok()
-                || coverage
-                    .servers_of(other)
-                    .iter()
-                    .any(|s| near.binary_search(s).is_ok());
+                || coverage.servers_of(other).iter().any(|s| near.binary_search(s).is_ok());
             if shares_old_slot || in_range {
                 dirty.push(other);
             }
@@ -436,13 +690,11 @@ impl Engine {
         let started = Instant::now();
         let active_ids = self.active_users();
         let repaired_rate = self.average_active_rate();
-        let outcome = IddeUGame::new(self.config.game).run_restricted(self.problem.field(), &active_ids);
+        let outcome =
+            IddeUGame::new(self.config.game).run_restricted(self.problem.field(), &active_ids);
         let full_rate = Self::active_rate_of(&outcome.field, &self.active);
-        let drift = if full_rate > 0.0 {
-            ((full_rate - repaired_rate) / full_rate).max(0.0)
-        } else {
-            0.0
-        };
+        let drift =
+            if full_rate > 0.0 { ((full_rate - repaired_rate) / full_rate).max(0.0) } else { 0.0 };
         let fall_back = drift > self.config.drift_threshold;
         self.metrics.record_drift(drift, fall_back);
         // The re-solve is the checkpoint's cost; a fallback's placement
@@ -503,10 +755,8 @@ mod tests {
     #[test]
     fn arrival_allocates_the_newcomer_when_coverable() {
         let mut e = engine(3);
-        let idle: Vec<UserId> = (0..e.active().len())
-            .filter(|&j| !e.active()[j])
-            .map(|j| UserId(j as u32))
-            .collect();
+        let idle: Vec<UserId> =
+            (0..e.active().len()).filter(|&j| !e.active()[j]).map(|j| UserId(j as u32)).collect();
         let user = *idle
             .iter()
             .find(|&&u| !e.problem().scenario.coverage.servers_of(u).is_empty())
@@ -566,11 +816,8 @@ mod tests {
         let problem = small_problem(8);
         let m = problem.scenario.num_users();
         let initial: Vec<bool> = (0..m).map(|j| j % 3 != 0).collect();
-        let mut e = Engine::new(
-            problem,
-            EngineConfig { audit_every: 1, ..Default::default() },
-            initial,
-        );
+        let mut e =
+            Engine::new(problem, EngineConfig { audit_every: 1, ..Default::default() }, initial);
         let depart = e.active_users()[0];
         e.apply(&Event::Depart { user: depart });
         e.apply(&Event::Arrive { user: depart });
@@ -587,6 +834,123 @@ mod tests {
     }
 
     #[test]
+    fn server_outage_displaces_users_and_strips_replicas() {
+        let problem = small_problem(9);
+        let m = problem.scenario.num_users();
+        let initial: Vec<bool> = vec![true; m];
+        let mut e = Engine::new(
+            problem,
+            EngineConfig { paranoid: true, audit_every: 1, ..Default::default() },
+            initial,
+        );
+        // Pick the busiest server so the outage definitely displaces users.
+        let victim = e
+            .problem()
+            .scenario
+            .server_ids()
+            .max_by_key(|&s| {
+                e.allocation().iter().filter(|(_, d)| d.map(|(x, _)| x) == Some(s)).count()
+            })
+            .unwrap();
+        let occupants =
+            e.allocation().iter().filter(|(_, d)| d.map(|(x, _)| x) == Some(victim)).count() as u64;
+        assert!(occupants > 0, "seed must load the busiest server");
+
+        e.apply(&Event::ServerDown { server: victim });
+        assert_eq!(e.metrics().server_outages, 1);
+        assert_eq!(e.metrics().displaced_users, occupants);
+        assert!(!e.faults().server_up(victim));
+        assert!(!e.problem().scenario.coverage.is_enabled(victim));
+        assert_eq!(e.placement().data_on(victim).count(), 0);
+        assert!(e.allocation().iter().all(|(_, d)| d.map(|(s, _)| s) != Some(victim)));
+        // The per-event audit (audit_every: 1) already ran the liveness
+        // check; re-run explicitly and demand a clean bill.
+        let report = e.run_audit();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(e.metrics().audit_violations, 0);
+
+        // Stale duplicate is ignored.
+        e.apply(&Event::ServerDown { server: victim });
+        assert_eq!(e.metrics().server_outages, 1);
+
+        // Restoration re-admits the server; repairs may re-populate it.
+        e.apply(&Event::ServerRestore { server: victim });
+        assert!(e.faults().server_up(victim));
+        assert!(e.problem().scenario.coverage.is_enabled(victim));
+        assert_eq!(e.metrics().restorations, 1);
+        let report = e.run_audit();
+        assert!(report.is_clean(), "{report}");
+        assert!(e.problem().is_feasible(&e.strategy()));
+    }
+
+    #[test]
+    fn link_failure_rebuilds_paths_and_restoration_undoes_it() {
+        let problem = small_problem(10);
+        let m = problem.scenario.num_users();
+        let mut e = Engine::new(problem, EngineConfig::default(), vec![true; m]);
+        let healthy_cost = {
+            let link = e.base_graph().links()[0];
+            e.problem().topology.unit_cost(link.a, link.b)
+        };
+        let link = e.base_graph().links()[0];
+        e.apply(&Event::LinkDown { a: link.a, b: link.b });
+        assert_eq!(e.metrics().link_faults, 1);
+        let degraded_cost = e.problem().topology.unit_cost(link.a, link.b);
+        assert!(
+            degraded_cost > healthy_cost,
+            "losing the link cannot cheapen the path ({degraded_cost} vs {healthy_cost})"
+        );
+        // Unknown link → ignored; same link again → stale, ignored.
+        e.apply(&Event::LinkDown { a: link.a, b: link.b });
+        assert_eq!(e.metrics().link_faults, 1);
+
+        e.apply(&Event::LinkRestore { a: link.a, b: link.b });
+        assert_eq!(e.metrics().restorations, 1);
+        assert_eq!(e.problem().topology.unit_cost(link.a, link.b), healthy_cost);
+        assert!(e.faults().is_healthy());
+
+        // Degradation slows the direct hop without severing it.
+        e.apply(&Event::LinkDegrade { a: link.a, b: link.b, factor: 0.25 });
+        assert_eq!(e.metrics().link_faults, 2);
+        assert!(e.problem().topology.is_reachable(link.a, link.b));
+        assert!(e.problem().topology.unit_cost(link.a, link.b) >= healthy_cost);
+        e.apply(&Event::LinkDegrade { a: link.a, b: link.b, factor: 0.0 }); // garbage
+        assert_eq!(e.metrics().link_faults, 2);
+    }
+
+    #[test]
+    fn jamming_shifts_the_equilibrium_and_unjam_restores_cleanly() {
+        let problem = small_problem(11);
+        let m = problem.scenario.num_users();
+        let mut e = Engine::new(
+            problem,
+            EngineConfig { paranoid: true, audit_every: 1, ..Default::default() },
+            vec![true; m],
+        );
+        let victim = e
+            .problem()
+            .scenario
+            .server_ids()
+            .max_by_key(|&s| {
+                e.allocation().iter().filter(|(_, d)| d.map(|(x, _)| x) == Some(s)).count()
+            })
+            .unwrap();
+        // A strong jammer (1 mW floor vs −174 dBm thermal noise) makes the
+        // victim's channels dramatically worse.
+        e.apply(&Event::Jam { server: victim, floor_w: 1e-3 });
+        assert_eq!(e.metrics().jam_events, 1);
+        assert_eq!(e.problem().radio.jamming_floor(victim), 1e-3);
+        assert_eq!(e.metrics().audit_violations, 0, "audits must track the jammed model");
+        e.apply(&Event::Unjam { server: victim });
+        assert_eq!(e.metrics().restorations, 1);
+        assert!(e.problem().radio.is_unjammed());
+        e.apply(&Event::Unjam { server: victim }); // stale
+        assert_eq!(e.metrics().restorations, 1);
+        let report = e.run_audit();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
     fn checkpoint_measures_and_bounds_drift() {
         let mut e = engine(7);
         let drift = e.checkpoint();
@@ -594,9 +958,6 @@ mod tests {
         assert_eq!(e.metrics().checkpoints, 1);
         // Right after construction the strategy *is* the from-scratch solve,
         // so the drift must sit within the fallback threshold.
-        assert!(
-            drift <= e.config.drift_threshold,
-            "fresh engine drifted by {drift}"
-        );
+        assert!(drift <= e.config.drift_threshold, "fresh engine drifted by {drift}");
     }
 }

@@ -10,9 +10,12 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use idde_model::{DataId, UserId};
+use idde_model::{DataId, ServerId, UserId};
 
-/// One serving-time occurrence.
+/// One serving-time occurrence: user churn, a request, or an injected
+/// infrastructure fault. Faults are ordinary events — a chaos run is just
+/// another `(tick, seq)`-ordered stream, so it inherits every determinism
+/// guarantee of the healthy serve loop.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Event {
     /// A user slot becomes active (a user enters the edge area).
@@ -43,17 +46,82 @@ pub enum Event {
         /// The requested item.
         data: DataId,
     },
+    /// The link joining servers `a` and `b` fails: it drops out of the
+    /// surviving graph and every lowest-latency path through it is
+    /// recomputed (Eq. 7/8 cloud fallback serves items that become
+    /// unreachable).
+    LinkDown {
+        /// One endpoint.
+        a: ServerId,
+        /// The other endpoint.
+        b: ServerId,
+    },
+    /// The link joining `a` and `b` comes back at full speed.
+    LinkRestore {
+        /// One endpoint.
+        a: ServerId,
+        /// The other endpoint.
+        b: ServerId,
+    },
+    /// The link joining `a` and `b` degrades to `factor` of its base speed
+    /// (`0 < factor ≤ 1`) without failing outright.
+    LinkDegrade {
+        /// One endpoint.
+        a: ServerId,
+        /// The other endpoint.
+        b: ServerId,
+        /// Speed multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// An edge server goes down: its channel occupants are displaced, its
+    /// replicas are lost, its links vanish and it leaves the coverage
+    /// relation until restored.
+    ServerDown {
+        /// The failing server.
+        server: ServerId,
+    },
+    /// A downed server comes back (empty-handed: storage and channels are
+    /// reclaimed by subsequent repairs).
+    ServerRestore {
+        /// The recovering server.
+        server: ServerId,
+    },
+    /// A wide-band jammer raises the interference floor at a server's
+    /// channels by `floor_w` watts (enters every Eq. 2 denominator there).
+    Jam {
+        /// The jammed server.
+        server: ServerId,
+        /// Added interference floor, watts.
+        floor_w: f64,
+    },
+    /// The jammer at `server` stops; the healthy noise model returns.
+    Unjam {
+        /// The recovering server.
+        server: ServerId,
+    },
 }
 
 impl Event {
-    /// The user the event concerns.
-    pub fn user(&self) -> UserId {
+    /// The user the event concerns; `None` for infrastructure faults.
+    pub fn user(&self) -> Option<UserId> {
         match *self {
             Event::Arrive { user }
             | Event::Depart { user }
             | Event::Move { user, .. }
-            | Event::Request { user, .. } => user,
+            | Event::Request { user, .. } => Some(user),
+            Event::LinkDown { .. }
+            | Event::LinkRestore { .. }
+            | Event::LinkDegrade { .. }
+            | Event::ServerDown { .. }
+            | Event::ServerRestore { .. }
+            | Event::Jam { .. }
+            | Event::Unjam { .. } => None,
         }
+    }
+
+    /// `true` for injected infrastructure faults and restorations.
+    pub fn is_fault(&self) -> bool {
+        self.user().is_none()
     }
 }
 
@@ -138,14 +206,28 @@ mod tests {
         q.push(1, Event::Depart { user: UserId(1) });
         q.push(1, Event::Arrive { user: UserId(2) });
         q.push(0, Event::Request { user: UserId(3), data: DataId(0) });
-        let order: Vec<(u64, UserId)> = std::iter::from_fn(|| q.pop())
-            .map(|e| (e.tick, e.event.user()))
-            .collect();
-        assert_eq!(
-            order,
-            vec![(0, UserId(3)), (1, UserId(1)), (1, UserId(2)), (2, UserId(0))]
-        );
+        let order: Vec<(u64, UserId)> =
+            std::iter::from_fn(|| q.pop()).map(|e| (e.tick, e.event.user().unwrap())).collect();
+        assert_eq!(order, vec![(0, UserId(3)), (1, UserId(1)), (1, UserId(2)), (2, UserId(0))]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fault_events_carry_no_user() {
+        assert_eq!(Event::Arrive { user: UserId(1) }.user(), Some(UserId(1)));
+        assert!(!Event::Arrive { user: UserId(1) }.is_fault());
+        for fault in [
+            Event::LinkDown { a: ServerId(0), b: ServerId(1) },
+            Event::LinkRestore { a: ServerId(0), b: ServerId(1) },
+            Event::LinkDegrade { a: ServerId(0), b: ServerId(1), factor: 0.5 },
+            Event::ServerDown { server: ServerId(2) },
+            Event::ServerRestore { server: ServerId(2) },
+            Event::Jam { server: ServerId(2), floor_w: 1e-3 },
+            Event::Unjam { server: ServerId(2) },
+        ] {
+            assert_eq!(fault.user(), None, "{fault:?}");
+            assert!(fault.is_fault(), "{fault:?}");
+        }
     }
 
     #[test]
@@ -155,7 +237,7 @@ mod tests {
             q.push(7, Event::Arrive { user: UserId(i) });
         }
         for i in 0..50 {
-            assert_eq!(q.pop().unwrap().event.user(), UserId(i));
+            assert_eq!(q.pop().unwrap().event.user(), Some(UserId(i)));
         }
     }
 }

@@ -43,7 +43,7 @@ pub mod events;
 pub mod metrics;
 pub mod workload;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EventSource};
 pub use events::{Event, EventQueue, ScheduledEvent};
 pub use metrics::{LatencyHistogram, ServeMetrics, LATENCY_BUCKET_BOUNDS_MS};
 pub use workload::{poisson, WorkloadConfig, WorkloadGenerator};

@@ -118,6 +118,28 @@ pub struct ServeMetrics {
     /// Profitable deviations found by Nash certificates (each one disproves
     /// a repair's claimed restricted equilibrium).
     pub certificate_violations: u64,
+    /// Link faults applied (failures + degradations).
+    pub link_faults: u64,
+    /// Server outage events applied.
+    pub server_outages: u64,
+    /// Jamming events applied.
+    pub jam_events: u64,
+    /// Restorations applied (links back up, servers back, jammers off).
+    pub restorations: u64,
+    /// Users deallocated because their serving server went down.
+    pub displaced_users: u64,
+    /// Replicas destroyed by server outages.
+    pub lost_replicas: u64,
+    /// Replicas re-created by the placement repair a fault triggered.
+    pub re_replications: u64,
+    /// Requests forced to the cloud because no edge replica of the item was
+    /// reachable from the target server (Eq. 7 fallback under degradation;
+    /// distinct from `cloud_served`, which also counts cloud wins on price).
+    pub cloud_fallback_requests: u64,
+    /// Σ over ticks of the number of data items with no live edge replica
+    /// at the end of the tick — how long, and how widely, outages left
+    /// items cloud-only.
+    pub unreachable_item_ticks: u64,
     /// Delivery-latency histogram over served requests.
     pub latency: LatencyHistogram,
     /// Wall-clock per-phase spans (table output only; excluded from the CSV
@@ -219,6 +241,15 @@ impl ServeMetrics {
         kv("audit_violations", self.audit_violations.to_string());
         kv("certificates", self.certificates.to_string());
         kv("certificate_violations", self.certificate_violations.to_string());
+        kv("link_faults", self.link_faults.to_string());
+        kv("server_outages", self.server_outages.to_string());
+        kv("jam_events", self.jam_events.to_string());
+        kv("restorations", self.restorations.to_string());
+        kv("displaced_users", self.displaced_users.to_string());
+        kv("lost_replicas", self.lost_replicas.to_string());
+        kv("re_replications", self.re_replications.to_string());
+        kv("cloud_fallback_requests", self.cloud_fallback_requests.to_string());
+        kv("unreachable_item_ticks", self.unreachable_item_ticks.to_string());
         kv("last_drift", format!("{:.6}", self.last_drift));
         kv("max_drift", format!("{:.6}", self.max_drift));
         kv("avg_rate_mbps", format!("{:.6}", self.average_rate()));
@@ -272,6 +303,24 @@ impl ServeMetrics {
             "drift:        last {:.4}, max {:.4} over {} checkpoints ({} fallbacks)",
             self.last_drift, self.max_drift, self.checkpoints, self.fallbacks
         );
+        let faults = self.link_faults + self.server_outages + self.jam_events;
+        if faults > 0 || self.restorations > 0 {
+            let _ = writeln!(
+                out,
+                "faults:       {} link, {} outage, {} jam, {} restored",
+                self.link_faults, self.server_outages, self.jam_events, self.restorations
+            );
+            let _ = writeln!(
+                out,
+                "degradation:  {} displaced users, {} lost / {} re-created replicas, \
+                 {} cloud fallbacks, {} unreachable item-ticks",
+                self.displaced_users,
+                self.lost_replicas,
+                self.re_replications,
+                self.cloud_fallback_requests,
+                self.unreachable_item_ticks
+            );
+        }
         if self.audits > 0 || self.certificates > 0 {
             let _ = writeln!(
                 out,
@@ -371,11 +420,36 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_land_in_csv_and_table() {
+        let mut m = ServeMetrics::default();
+        let csv = m.to_csv();
+        assert!(csv.contains("link_faults,0\n"));
+        assert!(csv.contains("cloud_fallback_requests,0\n"));
+        // A healthy run's table stays free of fault noise.
+        assert!(!m.render_table(Duration::from_secs(1)).contains("degradation:"));
+
+        m.link_faults = 2;
+        m.server_outages = 1;
+        m.restorations = 3;
+        m.displaced_users = 7;
+        m.lost_replicas = 2;
+        m.re_replications = 2;
+        m.cloud_fallback_requests = 11;
+        m.unreachable_item_ticks = 40;
+        let csv = m.to_csv();
+        assert!(csv.contains("server_outages,1\n"));
+        assert!(csv.contains("displaced_users,7\n"));
+        assert!(csv.contains("re_replications,2\n"));
+        assert!(csv.contains("unreachable_item_ticks,40\n"));
+        let table = m.render_table(Duration::from_secs(1));
+        assert!(table.contains("2 link, 1 outage, 0 jam, 3 restored"));
+        assert!(table.contains("7 displaced users"));
+        assert!(!csv.contains("sec"));
+    }
+
+    #[test]
     fn table_reports_throughput() {
-        let m = ServeMetrics {
-            events: 500,
-            ..Default::default()
-        };
+        let m = ServeMetrics { events: 500, ..Default::default() };
         let table = m.render_table(Duration::from_secs(2));
         assert!(table.contains("250 events/sec"));
         assert!(table.contains("latency histogram"));

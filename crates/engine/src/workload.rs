@@ -114,18 +114,10 @@ impl WorkloadGenerator {
     /// emits so moves and requests only target users that will be active
     /// once the tick's churn has been applied.
     pub fn push_tick(&mut self, tick: u64, active: &[bool], queue: &mut EventQueue) {
-        let mut live: Vec<UserId> = active
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a)
-            .map(|(j, _)| UserId(j as u32))
-            .collect();
-        let mut idle: Vec<UserId> = active
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| !a)
-            .map(|(j, _)| UserId(j as u32))
-            .collect();
+        let mut live: Vec<UserId> =
+            active.iter().enumerate().filter(|(_, &a)| a).map(|(j, _)| UserId(j as u32)).collect();
+        let mut idle: Vec<UserId> =
+            active.iter().enumerate().filter(|(_, &a)| !a).map(|(j, _)| UserId(j as u32)).collect();
 
         // Departures.
         let departures = poisson(&mut self.rng, self.config.departure_rate).min(live.len());
@@ -234,6 +226,7 @@ mod tests {
                     assert!(live[user.index()], "request for inactive {user}");
                     assert!(data.index() < 3);
                 }
+                fault => panic!("workload generators never emit faults: {fault:?}"),
             }
         }
     }

@@ -162,7 +162,8 @@ mod tests {
     const SERVERS: &str = "SITE_ID,NAME,LATITUDE,LONGITUDE,STATE\n\
                            1,site-a,-37.8136,144.9631,VIC\n\
                            2,site-b,-37.8150,144.9660,VIC\n";
-    const USERS: &str = "Latitude,Longitude\n-37.8140,144.9640\n-37.8145,144.9650\n-37.8138,144.9635\n";
+    const USERS: &str =
+        "Latitude,Longitude\n-37.8140,144.9640\n-37.8145,144.9650\n-37.8138,144.9635\n";
 
     #[test]
     fn parses_headers_case_insensitively_with_extra_columns() {
@@ -193,14 +194,14 @@ mod tests {
             "LATITUDE,LONGITUDE\n\u{1F4A3},144.96\n",           // non-numeric garbage
             "LATITUDE,LONGITUDE\nnan,144.96\n",                 // parses, but not a coordinate
             "LATITUDE,LONGITUDE\ninf,144.96\n",
-            "LATITUDE,LONGITUDE\n-37.81,1e999\n",               // overflows to +inf
-            "LATITUDE,LONGITUDE\n-37.81,144.96\n-91.0,0.0\n",   // bad row after a good one
-            "LATITUDE\n-37.81\n",                               // longitude column missing
-            "\"LATITUDE\"\n",                                   // header only, no usable columns
+            "LATITUDE,LONGITUDE\n-37.81,1e999\n", // overflows to +inf
+            "LATITUDE,LONGITUDE\n-37.81,144.96\n-91.0,0.0\n", // bad row after a good one
+            "LATITUDE\n-37.81\n",                 // longitude column missing
+            "\"LATITUDE\"\n",                     // header only, no usable columns
         ];
         for content in corruptions {
-            let err = parse_lat_lon_csv(content)
-                .expect_err(&format!("{content:?} must be rejected"));
+            let err =
+                parse_lat_lon_csv(content).expect_err(&format!("{content:?} must be rejected"));
             assert!(
                 matches!(err, idde_model::ModelError::Malformed(_)),
                 "{content:?} gave {err:?}"
@@ -254,9 +255,8 @@ mod tests {
         std::fs::write(&sp, SERVERS).unwrap();
         std::fs::write(&up, USERS).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let pop = load_base_population(&sp, &up, (150.0, 300.0), &mut rng)
-            .unwrap()
-            .expect("files exist");
+        let pop =
+            load_base_population(&sp, &up, (150.0, 300.0), &mut rng).unwrap().expect("files exist");
         assert_eq!(pop.num_server_sites(), 2);
         assert_eq!(pop.num_user_sites(), 3);
         assert!(pop.validate().is_ok());

@@ -83,8 +83,8 @@ impl Geography for RingCity {
         let server_sites: Vec<Point> = (0..self.num_servers)
             .map(|i| {
                 let angle = std::f64::consts::TAU * i as f64 / self.num_servers as f64;
-                let radius = self.ring_radius_m
-                    + rng.gen_range(-self.ring_jitter_m..=self.ring_jitter_m);
+                let radius =
+                    self.ring_radius_m + rng.gen_range(-self.ring_jitter_m..=self.ring_jitter_m);
                 area.clamp(Point::new(
                     centre.x + radius * angle.cos(),
                     centre.y + radius * angle.sin(),
@@ -231,10 +231,7 @@ impl Geography for CampusClusters {
         let around = |centre: Point, rng: &mut dyn rand::RngCore| {
             let angle = rng.gen_range(0.0..std::f64::consts::TAU);
             let radius = rng.gen_range(0.0..1.0f64).sqrt() * self.campus_radius_m;
-            area.clamp(Point::new(
-                centre.x + radius * angle.cos(),
-                centre.y + radius * angle.sin(),
-            ))
+            area.clamp(Point::new(centre.x + radius * angle.cos(), centre.y + radius * angle.sin()))
         };
         let mut server_sites = Vec::new();
         let mut user_sites = Vec::new();
@@ -291,11 +288,7 @@ mod tests {
             let mut rng = ChaCha8Rng::seed_from_u64(2);
             let pop = geography.generate(&mut rng);
             let covered = pop.covered_fraction();
-            assert!(
-                covered > 0.60,
-                "{}: only {covered:.2} of users coverable",
-                geography.name()
-            );
+            assert!(covered > 0.60, "{}: only {covered:.2} of users coverable", geography.name());
         }
     }
 
@@ -305,16 +298,11 @@ mod tests {
         let ring = RingCity::default().generate(&mut rng);
         let centre = ring.area.center();
         // Ring servers sit far from the centre…
-        let mean_server_r: f64 = ring
-            .server_sites
-            .iter()
-            .map(|p| p.distance(centre))
-            .sum::<f64>()
+        let mean_server_r: f64 = ring.server_sites.iter().map(|p| p.distance(centre)).sum::<f64>()
             / ring.server_sites.len() as f64;
         // …while users sit close.
-        let mean_user_r: f64 =
-            ring.user_sites.iter().map(|p| p.distance(centre)).sum::<f64>()
-                / ring.user_sites.len() as f64;
+        let mean_user_r: f64 = ring.user_sites.iter().map(|p| p.distance(centre)).sum::<f64>()
+            / ring.user_sites.len() as f64;
         assert!(mean_server_r > mean_user_r * 1.5, "{mean_server_r} vs {mean_user_r}");
 
         let corridor = CorridorCity::default().generate(&mut rng);

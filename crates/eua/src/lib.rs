@@ -28,7 +28,9 @@ pub mod population;
 pub mod sampling;
 pub mod synthetic;
 
-pub use geographies::{all_geographies, CampusClusters, CorridorCity, Geography, GridCity, RingCity};
+pub use geographies::{
+    all_geographies, CampusClusters, CorridorCity, Geography, GridCity, RingCity,
+};
 pub use population::BasePopulation;
 pub use sampling::{SampleConfig, ZipfPopularity};
 pub use synthetic::SyntheticEua;

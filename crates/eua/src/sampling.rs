@@ -13,9 +13,7 @@
 //!   Zipf law — real content catalogues are head-heavy, and a head-heavy ζ
 //!   is what makes replica placement interesting.
 
-use idde_model::{
-    MegaBytes, MegaBytesPerSec, Point, Scenario, ScenarioBuilder, Watts,
-};
+use idde_model::{MegaBytes, MegaBytesPerSec, Point, Scenario, ScenarioBuilder, Watts};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -298,11 +296,7 @@ mod tests {
         let pop = SyntheticEua::default().generate(&mut rng(5));
         for (n, m) in [(20usize, 200usize), (30, 350), (50, 50)] {
             let s = SampleConfig::paper(n, m, 5).sample(&pop, &mut rng(6));
-            assert_eq!(
-                s.coverage.uncovered_users().count(),
-                0,
-                "N={n} M={m} left users uncovered"
-            );
+            assert_eq!(s.coverage.uncovered_users().count(), 0, "N={n} M={m} left users uncovered");
         }
     }
 

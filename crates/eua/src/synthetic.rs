@@ -88,10 +88,8 @@ impl SyntheticEua {
                 }
                 let jx = rng.gen_range(-self.server_jitter..=self.server_jitter) * pitch_x;
                 let jy = rng.gen_range(-self.server_jitter..=self.server_jitter) * pitch_y;
-                let p = Point::new(
-                    (c as f64 + 0.5) * pitch_x + jx,
-                    (r as f64 + 0.5) * pitch_y + jy,
-                );
+                let p =
+                    Point::new((c as f64 + 0.5) * pitch_x + jx, (r as f64 + 0.5) * pitch_y + jy);
                 server_sites.push(area.clamp(p));
             }
         }
@@ -128,13 +126,7 @@ impl SyntheticEua {
     /// Convenience: generate the base population and immediately draw one
     /// experiment scenario with `n` servers, `m` users and `k` data items
     /// using the paper's §4.2/§4.3 settings (see [`crate::sampling`]).
-    pub fn sample(
-        &self,
-        n: usize,
-        m: usize,
-        k: usize,
-        rng: &mut impl Rng,
-    ) -> idde_model::Scenario {
+    pub fn sample(&self, n: usize, m: usize, k: usize, rng: &mut impl Rng) -> idde_model::Scenario {
         let population = self.generate(rng);
         crate::sampling::SampleConfig::paper(n, m, k).sample(&population, rng)
     }

@@ -18,6 +18,11 @@ pub struct CoverageMap {
     servers_of: Vec<Vec<ServerId>>,
     /// `users_of[i]` = sorted users covered by server `i` (the paper's `U_i`).
     users_of: Vec<Vec<UserId>>,
+    /// `disabled[i]` = server `i` is down (fault injection). Disabled servers
+    /// are removed from both adjacency directions, so constraint (1) — and
+    /// everything derived from it: best responses, dirty sets, audits —
+    /// automatically excludes them.
+    disabled: Vec<bool>,
 }
 
 impl CoverageMap {
@@ -36,7 +41,8 @@ impl CoverageMap {
                 }
             }
         }
-        Self { servers_of, users_of }
+        let disabled = vec![false; servers.len()];
+        Self { servers_of, users_of, disabled }
     }
 
     /// Builds a coverage map directly from adjacency lists (used by tests and
@@ -51,7 +57,60 @@ impl CoverageMap {
                 users_of[v.index()].push(UserId::from_index(j));
             }
         }
-        Self { servers_of, users_of }
+        let disabled = vec![false; num_servers];
+        Self { servers_of, users_of, disabled }
+    }
+
+    /// Removes a downed server from the relation: every `V_j` loses it and
+    /// its `U_i` row is emptied. Idempotent. `O(|U_i| · log N)`.
+    pub fn disable_server(&mut self, server: ServerId) {
+        let i = server.index();
+        if self.disabled[i] {
+            return;
+        }
+        self.disabled[i] = true;
+        for &u in &self.users_of[i] {
+            let list = &mut self.servers_of[u.index()];
+            if let Ok(pos) = list.binary_search(&server) {
+                list.remove(pos);
+            }
+        }
+        self.users_of[i].clear();
+    }
+
+    /// Re-admits a restored server, re-deriving its rows from geometry
+    /// (users may have moved while it was down). Idempotent.
+    pub fn enable_server(&mut self, server: &EdgeServer, users: &[User]) {
+        let i = server.id.index();
+        if !self.disabled[i] {
+            return;
+        }
+        self.disabled[i] = false;
+        debug_assert!(self.users_of[i].is_empty(), "disabled server kept users");
+        for user in users {
+            if server.covers(user.position) {
+                self.users_of[i].push(user.id);
+                let list = &mut self.servers_of[user.id.index()];
+                if let Err(pos) = list.binary_search(&server.id) {
+                    list.insert(pos, server.id);
+                }
+            }
+        }
+    }
+
+    /// Whether the server is currently part of the relation.
+    #[inline]
+    pub fn is_enabled(&self, server: ServerId) -> bool {
+        !self.disabled[server.index()]
+    }
+
+    /// Servers currently disabled by [`CoverageMap::disable_server`].
+    pub fn disabled_servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.disabled
+            .iter()
+            .enumerate()
+            .filter(|(_, &down)| down)
+            .map(|(i, _)| ServerId::from_index(i))
     }
 
     /// Recomputes the relation rows touched by a single user's movement in
@@ -68,6 +127,9 @@ impl CoverageMap {
         }
         self.servers_of[j].clear();
         for server in servers {
+            if self.disabled[server.id.index()] {
+                continue;
+            }
             if server.covers(user.position) {
                 self.servers_of[j].push(server.id);
                 let list = &mut self.users_of[server.id.index()];
@@ -190,13 +252,45 @@ mod tests {
     }
 
     #[test]
+    fn disable_enable_round_trips_to_full_recompute() {
+        let servers = vec![server(0, 0.0, 0.0, 100.0), server(1, 150.0, 0.0, 100.0)];
+        let users = vec![user(0, 10.0, 0.0), user(1, 75.0, 0.0), user(2, 160.0, 0.0)];
+        let mut cov = CoverageMap::compute(&servers, &users);
+
+        cov.disable_server(ServerId(0));
+        assert!(!cov.is_enabled(ServerId(0)));
+        assert_eq!(cov.servers_of(UserId(0)), &[] as &[ServerId]);
+        assert_eq!(cov.servers_of(UserId(1)), &[ServerId(1)]);
+        assert_eq!(cov.users_of(ServerId(0)), &[] as &[UserId]);
+        assert!(!cov.covers(ServerId(0), UserId(1)));
+        assert_eq!(cov.disabled_servers().collect::<Vec<_>>(), vec![ServerId(0)]);
+        cov.disable_server(ServerId(0)); // idempotent
+
+        cov.enable_server(&servers[0], &users);
+        assert!(cov.is_enabled(ServerId(0)));
+        assert_eq!(cov, CoverageMap::compute(&servers, &users));
+        cov.enable_server(&servers[0], &users); // idempotent
+        assert_eq!(cov, CoverageMap::compute(&servers, &users));
+    }
+
+    #[test]
+    fn update_user_skips_disabled_servers() {
+        let servers = vec![server(0, 0.0, 0.0, 100.0), server(1, 150.0, 0.0, 100.0)];
+        let mut users = vec![user(0, 10.0, 0.0), user(1, 75.0, 0.0)];
+        let mut cov = CoverageMap::compute(&servers, &users);
+        cov.disable_server(ServerId(1));
+        // Move user 1 squarely into server 1's (dead) disk; the mobility
+        // update must not resurrect the downed server.
+        users[1].position = Point::new(150.0, 0.0);
+        cov.update_user(&servers, &users[1]);
+        assert_eq!(cov.servers_of(UserId(1)), &[] as &[ServerId]);
+        assert_eq!(cov.users_of(ServerId(1)), &[] as &[UserId]);
+    }
+
+    #[test]
     fn update_user_matches_full_recompute() {
         let servers = vec![server(0, 0.0, 0.0, 100.0), server(1, 150.0, 0.0, 100.0)];
-        let mut users = vec![
-            user(0, 10.0, 0.0),
-            user(1, 75.0, 0.0),
-            user(2, 160.0, 0.0),
-        ];
+        let mut users = vec![user(0, 10.0, 0.0), user(1, 75.0, 0.0), user(2, 160.0, 0.0)];
         let mut cov = CoverageMap::compute(&servers, &users);
         // Walk user 1 across several regimes: both covered, only server 1,
         // uncovered, back to only server 0.

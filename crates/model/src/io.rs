@@ -94,9 +94,8 @@ pub fn from_str(text: &str) -> Result<Scenario, ModelError> {
     let mut data = 0usize;
     let mut requests: Vec<(UserId, DataId)> = Vec::new();
 
-    let bad = |lineno: usize, msg: &str| {
-        ModelError::Inconsistent(format!("line {}: {msg}", lineno + 1))
-    };
+    let bad =
+        |lineno: usize, msg: &str| ModelError::Inconsistent(format!("line {}: {msg}", lineno + 1));
     let parse_f64 = |lineno: usize, field: Option<&&str>, what: &str| -> Result<f64, ModelError> {
         field
             .ok_or_else(|| bad(lineno, &format!("missing {what}")))?
@@ -206,10 +205,7 @@ mod tests {
     fn comments_and_blank_lines_are_ignored() {
         let scenario = testkit::tiny_overlap();
         let mut text = to_string(&scenario);
-        text = text.replace(
-            "data 0",
-            "\n# catalogue starts here\ndata 0",
-        );
+        text = text.replace("data 0", "\n# catalogue starts here\ndata 0");
         text.push_str("\n   \n# trailing comment\n");
         let parsed = from_str(&text).unwrap();
         assert_eq!(parsed.data, scenario.data);

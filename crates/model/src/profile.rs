@@ -202,10 +202,8 @@ impl Placement {
     /// servers, recomputing used storage from scratch.
     pub fn respects_storage(&self, scenario: &Scenario) -> bool {
         scenario.servers.iter().all(|server| {
-            let used: f64 = self
-                .data_on(server.id)
-                .map(|d| scenario.data[d.index()].size.value())
-                .sum();
+            let used: f64 =
+                self.data_on(server.id).map(|d| scenario.data[d.index()].size.value()).sum();
             // Tolerate f64 accumulation noise of the incremental counters.
             used <= server.storage.value() + 1e-9
                 && (used - self.used[server.id.index()]).abs() < 1e-6

@@ -87,9 +87,10 @@ impl RequestMatrix {
 
     /// Iterator over all `(user, data)` request pairs in row-major order.
     pub fn pairs(&self) -> impl Iterator<Item = (UserId, DataId)> + '_ {
-        self.by_user.iter().enumerate().flat_map(|(j, reqs)| {
-            reqs.iter().map(move |&d| (UserId::from_index(j), d))
-        })
+        self.by_user
+            .iter()
+            .enumerate()
+            .flat_map(|(j, reqs)| reqs.iter().map(move |&d| (UserId::from_index(j), d)))
     }
 
     /// Returns `true` when no user requests anything — a degenerate but legal

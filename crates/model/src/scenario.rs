@@ -60,10 +60,13 @@ impl Scenario {
 
     /// Largest data size `s_max = max{s_k}` (used by Theorem 7's bound).
     pub fn max_data_size(&self) -> MegaBytes {
-        self.data
-            .iter()
-            .map(|d| d.size)
-            .fold(MegaBytes::ZERO, |a, b| if b.value() > a.value() { b } else { a })
+        self.data.iter().map(|d| d.size).fold(MegaBytes::ZERO, |a, b| {
+            if b.value() > a.value() {
+                b
+            } else {
+                a
+            }
+        })
     }
 
     /// Total number of wireless channels `Σ_i |C_i|` in the system.
@@ -249,13 +252,17 @@ impl ScenarioBuilder {
                 crate::geometry::Point::new(max_x + pad, max_y + pad),
             )
         });
-        let coverage = self
-            .coverage
-            .unwrap_or_else(|| CoverageMap::compute(&self.servers, &self.users));
-        let requests =
-            RequestMatrix::from_pairs(self.users.len(), self.data.len(), self.requests);
-        let scenario =
-            Scenario { area, servers: self.servers, users: self.users, data: self.data, requests, coverage };
+        let coverage =
+            self.coverage.unwrap_or_else(|| CoverageMap::compute(&self.servers, &self.users));
+        let requests = RequestMatrix::from_pairs(self.users.len(), self.data.len(), self.requests);
+        let scenario = Scenario {
+            area,
+            servers: self.servers,
+            users: self.users,
+            data: self.data,
+            requests,
+            coverage,
+        };
         scenario.validate()?;
         Ok(scenario)
     }

@@ -32,9 +32,8 @@ impl Default for SvgOptions {
 }
 
 /// Distinct fill colors assigned to servers round-robin.
-const SERVER_COLORS: &[&str] = &[
-    "#1b6ca8", "#c0392b", "#1e8449", "#8e44ad", "#d68910", "#148f77", "#7b241c", "#2e4053",
-];
+const SERVER_COLORS: &[&str] =
+    &["#1b6ca8", "#c0392b", "#1e8449", "#8e44ad", "#d68910", "#148f77", "#7b241c", "#2e4053"];
 
 /// Renders the scenario (and optionally a strategy's profiles) as SVG.
 pub fn render(

@@ -76,7 +76,9 @@ pub fn generate_topology(
     let mut links: Vec<Link> = Vec::with_capacity(target_links);
     let mut used = std::collections::HashSet::<(u32, u32)>::new();
     let speed = |rng: &mut dyn rand::RngCore| {
-        MegaBytesPerSec(rng.gen_range(config.min_link_speed.value()..=config.max_link_speed.value()))
+        MegaBytesPerSec(
+            rng.gen_range(config.min_link_speed.value()..=config.max_link_speed.value()),
+        )
     };
 
     if config.ensure_connected && n > 1 {

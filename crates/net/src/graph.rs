@@ -42,7 +42,10 @@ impl EdgeGraph {
     pub fn new(num_nodes: usize, links: Vec<Link>) -> Self {
         for l in &links {
             assert!(l.a != l.b, "self-loop on server {}", l.a);
-            assert!(l.a.index() < num_nodes && l.b.index() < num_nodes, "link endpoint out of range");
+            assert!(
+                l.a.index() < num_nodes && l.b.index() < num_nodes,
+                "link endpoint out of range"
+            );
             assert!(l.speed.value() > 0.0, "link speed must be positive");
         }
         let mut degree = vec![0usize; num_nodes];
@@ -98,6 +101,13 @@ impl EdgeGraph {
         &self.neighbors[self.offsets[node.index()]..self.offsets[node.index() + 1]]
     }
 
+    /// Index into [`EdgeGraph::links`] of the first link joining the
+    /// unordered pair `{a, b}`, if any — the handle fault injection uses to
+    /// address a link.
+    pub fn find_link(&self, a: ServerId, b: ServerId) -> Option<usize> {
+        self.links.iter().position(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+    }
+
     /// Whether every node can reach every other node over links.
     pub fn is_connected(&self) -> bool {
         if self.num_nodes <= 1 {
@@ -144,6 +154,15 @@ mod tests {
         let (n, c) = g.neighbors(ServerId(2))[0];
         assert_eq!(n, 1);
         assert!((c - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn find_link_is_endpoint_order_insensitive() {
+        let g = EdgeGraph::new(3, vec![link(0, 1, 2000.0), link(1, 2, 4000.0)]);
+        assert_eq!(g.find_link(ServerId(0), ServerId(1)), Some(0));
+        assert_eq!(g.find_link(ServerId(1), ServerId(0)), Some(0));
+        assert_eq!(g.find_link(ServerId(2), ServerId(1)), Some(1));
+        assert_eq!(g.find_link(ServerId(0), ServerId(2)), None);
     }
 
     #[test]

@@ -22,14 +22,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fault;
 pub mod generate;
 pub mod graph;
 pub mod shortest;
 pub mod simulate;
 pub mod topology;
 
+pub use fault::{LinkState, NetworkFaults};
 pub use generate::{generate_topology, TopologyConfig};
 pub use graph::{EdgeGraph, Link};
-pub use shortest::{all_pairs_dijkstra, all_pairs_floyd_warshall, all_pairs_widest, all_pairs_widest_floyd_warshall, best_path};
+pub use shortest::{
+    all_pairs_dijkstra, all_pairs_floyd_warshall, all_pairs_widest,
+    all_pairs_widest_floyd_warshall, best_path,
+};
 pub use simulate::{simulate_concurrent, simulate_transfer, Transfer};
 pub use topology::{DeliverySource, PathModel, Topology};

@@ -112,9 +112,7 @@ pub fn best_path(
 /// All-pairs unit costs via repeated Dijkstra. Row `o`, column `i` is the
 /// cheapest `v_o → v_i` unit cost in ms/MB ([`UNREACHABLE`] if disconnected).
 pub fn all_pairs_dijkstra(graph: &EdgeGraph) -> Vec<Vec<f64>> {
-    (0..graph.num_nodes())
-        .map(|s| dijkstra(graph, ServerId::from_index(s)))
-        .collect()
+    (0..graph.num_nodes()).map(|s| dijkstra(graph, ServerId::from_index(s))).collect()
 }
 
 /// Single-source *widest path* (maximum bottleneck speed): returns, per
@@ -149,9 +147,7 @@ pub fn widest_path(graph: &EdgeGraph, source: ServerId) -> Vec<f64> {
 
 /// All-pairs widest-path unit costs (see [`widest_path`]).
 pub fn all_pairs_widest(graph: &EdgeGraph) -> Vec<Vec<f64>> {
-    (0..graph.num_nodes())
-        .map(|s| widest_path(graph, ServerId::from_index(s)))
-        .collect()
+    (0..graph.num_nodes()).map(|s| widest_path(graph, ServerId::from_index(s))).collect()
 }
 
 /// All-pairs widest-path costs via the Floyd–Warshall minimax recurrence —
@@ -243,10 +239,7 @@ mod tests {
     #[test]
     fn shortcut_beats_direct_slow_link() {
         // Direct 0-2 at 2000 (0.5), detour 0-1-2 at 6000+6000 (0.333…).
-        let g = EdgeGraph::new(
-            3,
-            vec![link(0, 2, 2000.0), link(0, 1, 6000.0), link(1, 2, 6000.0)],
-        );
+        let g = EdgeGraph::new(3, vec![link(0, 2, 2000.0), link(0, 1, 6000.0), link(1, 2, 6000.0)]);
         let d = dijkstra(&g, ServerId(0));
         assert!((d[2] - 2.0 / 6.0 * 1.0).abs() < 1e-9, "d[2] = {}", d[2]);
     }
@@ -295,10 +288,7 @@ mod tests {
     fn widest_path_prefers_fast_bottlenecks() {
         // 0-2 direct at 3000 (0.333 ms/MB); 0-1-2 at 5000+4000 → bottleneck
         // 4000 (0.25 ms/MB): the two-hop path wins under the pipelined model.
-        let g = EdgeGraph::new(
-            3,
-            vec![link(0, 2, 3000.0), link(0, 1, 5000.0), link(1, 2, 4000.0)],
-        );
+        let g = EdgeGraph::new(3, vec![link(0, 2, 3000.0), link(0, 1, 5000.0), link(1, 2, 4000.0)]);
         let w = widest_path(&g, ServerId(0));
         assert_eq!(w[0], 0.0);
         assert!((w[1] - 0.2).abs() < 1e-12);

@@ -30,10 +30,7 @@ use crate::topology::{PathModel, Topology};
 /// empty path (origin = target) takes zero time.
 pub fn simulate_transfer(link_speeds: &[f64], size: MegaBytes, chunks: usize) -> Milliseconds {
     assert!(chunks >= 1, "at least one chunk");
-    assert!(
-        link_speeds.iter().all(|&s| s > 0.0),
-        "link speeds must be positive"
-    );
+    assert!(link_speeds.iter().all(|&s| s > 0.0), "link speeds must be positive");
     if link_speeds.is_empty() || size.value() <= 0.0 {
         return Milliseconds::ZERO;
     }
@@ -96,10 +93,7 @@ pub fn simulate_concurrent(
     // Process transfers in start-time order (stable for equal starts).
     let mut order: Vec<usize> = (0..transfers.len()).collect();
     order.sort_by(|&a, &b| {
-        transfers[a]
-            .start_ms
-            .partial_cmp(&transfers[b].start_ms)
-            .expect("start times are finite")
+        transfers[a].start_ms.partial_cmp(&transfers[b].start_ms).expect("start times are finite")
     });
 
     let mut results = vec![None; transfers.len()];
@@ -200,15 +194,30 @@ mod tests {
         let topo = line_topology(PathModel::Pipelined);
         let one = simulate_concurrent(
             &topo,
-            &[Transfer { from: ServerId(0), to: ServerId(2), size: MegaBytes(60.0), start_ms: 0.0 }],
+            &[Transfer {
+                from: ServerId(0),
+                to: ServerId(2),
+                size: MegaBytes(60.0),
+                start_ms: 0.0,
+            }],
             64,
         );
         let alone = one[0].unwrap().value();
         let two = simulate_concurrent(
             &topo,
             &[
-                Transfer { from: ServerId(0), to: ServerId(2), size: MegaBytes(60.0), start_ms: 0.0 },
-                Transfer { from: ServerId(0), to: ServerId(2), size: MegaBytes(60.0), start_ms: 0.0 },
+                Transfer {
+                    from: ServerId(0),
+                    to: ServerId(2),
+                    size: MegaBytes(60.0),
+                    start_ms: 0.0,
+                },
+                Transfer {
+                    from: ServerId(0),
+                    to: ServerId(2),
+                    size: MegaBytes(60.0),
+                    start_ms: 0.0,
+                },
             ],
             64,
         );
@@ -225,14 +234,24 @@ mod tests {
         let topo = Topology::new(g, MegaBytesPerSec(600.0));
         let res = simulate_concurrent(
             &topo,
-            &[Transfer { from: ServerId(0), to: ServerId(1), size: MegaBytes(30.0), start_ms: 0.0 }],
+            &[Transfer {
+                from: ServerId(0),
+                to: ServerId(1),
+                size: MegaBytes(30.0),
+                start_ms: 0.0,
+            }],
             8,
         );
         assert!(res[0].is_none());
         // Self-delivery completes instantly.
         let res = simulate_concurrent(
             &topo,
-            &[Transfer { from: ServerId(0), to: ServerId(0), size: MegaBytes(30.0), start_ms: 3.0 }],
+            &[Transfer {
+                from: ServerId(0),
+                to: ServerId(0),
+                size: MegaBytes(30.0),
+                start_ms: 3.0,
+            }],
             8,
         );
         assert_eq!(res[0].unwrap().value(), 3.0);

@@ -88,17 +88,53 @@ impl Topology {
     }
 
     /// Cheapest edge-to-edge unit cost in ms/MB ([`UNREACHABLE`] when the
-    /// servers are in different components).
+    /// servers are in different components). Prefer [`Topology::try_unit_cost`]
+    /// when the caller must react to disconnection: arithmetic on the
+    /// sentinel silently produces `inf`/`NaN` latencies.
     #[inline]
     pub fn unit_cost(&self, from: ServerId, to: ServerId) -> f64 {
         self.unit_cost[from.index()][to.index()]
     }
 
+    /// Cheapest edge-to-edge unit cost, or `None` when `to` is unreachable
+    /// from `from` — the explicit form fault-handling code must use so
+    /// Eq. 7/8 cloud fallback triggers instead of a sentinel latency.
+    #[inline]
+    pub fn try_unit_cost(&self, from: ServerId, to: ServerId) -> Option<f64> {
+        let cost = self.unit_cost[from.index()][to.index()];
+        (cost != UNREACHABLE).then_some(cost)
+    }
+
+    /// Whether `to` is reachable from `from` over edge links.
+    #[inline]
+    pub fn is_reachable(&self, from: ServerId, to: ServerId) -> bool {
+        self.unit_cost[from.index()][to.index()] != UNREACHABLE
+    }
+
     /// `L_{k,o,i}`: lowest latency of delivering a data item of size `size`
-    /// from `v_o` to `v_i` through the edge storage system.
+    /// from `v_o` to `v_i` through the edge storage system. Unreachable
+    /// pairs report `+inf` (even at `size == 0`, where the naive
+    /// `size · unit_cost` product would be `NaN`); callers that must branch
+    /// on disconnection should use [`Topology::try_edge_latency`].
     #[inline]
     pub fn edge_latency(&self, size: MegaBytes, from: ServerId, to: ServerId) -> Milliseconds {
-        Milliseconds(size.value() * self.unit_cost(from, to))
+        match self.try_edge_latency(size, from, to) {
+            Some(latency) => latency,
+            None => Milliseconds(f64::INFINITY),
+        }
+    }
+
+    /// `L_{k,o,i}` as an explicit option: `None` when the pair is
+    /// disconnected, so a topology mutation can never smuggle a sentinel
+    /// (or `0 · inf = NaN`) latency into a delivery decision.
+    #[inline]
+    pub fn try_edge_latency(
+        &self,
+        size: MegaBytes,
+        from: ServerId,
+        to: ServerId,
+    ) -> Option<Milliseconds> {
+        self.try_unit_cost(from, to).map(|cost| Milliseconds(size.value() * cost))
     }
 
     /// Latency of delivering a data item of size `size` from the cloud.
@@ -260,6 +296,25 @@ mod tests {
         let (lat, src) = t.delivery_latency(&p, DataId(0), MegaBytes(30.0), ServerId(0));
         assert_eq!(src, DeliverySource::Edge(ServerId(0)));
         assert_eq!(lat.value(), 0.0);
+    }
+
+    #[test]
+    fn disconnection_is_explicit_not_a_sentinel() {
+        // Node 2 is isolated — the shape a link failure leaves behind.
+        let g = EdgeGraph::new(
+            3,
+            vec![Link { a: ServerId(0), b: ServerId(1), speed: MegaBytesPerSec(3000.0) }],
+        );
+        let t = Topology::new(g, MegaBytesPerSec(600.0));
+        assert!(t.try_unit_cost(ServerId(0), ServerId(1)).is_some());
+        assert!(t.try_unit_cost(ServerId(0), ServerId(2)).is_none());
+        assert!(!t.is_reachable(ServerId(0), ServerId(2)));
+        assert!(t.try_edge_latency(MegaBytes(60.0), ServerId(0), ServerId(2)).is_none());
+        // Regression: a zero-sized transfer over a disconnected pair used to
+        // evaluate 0 · inf = NaN; it must stay unambiguously unreachable.
+        let lat = t.edge_latency(MegaBytes(0.0), ServerId(0), ServerId(2));
+        assert!(lat.value().is_infinite() && lat.value() > 0.0, "got {lat:?}");
+        assert_eq!(t.edge_latency(MegaBytes(0.0), ServerId(0), ServerId(1)).value(), 0.0);
     }
 
     #[test]

@@ -16,9 +16,7 @@
 //! baselines and the metric evaluation share one implementation of Eqs. 2–5
 //! and 12.
 
-use idde_model::{
-    Allocation, ChannelIndex, MegaBytesPerSec, Scenario, ServerId, UserId,
-};
+use idde_model::{Allocation, ChannelIndex, MegaBytesPerSec, Scenario, ServerId, UserId};
 
 use crate::rate::capped_rate;
 use crate::RadioEnvironment;
@@ -228,13 +226,15 @@ impl<'a> InterferenceField<'a> {
 
     /// SINR `r_{i,x,j}` (Eq. 2) of `user` *as if* allocated to `c_{i,x}`
     /// with every other user unchanged. When the user is already there, this
-    /// is its actual SINR.
+    /// is its actual SINR. Any jamming floor active at the server (see
+    /// [`RadioEnvironment::set_jamming`](crate::RadioEnvironment::set_jamming))
+    /// joins the noise term in the denominator.
     pub fn sinr_at(&self, user: UserId, server: ServerId, channel: ChannelIndex) -> f64 {
         let g = self.env.gain(server, user);
         let p = self.scenario.users[user.index()].power.value();
         let own = g * self.co_channel_power_excluding(user, server, channel);
         let cross = self.cross_interference(user, server, channel);
-        let noise = self.env.params.noise.value();
+        let noise = self.env.params.noise.value() + self.env.jamming_floor(server);
         g * p / (own + cross + noise)
     }
 
@@ -281,13 +281,17 @@ impl<'a> InterferenceField<'a> {
     /// The benefit `β_{α_{-j}}(α_j)` (Eq. 12) of `user` for the decision
     /// `α_j = (i, x)`, evaluated against the current profile of the other
     /// users. Note Eq. 12 *includes* the user's own power in the denominator
-    /// and omits the noise term.
+    /// and omits the noise term — but an active jamming floor still enters,
+    /// as it is interference rather than receiver noise, so the game routes
+    /// users away from jammed servers. The pure congestion form
+    /// ([`InterferenceField::congestion_benefit_at`]) deliberately ignores
+    /// jamming: the Theorem 3 potential argument is stated for it.
     pub fn benefit_at(&self, user: UserId, server: ServerId, channel: ChannelIndex) -> f64 {
         let g = self.env.gain(server, user);
         let p = self.scenario.users[user.index()].power.value();
         let others = self.co_channel_power_excluding(user, server, channel);
         let cross = self.cross_interference(user, server, channel);
-        g * p / (g * (others + p) + cross)
+        g * p / (g * (others + p) + cross + self.env.jamming_floor(server))
     }
 
     /// Benefit of the user's current decision; zero when unallocated (an
@@ -394,6 +398,45 @@ mod tests {
     }
 
     #[test]
+    fn jamming_floor_degrades_sinr_and_benefit_only_at_the_jammed_server() {
+        let scenario = testkit::tiny_overlap();
+        let mut env = setup(&scenario);
+        assert!(env.is_unjammed());
+
+        let healthy = InterferenceField::new(&env, &scenario);
+        let base_sinr = healthy.sinr_at(UserId(0), ServerId(0), ChannelIndex(0));
+        let base_benefit = healthy.benefit_at(UserId(0), ServerId(0), ChannelIndex(0));
+        let base_congestion =
+            healthy.congestion_benefit_at(UserId(0), ServerId(0), ChannelIndex(0));
+        let other_sinr = healthy.sinr_at(UserId(1), ServerId(1), ChannelIndex(0));
+        drop(healthy);
+
+        env.set_jamming(ServerId(0), 1e-3);
+        assert!(!env.is_unjammed());
+        assert_eq!(env.jamming_floor(ServerId(0)), 1e-3);
+        let jammed = InterferenceField::new(&env, &scenario);
+        assert!(
+            jammed.sinr_at(UserId(0), ServerId(0), ChannelIndex(0)) < base_sinr,
+            "jamming must lower SINR at the jammed server"
+        );
+        assert!(jammed.benefit_at(UserId(0), ServerId(0), ChannelIndex(0)) < base_benefit);
+        // The congestion form ignores jamming (Theorem 3 potential argument).
+        assert_eq!(
+            jammed.congestion_benefit_at(UserId(0), ServerId(0), ChannelIndex(0)),
+            base_congestion
+        );
+        // The unjammed server is untouched, bit for bit.
+        assert_eq!(jammed.sinr_at(UserId(1), ServerId(1), ChannelIndex(0)), other_sinr);
+        drop(jammed);
+
+        // Clearing the floor restores the healthy model exactly.
+        env.set_jamming(ServerId(0), 0.0);
+        let restored = InterferenceField::new(&env, &scenario);
+        assert_eq!(restored.sinr_at(UserId(0), ServerId(0), ChannelIndex(0)), base_sinr);
+        assert_eq!(restored.benefit_at(UserId(0), ServerId(0), ChannelIndex(0)), base_benefit);
+    }
+
+    #[test]
     fn lone_user_rate_is_capped() {
         let scenario = testkit::tiny_overlap();
         let env = setup(&scenario);
@@ -492,8 +535,7 @@ mod tests {
         field.allocate(UserId(0), ServerId(0), ChannelIndex(0));
         field.allocate(UserId(1), ServerId(0), ChannelIndex(1));
         // u2 stays unallocated; M = 3 divides the sum regardless.
-        let expected =
-            (field.rate(UserId(0)).value() + field.rate(UserId(1)).value()) / 3.0;
+        let expected = (field.rate(UserId(0)).value() + field.rate(UserId(1)).value()) / 3.0;
         assert!((field.average_rate().value() - expected).abs() < 1e-9);
     }
 
@@ -620,8 +662,7 @@ mod tests {
             }
         }
 
-        let rebuilt =
-            InterferenceField::from_allocation(&env, &scenario, field.allocation());
+        let rebuilt = InterferenceField::from_allocation(&env, &scenario, field.allocation());
         for server in scenario.server_ids() {
             for channel in scenario.servers[server.index()].channels() {
                 let live = field.channel_power(server, channel);

@@ -44,6 +44,12 @@ pub struct RadioEnvironment {
     pub params: RadioParams,
     /// Pre-computed channel gains.
     pub gains: GainTable,
+    /// Per-server jamming floor in watts — extra wide-band interference a
+    /// hostile (or chaos-injected) emitter adds at every user the server
+    /// talks to, entering the Eq. 2 denominator like an elevated noise
+    /// floor. All-zero in a healthy environment, so every healthy-path
+    /// result is bit-identical to the pre-jamming model (`x + 0.0 == x`).
+    jamming: Vec<f64>,
 }
 
 impl RadioEnvironment {
@@ -57,7 +63,8 @@ impl RadioEnvironment {
     /// Builds the environment with an explicit gain model (e.g.
     /// [`LogDistance`]) — the paper's "other wireless communication models".
     pub fn with_model(scenario: &Scenario, params: RadioParams, model: &dyn GainModel) -> Self {
-        Self { params, gains: GainTable::compute(scenario, model) }
+        let jamming = vec![0.0; scenario.num_servers()];
+        Self { params, gains: GainTable::compute(scenario, model), jamming }
     }
 
     /// Channel gain `g_{i,·,j}` between server `i` and user `j`.
@@ -71,5 +78,23 @@ impl RadioEnvironment {
     pub fn update_user(&mut self, scenario: &Scenario, user: idde_model::UserId) {
         let model = PowerLaw::new(self.params.eta, self.params.loss_exponent);
         self.gains.update_user(scenario, &model, user);
+    }
+
+    /// The active jamming floor at `server`, in watts (0 when unjammed).
+    #[inline]
+    pub fn jamming_floor(&self, server: idde_model::ServerId) -> f64 {
+        self.jamming[server.index()]
+    }
+
+    /// Sets the jamming floor at `server`. `watts` must be finite and
+    /// non-negative; `0.0` restores the healthy noise model exactly.
+    pub fn set_jamming(&mut self, server: idde_model::ServerId, watts: f64) {
+        assert!(watts.is_finite() && watts >= 0.0, "jamming floor must be finite and >= 0");
+        self.jamming[server.index()] = watts;
+    }
+
+    /// `true` when no server carries a jamming floor.
+    pub fn is_unjammed(&self) -> bool {
+        self.jamming.iter().all(|&w| w == 0.0)
     }
 }

@@ -67,8 +67,7 @@ pub fn fig1_latency_test(config: &Fig1Config) -> Vec<LatencyProbe> {
                         // Wireless access + 1..=3 metro fibre hops.
                         let wireless = rng.gen_range(1.0..4.0);
                         let hops = rng.gen_range(1..=3);
-                        let fibre: f64 =
-                            (0..hops).map(|_| rng.gen_range(0.5..3.0)).sum();
+                        let fibre: f64 = (0..hops).map(|_| rng.gen_range(0.5..3.0)).sum();
                         wireless + fibre
                     } else {
                         base * (1.0 + rng.gen_range(0.0..jitter))

@@ -72,7 +72,13 @@ pub fn render(series: &[Series], width: usize, height: usize) -> String {
     out.push('+');
     out.push_str(&"-".repeat(width));
     out.push('\n');
-    out.push_str(&format!("{:>11}{:.1}{}{:.1}\n", "", x_min, " ".repeat(width.saturating_sub(8)), x_max));
+    out.push_str(&format!(
+        "{:>11}{:.1}{}{:.1}\n",
+        "",
+        x_min,
+        " ".repeat(width.saturating_sub(8)),
+        x_max
+    ));
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
     }

@@ -28,7 +28,16 @@ impl Summary {
     pub fn of(samples: &[f64]) -> Self {
         let count = samples.len();
         if count == 0 {
-            return Self { count: 0, mean: 0.0, std: 0.0, min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0 };
+            return Self {
+                count: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / count as f64;
         let std = if count > 1 {

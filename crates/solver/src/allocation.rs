@@ -77,17 +77,12 @@ impl SearchState<'_, '_> {
     /// levels add interference, so this sum is an upper bound on their final
     /// contribution.
     fn allocated_rate_sum(&self, upto_level: usize) -> f64 {
-        (0..upto_level)
-            .map(|j| self.field.rate(UserId::from_index(j)).value())
-            .sum()
+        (0..upto_level).map(|j| self.field.rate(UserId::from_index(j)).value()).sum()
     }
 
     /// Optimistic bound on the suffix: every remaining user at its cap.
     fn suffix_cap(&self, from_level: usize) -> f64 {
-        self.problem.scenario.users[from_level..]
-            .iter()
-            .map(|u| u.max_rate.value())
-            .sum()
+        self.problem.scenario.users[from_level..].iter().map(|u| u.max_rate.value()).sum()
     }
 
     fn dfs(&mut self, level: usize, _parent_bound: f64) {

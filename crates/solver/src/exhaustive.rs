@@ -181,8 +181,7 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let p = problem(seed);
             let alloc = IddeUGame::default().run(&p).field.into_allocation();
-            let (_, bb_value, stats) =
-                PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
+            let (_, bb_value, stats) = PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
             assert!(stats.proved_optimal);
             let (_, ex_value) =
                 ExhaustiveSolver::default().best_placement(&p, &alloc).expect("tiny space");

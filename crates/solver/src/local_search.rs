@@ -83,9 +83,8 @@ impl<'a> LocalSearch<'a> {
                     (s, c)
                 } else {
                     let s = servers[rng.gen_range(0..servers.len())];
-                    let c = ChannelIndex(
-                        rng.gen_range(0..scenario.servers[s.index()].num_channels),
-                    );
+                    let c =
+                        ChannelIndex(rng.gen_range(0..scenario.servers[s.index()].num_channels));
                     (s, c)
                 };
                 field.allocate(user, server, channel);
@@ -158,8 +157,7 @@ mod tests {
             let p = tiny_problem(seed);
             let (_, value, _) =
                 LocalSearch::new(&p, Budget::unlimited(), LocalSearchConfig::default()).run();
-            let (_, optimal) =
-                ExhaustiveSolver::default().best_allocation(&p).expect("tiny space");
+            let (_, optimal) = ExhaustiveSolver::default().best_allocation(&p).expect("tiny space");
             // tiny_overlap's landscape has no bad local optima: everyone on
             // their own channel.
             assert!((value - optimal).abs() < 1e-6, "seed {seed}: {value} vs {optimal}");
@@ -176,8 +174,7 @@ mod tests {
             let (_, climbed, _) =
                 LocalSearch::new(&p, Budget::unlimited(), LocalSearchConfig::default()).run();
             let outcome = IddeUGame::default().run(&p);
-            let nash: f64 =
-                p.scenario.user_ids().map(|u| outcome.field.rate(u).value()).sum();
+            let nash: f64 = p.scenario.user_ids().map(|u| outcome.field.rate(u).value()).sum();
             assert!(
                 climbed >= nash * 0.95 - 1e-9,
                 "seed {seed}: climber {climbed} far below the equilibrium {nash}"

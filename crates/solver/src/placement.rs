@@ -72,9 +72,7 @@ impl<'a> PlacementSearch<'a> {
         for (user, data) in scenario.requests.pairs() {
             match self.allocation.server_of(user) {
                 Some(t) => targets[data.index()].push(t),
-                None => {
-                    pinned += topology.cloud_latency(scenario.data[data.index()].size).value()
-                }
+                None => pinned += topology.cloud_latency(scenario.data[data.index()].size).value(),
             }
         }
         let cur: Vec<Vec<f64>> = (0..k_total)
@@ -155,11 +153,7 @@ impl SearchState<'_> {
             if k < k_frontier {
                 lb += row.iter().sum::<f64>();
             } else {
-                lb += row
-                    .iter()
-                    .zip(&self.best_any[k])
-                    .map(|(&c, &b)| c.min(b))
-                    .sum::<f64>();
+                lb += row.iter().zip(&self.best_any[k]).map(|(&c, &b)| c.min(b)).sum::<f64>();
             }
         }
         lb
@@ -269,8 +263,7 @@ mod tests {
             let p = problem(seed);
             let alloc = solved_alloc(&p);
             let greedy = GreedyDelivery::default().run(&p, &alloc);
-            let (_, opt_value, stats) =
-                PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
+            let (_, opt_value, stats) = PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
             assert!(stats.proved_optimal);
             let phi = greedy.initial_total_latency.value();
             let greedy_reduction = greedy.latency_reduction().value();
@@ -287,8 +280,7 @@ mod tests {
     fn empty_allocation_means_cloud_total() {
         let p = problem(9);
         let alloc = Allocation::unallocated(p.scenario.num_users());
-        let (placement, value, stats) =
-            PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
+        let (placement, value, stats) = PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
         assert!(stats.proved_optimal);
         // No placement can change anything (ties are broken arbitrarily, so
         // the returned profile may contain inconsequential replicas, like
@@ -305,8 +297,7 @@ mod tests {
         for seed in [2u64, 4, 8] {
             let p = problem(seed);
             let alloc = solved_alloc(&p);
-            let (_, optimal, stats) =
-                PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
+            let (_, optimal, stats) = PlacementSearch::new(&p, &alloc, Budget::unlimited()).run();
             assert!(stats.proved_optimal);
             // Rebuild the search state just to read the root bound: run a
             // 1-node search, whose incumbent is untouched, and compare the

@@ -36,9 +36,8 @@ fn main() {
             match strategy.allocation.server_of(user) {
                 None => cloud += 1,
                 Some(target) => {
-                    let (_, source) = problem
-                        .topology
-                        .delivery_latency(&strategy.placement, data, size, target);
+                    let (_, source) =
+                        problem.topology.delivery_latency(&strategy.placement, data, size, target);
                     match source {
                         idde::net::DeliverySource::Cloud => cloud += 1,
                         idde::net::DeliverySource::Edge(origin) if origin == target => local += 1,

@@ -18,8 +18,8 @@ fn main() {
     let mut rng = idde::seeded_rng(7);
     let scenario = SyntheticEua::default().sample(30, 200, 5, &mut rng);
     let problem = Problem::standard(scenario, &mut rng);
-    let all_cloud = problem.all_cloud_latency().value()
-        / problem.scenario.requests.total_requests() as f64;
+    let all_cloud =
+        problem.all_cloud_latency().value() / problem.scenario.requests.total_requests() as f64;
 
     println!(
         "instance: N={} M={} K={} | {} requests | all-cloud L_avg would be {all_cloud:.1} ms\n",

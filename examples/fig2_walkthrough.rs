@@ -39,15 +39,16 @@ fn main() {
     for data in problem.scenario.data_ids() {
         let users: Vec<u32> =
             problem.scenario.requests.of_data(data).iter().map(|u| u.0 + 1).collect();
-        println!("  d{} ({:.0} MB) ← users {users:?}", data.0 + 1, problem.scenario.data[data.index()].size.value());
+        println!(
+            "  d{} ({:.0} MB) ← users {users:?}",
+            data.0 + 1,
+            problem.scenario.data[data.index()].size.value()
+        );
     }
 
     println!("\n== Phase #1: the IDDE-U game ==");
     let outcome = IddeUGame::default().run(&problem);
-    println!(
-        "  converged after {} passes / {} improvement moves",
-        outcome.passes, outcome.moves
-    );
+    println!("  converged after {} passes / {} improvement moves", outcome.passes, outcome.moves);
     for user in problem.scenario.user_ids() {
         let (server, channel) = outcome.field.allocation().decision(user).expect("all covered");
         println!(

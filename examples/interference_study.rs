@@ -36,14 +36,12 @@ fn main() {
         let problem = Problem::standard(scenario, &mut rng);
 
         let full = IddeUGame::default().run(&problem).field.average_rate().value();
-        let congestion = IddeUGame::new(GameConfig {
-            benefit: BenefitModel::Congestion,
-            ..Default::default()
-        })
-        .run(&problem)
-        .field
-        .average_rate()
-        .value();
+        let congestion =
+            IddeUGame::new(GameConfig { benefit: BenefitModel::Congestion, ..Default::default() })
+                .run(&problem)
+                .field
+                .average_rate()
+                .value();
         let random = random_allocation_rate(&problem, 42);
 
         println!("{m:>6} {full:>16.2} {congestion:>18.2} {random:>16.2}");
@@ -61,12 +59,7 @@ fn main() {
     let problem = Problem::standard(scenario, &mut rng);
     let outcome = IddeUGame::default().run(&problem);
     println!("\nchannel occupancy at M=300 (10 servers × 3 channels, occupants / watts):");
-    let max_power: f64 = problem
-        .scenario
-        .users
-        .iter()
-        .map(|u| u.power.value())
-        .fold(0.0, f64::max);
+    let max_power: f64 = problem.scenario.users.iter().map(|u| u.power.value()).fold(0.0, f64::max);
     for server in problem.scenario.server_ids() {
         let channels: Vec<(usize, f64)> = problem.scenario.servers[server.index()]
             .channels()
@@ -88,7 +81,9 @@ fn main() {
             max_w - min_w
         );
     }
-    println!("\nno channel hoards transmit power while a sibling sits quiet — that is Phase #1's job.");
+    println!(
+        "\nno channel hoards transmit power while a sibling sits quiet — that is Phase #1's job."
+    );
 }
 
 /// Average rate of a uniformly random feasible allocation (SAA's Phase #1).

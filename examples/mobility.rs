@@ -58,7 +58,10 @@ fn main() {
             .scenario
             .server_ids()
             .flat_map(|s| {
-                cold.strategy.placement.data_on(s).map(|d| problem.scenario.data[d.index()].size.value())
+                cold.strategy
+                    .placement
+                    .data_on(s)
+                    .map(|d| problem.scenario.data[d.index()].size.value())
             })
             .sum();
         cold_migrated += cold_traffic;

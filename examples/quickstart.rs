@@ -45,9 +45,7 @@ fn main() {
     // 4. Score it with the paper's two objectives.
     let metrics = problem.evaluate(&report.strategy);
     println!("{metrics}");
-    let all_cloud = problem.all_cloud_latency().value()
-        / problem.scenario.requests.total_requests() as f64;
-    println!(
-        "for reference, serving everything from the cloud would average {all_cloud:.1} ms"
-    );
+    let all_cloud =
+        problem.all_cloud_latency().value() / problem.scenario.requests.total_requests() as f64;
+    println!("for reference, serving everything from the cloud would average {all_cloud:.1} ms");
 }

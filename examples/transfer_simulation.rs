@@ -15,8 +15,7 @@
 
 use idde::model::{MegaBytes, ServerId};
 use idde::net::{
-    best_path, generate_topology, simulate_concurrent, simulate_transfer, TopologyConfig,
-    Transfer,
+    best_path, generate_topology, simulate_concurrent, simulate_transfer, TopologyConfig, Transfer,
 };
 
 fn main() {
@@ -71,14 +70,10 @@ fn main() {
     println!("\ncontention: N concurrent 60 MB transfers over the same path (64 chunks)");
     println!("{:>8} {:>16}", "flows", "slowest done ms");
     for flows in [1usize, 2, 4, 8] {
-        let transfers: Vec<Transfer> = (0..flows)
-            .map(|_| Transfer { from, to, size, start_ms: 0.0 })
-            .collect();
+        let transfers: Vec<Transfer> =
+            (0..flows).map(|_| Transfer { from, to, size, start_ms: 0.0 }).collect();
         let done = simulate_concurrent(&topology, &transfers, 64);
-        let worst = done
-            .iter()
-            .map(|d| d.expect("path exists").value())
-            .fold(0.0f64, f64::max);
+        let worst = done.iter().map(|d| d.expect("path exists").value()).fold(0.0f64, f64::max);
         println!("{flows:>8} {worst:>16.2}");
         if flows == 1 {
             // 64 chunks leave (hops−1)/64 of pipeline-fill overhead above

@@ -28,6 +28,7 @@
 
 pub use idde_audit as audit;
 pub use idde_baselines as baselines;
+pub use idde_chaos as chaos;
 pub use idde_core as core;
 pub use idde_engine as engine;
 pub use idde_eua as eua;
@@ -52,13 +53,14 @@ pub fn seeded_rng(seed: u64) -> rand_chacha::ChaCha8Rng {
 pub mod prelude {
     pub use idde_audit::{AuditConfig, AuditReport, Auditor};
     pub use idde_baselines::{Cdp, DeliveryStrategy, DupG, IddeGStrategy, IddeIp, Saa};
+    pub use idde_chaos::{FaultPlan, FaultSpec};
     pub use idde_core::{IddeG, Metrics, Problem, Strategy};
     pub use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};
     pub use idde_eua::SyntheticEua;
     pub use idde_model::{
         Allocation, CoverageMap, DataId, DataItem, EdgeServer, MegaBytes, MegaBytesPerSec,
-        Milliseconds, Placement, Point, RequestMatrix, Scenario, ScenarioBuilder, ServerId,
-        UserId, User, Watts,
+        Milliseconds, Placement, Point, RequestMatrix, Scenario, ScenarioBuilder, ServerId, User,
+        UserId, Watts,
     };
     pub use idde_net::Topology;
     pub use idde_radio::RadioEnvironment;

@@ -107,10 +107,7 @@ fn serving_engine_metrics_csv_is_byte_identical() {
         let mut rng = idde::seeded_rng(42);
         let scenario = SyntheticEua::default().sample(12, 50, 3, &mut rng);
         let problem = Problem::standard(scenario, &mut rng);
-        let config = idde::engine::EngineConfig {
-            checkpoint_interval: 10,
-            ..Default::default()
-        };
+        let config = idde::engine::EngineConfig { checkpoint_interval: 10, ..Default::default() };
         let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), 3, 42);
         let initial = workload.initial_active(problem.scenario.num_users());
         let mut engine = Engine::new(problem, config, initial);

@@ -25,8 +25,8 @@ fn all_approaches_are_feasible_and_scored_consistently() {
         assert!(metrics.average_delivery_latency.value() >= 0.0);
         // The average latency can never exceed the all-cloud average
         // (Eq. 8's min always includes the cloud).
-        let all_cloud = problem.all_cloud_latency().value()
-            / problem.scenario.requests.total_requests() as f64;
+        let all_cloud =
+            problem.all_cloud_latency().value() / problem.scenario.requests.total_requests() as f64;
         assert!(
             metrics.average_delivery_latency.value() <= all_cloud + 1e-9,
             "{}: {} > {all_cloud}",
@@ -168,7 +168,11 @@ fn real_eua_csv_files_are_used_when_present() {
     std::fs::write(&servers, s).unwrap();
     let mut u = String::from("Latitude,Longitude\n");
     for i in 0..30 {
-        u.push_str(&format!("{},{}\n", -37.8105 - 0.0009 * (i % 6) as f64, 144.9605 + 0.0009 * (i % 5) as f64));
+        u.push_str(&format!(
+            "{},{}\n",
+            -37.8105 - 0.0009 * (i % 6) as f64,
+            144.9605 + 0.0009 * (i % 5) as f64
+        ));
     }
     std::fs::write(&users, u).unwrap();
 

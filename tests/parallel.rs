@@ -78,14 +78,50 @@ fn serve_csv_and_final_strategy_are_thread_count_invariant() {
 }
 
 #[test]
+fn chaos_serve_csv_is_thread_count_invariant() {
+    // Same contract as the healthy serve, with a seeded fault schedule —
+    // outages, link cuts and jamming — injected into the event stream: the
+    // degradation and repair paths must be as thread-count invariant as the
+    // steady state. Same seed + same spec ⇒ byte-identical CSV at 1/2/8
+    // workers.
+    let runs = with_threads(&[1, 2, 8], || {
+        let problem = sampled_problem(42);
+        let mut plan = idde::chaos::FaultSpec::parse("rand:2022:2:1:1@15+8")
+            .unwrap()
+            .compile(problem.topology.graph())
+            .unwrap();
+        let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), 4, 42);
+        let initial = workload.initial_active(problem.scenario.num_users());
+        let config = EngineConfig { audit_every: 50, ..EngineConfig::default() };
+        let mut engine = Engine::new(problem, config, initial);
+        engine.run_sources(&mut [&mut plan, &mut workload], 25);
+        assert_eq!(engine.metrics().audit_violations, 0, "chaos run must stay audit-clean");
+        assert!(engine.metrics().server_outages > 0, "the fault plan must actually fire");
+        (engine.metrics().to_csv(), engine.strategy())
+    });
+    let (csv_1, strategy_1) = &runs[0];
+    for (t, (csv, strategy)) in [1usize, 2, 8].into_iter().zip(&runs) {
+        assert_eq!(csv, csv_1, "chaos serve CSV changed between 1 and {t} workers");
+        assert_eq!(
+            strategy.allocation, strategy_1.allocation,
+            "final allocation changed between 1 and {t} workers"
+        );
+        assert_eq!(
+            strategy.placement, strategy_1.placement,
+            "final placement changed between 1 and {t} workers"
+        );
+    }
+}
+
+#[test]
 fn offline_solve_is_thread_count_invariant() {
     // Phase #1 + Phase #2 from scratch, parallel scoring mode, swept
     // across worker counts: the equilibrium and its metrics must not move
     // a single bit.
     let runs = with_threads(&[1, 2, 3, 8], || {
         let problem = sampled_problem(7);
-        let strategy = idde::core::IddeG { game: parallel_game(), ..Default::default() }
-            .solve(&problem);
+        let strategy =
+            idde::core::IddeG { game: parallel_game(), ..Default::default() }.solve(&problem);
         let metrics = problem.evaluate(&strategy);
         (
             strategy,

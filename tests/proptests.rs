@@ -3,7 +3,9 @@
 
 use idde::core::{GreedyDelivery, IddeUGame, Problem, Strategy as IddeStrategy};
 use idde::net::{all_pairs_dijkstra, all_pairs_floyd_warshall, EdgeGraph, Link};
-use idde::prelude::{Cdp, DupG, IddeGStrategy, MegaBytesPerSec, Saa, ServerId, SyntheticEua, UserId};
+use idde::prelude::{
+    Cdp, DupG, IddeGStrategy, MegaBytesPerSec, Saa, ServerId, SyntheticEua, UserId,
+};
 use idde_radio::InterferenceField;
 use proptest::prelude::*;
 

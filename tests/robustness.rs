@@ -26,11 +26,8 @@ fn alternative_gain_model_changes_numbers_not_behaviour() {
     let topology = generate_topology(15, &TopologyConfig::paper(1.0), &mut rng);
 
     let power_law = RadioEnvironment::new(&scenario, RadioParams::paper());
-    let log_distance = RadioEnvironment::with_model(
-        &scenario,
-        RadioParams::paper(),
-        &LogDistance::default(),
-    );
+    let log_distance =
+        RadioEnvironment::with_model(&scenario, RadioParams::paper(), &LogDistance::default());
 
     let mut results = Vec::new();
     for radio in [power_law, log_distance] {
@@ -157,9 +154,7 @@ fn open_coverage_users_fall_back_to_cloud() {
         assert_eq!(strategy.allocation.decision(user), None);
         for &data in problem.scenario.requests.of_user(user) {
             let latency = problem.request_latency(&strategy, user, data);
-            let cloud = problem
-                .topology
-                .cloud_latency(problem.scenario.data[data.index()].size);
+            let cloud = problem.topology.cloud_latency(problem.scenario.data[data.index()].size);
             assert!((latency.value() - cloud.value()).abs() < 1e-9);
         }
     }

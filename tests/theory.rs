@@ -9,9 +9,7 @@
 //! * Theorems 6/7 — the greedy delivery profile's latency reduction is at
 //!   least `(e−1)/2e` of the optimal reduction.
 
-use idde::core::{
-    congestion_benefit, congestion_potential, BenefitModel, GameConfig, IddeUGame,
-};
+use idde::core::{congestion_benefit, congestion_potential, BenefitModel, GameConfig, IddeUGame};
 use idde::prelude::*;
 use idde::solver::ExhaustiveSolver;
 use idde_radio::InterferenceField;
@@ -91,10 +89,8 @@ fn theorem3_improving_moves_raise_the_potential() {
 fn theorem4_dynamics_terminate_within_the_bound() {
     for seed in 0..5u64 {
         let problem = small_random_problem(100 + seed);
-        let game = IddeUGame::new(GameConfig {
-            benefit: BenefitModel::Congestion,
-            ..Default::default()
-        });
+        let game =
+            IddeUGame::new(GameConfig { benefit: BenefitModel::Congestion, ..Default::default() });
         let outcome = game.run(&problem);
         assert!(outcome.converged, "seed {seed}: congestion dynamics must converge");
 
@@ -102,8 +98,7 @@ fn theorem4_dynamics_terminate_within_the_bound() {
         // Y ≤ M(Q²max − Q²min)/(2·Qmin) + M (the +M covers the initial
         // allocations, which the paper folds into its T_j term).
         let m = problem.scenario.num_users() as f64;
-        let powers: Vec<f64> =
-            problem.scenario.users.iter().map(|u| u.power.value()).collect();
+        let powers: Vec<f64> = problem.scenario.users.iter().map(|u| u.power.value()).collect();
         let qmax = powers.iter().copied().fold(0.0, f64::max);
         let qmin = powers.iter().copied().fold(f64::INFINITY, f64::min);
         let bound = m * (qmax * qmax - qmin * qmin) / (2.0 * qmin) + m;
@@ -130,12 +125,7 @@ fn theorem5_poa_bounds_hold_against_the_exhaustive_optimum() {
         assert!(achieved <= optimal + 1e-6, "seed {seed}: {achieved} > optimal {optimal}");
         // ρ ≥ R_min/R_max: with uniform caps this lower bound is the ratio
         // of the worst equilibrium user rate to the cap.
-        let rmax = problem
-            .scenario
-            .users
-            .iter()
-            .map(|u| u.max_rate.value())
-            .fold(0.0, f64::max);
+        let rmax = problem.scenario.users.iter().map(|u| u.max_rate.value()).fold(0.0, f64::max);
         let rmin = problem
             .scenario
             .user_ids()
@@ -157,9 +147,8 @@ fn theorem6_greedy_reduction_is_within_the_bound_of_optimal() {
         let problem = tiny_problem(200 + seed);
         let allocation = IddeUGame::default().run(&problem).field.into_allocation();
         let greedy = idde::core::GreedyDelivery::default().run(&problem, &allocation);
-        let (_, optimal_total) = ExhaustiveSolver::default()
-            .best_placement(&problem, &allocation)
-            .expect("tiny space");
+        let (_, optimal_total) =
+            ExhaustiveSolver::default().best_placement(&problem, &allocation).expect("tiny space");
         let phi = greedy.initial_total_latency.value();
         let greedy_reduction = greedy.latency_reduction().value();
         let optimal_reduction = phi - optimal_total;
