@@ -28,7 +28,10 @@ use std::time::Instant;
 use idde_core::{GameConfig, GreedyDelivery, IddeG, IddeUGame, Problem, ScoringMode};
 use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};
 use idde_eua::SyntheticEua;
-use rand::SeedableRng;
+use idde_model::{
+    CoverageMap, EdgeServer, MegaBytes, MegaBytesPerSec, Point, ServerId, User, UserId, Watts,
+};
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Configuration of a ledger run.
@@ -150,7 +153,10 @@ impl Ledger {
 fn percentile(samples: &[f64], q: f64) -> f64 {
     assert!(!samples.is_empty(), "percentile of an empty sample set");
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    // `total_cmp` is a total order, so a stray NaN timing (a clock glitch)
+    // sorts above +inf and surfaces at high ranks instead of panicking
+    // halfway through a suite run.
+    sorted.sort_by(f64::total_cmp);
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -362,13 +368,134 @@ pub fn run_engine_suite(cfg: &LedgerConfig) -> Ledger {
         },
     );
 
+    // Scaling sweep: the same seeded mobility walk replayed through the
+    // coverage-maintenance layer on a 2000-server geography, once with the
+    // spatial grid and once with the brute-force oracle. The two cases must
+    // land on the same adjacency fingerprint — the differential check the
+    // unit/property tests make at small scale, observed here at large scale
+    // — and their median ratio is the recorded speedup of the index.
+    let (scale_servers, scale_users, scale_events) =
+        scale_mobility_workload(cfg.seed, 2_000, 5_000, 100_000);
+    let scale_workload =
+        "SyntheticEua::scaled 2000 servers / 5000 users; 100000-event seeded mobility walk";
+    // Both maps are built *outside* the timed closures: construction is a
+    // one-off per deployment, while the thing being measured is the
+    // per-event maintenance cost. Each sample clones the prototype (a cost
+    // both cases pay identically) and replays the walk on the clone.
+    let grid_proto = CoverageMap::compute(&scale_servers, &scale_users);
+    let brute_proto = CoverageMap::compute_brute_force(&scale_servers, &scale_users);
+    assert!(grid_proto.has_spatial_index());
+    assert!(!brute_proto.has_spatial_index());
+    let grid_case = sweep(
+        cfg,
+        "scale_mobility_grid",
+        scale_workload,
+        || replay_mobility(&scale_servers, &scale_users, &scale_events, &grid_proto),
+        adjacency_fingerprint,
+    );
+    let brute_case = sweep(
+        cfg,
+        "scale_mobility_brute",
+        scale_workload,
+        || replay_mobility(&scale_servers, &scale_users, &scale_events, &brute_proto),
+        adjacency_fingerprint,
+    );
+
     Ledger {
         suite: "engine".into(),
         seed: cfg.seed,
         samples: cfg.samples,
         host_parallelism: host_parallelism(),
-        cases: vec![init_case, serve_case],
+        cases: vec![init_case, serve_case, grid_case, brute_case],
     }
+}
+
+/// Builds the scaling-sweep workload: a density-preserving enlargement of
+/// the EUA geography to `num_servers`/`num_users` plus a pre-generated
+/// random mobility walk of `num_events` absolute position updates.
+///
+/// Entities are built straight from the base population — the radio and
+/// solver substrates are irrelevant to coverage maintenance, and a
+/// 2000-server gain table would dwarf the thing being measured.
+fn scale_mobility_workload(
+    seed: u64,
+    num_servers: usize,
+    num_users: usize,
+    num_events: usize,
+) -> (Vec<EdgeServer>, Vec<User>, Vec<(usize, Point)>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5ca1_ab1e);
+    let gen = SyntheticEua::scaled(num_servers, num_users);
+    let pop = gen.generate(&mut rng);
+    let servers = pop
+        .server_sites
+        .iter()
+        .zip(&pop.coverage_radii_m)
+        .enumerate()
+        .map(|(i, (&position, &coverage_radius_m))| EdgeServer {
+            id: ServerId::from_index(i),
+            position,
+            coverage_radius_m,
+            num_channels: 10,
+            channel_bandwidth: MegaBytesPerSec(200.0),
+            storage: MegaBytes(1_000.0),
+        })
+        .collect();
+    let users: Vec<User> = pop
+        .user_sites
+        .iter()
+        .enumerate()
+        .map(|(j, &position)| {
+            User::new(UserId::from_index(j), position, Watts(0.5), MegaBytesPerSec(100.0))
+        })
+        .collect();
+    // A bounded random walk: each event flings one user by up to ±40 m per
+    // axis (a few seconds of vehicular motion) and records the resulting
+    // absolute position, so replays are independent of one another.
+    let mut positions: Vec<Point> = users.iter().map(|u| u.position).collect();
+    let events = (0..num_events)
+        .map(|_| {
+            let j = rng.gen_range(0..positions.len());
+            let p = positions[j];
+            let next = pop.area.clamp(Point::new(
+                p.x + rng.gen_range(-40.0..=40.0),
+                p.y + rng.gen_range(-40.0..=40.0),
+            ));
+            positions[j] = next;
+            (j, next)
+        })
+        .collect();
+    (servers, users, events)
+}
+
+/// Replays a pre-generated mobility walk through [`CoverageMap::update_user`]
+/// on fresh per-sample state cloned from `proto` (a grid-backed map keeps
+/// its index across the clone; a brute-force map keeps its linear scans).
+fn replay_mobility(
+    servers: &[EdgeServer],
+    users: &[User],
+    events: &[(usize, Point)],
+    proto: &CoverageMap,
+) -> CoverageMap {
+    let mut users = users.to_vec();
+    let mut map = proto.clone();
+    for &(j, position) in events {
+        users[j].position = position;
+        map.update_user(servers, &users[j]);
+    }
+    map
+}
+
+/// FNV digest over the full user→server coverage relation.
+fn adjacency_fingerprint(map: &CoverageMap) -> u64 {
+    let mut fp = Fingerprint::new();
+    for j in 0..map.num_users() {
+        let row = map.servers_of(UserId::from_index(j));
+        fp.absorb(row.len() as u64);
+        for &s in row {
+            fp.absorb(s.index() as u64);
+        }
+    }
+    fp.digest()
 }
 
 fn host_parallelism() -> usize {
@@ -389,6 +516,49 @@ mod tests {
         assert_eq!(percentile(&s, 0.5), 3.0);
         assert_eq!(percentile(&s, 0.95), 5.0);
         assert_eq!(percentile(&[7.5], 0.5), 7.5);
+        // Nearest-rank index math at a larger n: ceil(0.95·20) = 19.
+        let twenty: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(percentile(&twenty, 0.95), 19.0);
+        // Even n: the lower of the two middles, per the doc comment.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.0);
+        // q = 0 and q = 1 never index out of bounds.
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 5.0);
+    }
+
+    /// A stray NaN timing must not panic the suite (the old
+    /// `partial_cmp(...).expect` sort did). Under `total_cmp` positive NaNs
+    /// sort above `+inf`, so low/mid ranks stay meaningful and the NaN only
+    /// shows up at the ranks it occupies.
+    #[test]
+    fn percentile_tolerates_nan_timings() {
+        let s = vec![2.0, f64::NAN, 1.0];
+        assert_eq!(percentile(&s, 0.5), 2.0);
+        assert!(percentile(&s, 1.0).is_nan());
+        assert!(percentile(&[f64::NAN], 0.5).is_nan());
+    }
+
+    /// The scale-suite replay helpers: grid and brute paths of the same
+    /// walk must agree exactly (here at a small geography; the committed
+    /// BENCH_engine.json observes the same equality at 2000 servers).
+    #[test]
+    fn scale_mobility_replays_agree_across_grid_and_brute() {
+        let (servers, users, events) = scale_mobility_workload(7, 60, 150, 400);
+        assert_eq!(servers.len(), 60);
+        assert_eq!(users.len(), 150);
+        assert_eq!(events.len(), 400);
+        let grid_proto = CoverageMap::compute(&servers, &users);
+        let brute_proto = CoverageMap::compute_brute_force(&servers, &users);
+        let grid = replay_mobility(&servers, &users, &events, &grid_proto);
+        let brute = replay_mobility(&servers, &users, &events, &brute_proto);
+        assert!(grid.has_spatial_index());
+        assert!(!brute.has_spatial_index());
+        assert_eq!(grid, brute);
+        assert_eq!(adjacency_fingerprint(&grid), adjacency_fingerprint(&brute));
+        // The walk must actually change the relation, or the bench would
+        // time a no-op.
+        let initial = CoverageMap::compute(&servers, &users);
+        assert_ne!(grid, initial, "mobility walk left coverage untouched");
     }
 
     #[test]

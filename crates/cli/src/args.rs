@@ -22,6 +22,7 @@ commands:
              [--seed S] [--density D] [--net-seed S]
   serve      run the online serving engine over a seeded event workload
              [--scenario FILE | --servers N --users M --data K]
+             [--scale-servers N] [--scale-users M]
              [--seed S] [--ticks T] [--density D] [--net-seed S]
              [--checkpoint T] [--drift X] [--csv FILE] [--audit N]
              [--chaos SPEC]
@@ -45,6 +46,10 @@ violation is found; 0 (the default) disables auditing. `--chaos SPEC`
 injects a deterministic fault schedule into the serve event stream
 (e.g. 'server:3@40+80,link:0-5@30+60,jam:1@20+30'; see idde-chaos for
 the grammar — `rand:SEED:L:S:J@SPAN+D` draws a seeded random plan).
+`--scale-servers`/`--scale-users` enlarge the synthetic base
+geography density-preservingly before sampling (default 125
+sites/816 users), lifting the 125-site cap for scaling runs, e.g.
+`serve --scale-servers 2000 --scale-users 2400 --servers 2000`.
 `bench` writes one BENCH_<suite>.json per suite into --out (default
 `.`); `--json` additionally prints the ledgers to stdout instead of
 the summary table; `--check` re-runs the suites and exits nonzero if
@@ -113,6 +118,11 @@ pub enum Command {
         users: usize,
         /// Data items to sample when no scenario file is given.
         data: usize,
+        /// Base-geography server sites (None = the default 125-site EUA
+        /// extract; `Some(n)` scales the synthetic area to `n` sites).
+        scale_servers: Option<usize>,
+        /// Base-geography user sites (None = the default 816).
+        scale_users: Option<usize>,
         /// Master seed: scenario sampling and the event workload.
         seed: u64,
         /// Ticks to serve.
@@ -280,6 +290,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 "servers",
                 "users",
                 "data",
+                "scale-servers",
+                "scale-users",
                 "seed",
                 "ticks",
                 "density",
@@ -290,6 +302,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 "audit",
                 "chaos",
             ])?;
+            let opt_usize = |name: &str| -> Result<Option<usize>, String> {
+                take(name)
+                    .map(|v| v.parse::<usize>().map_err(|_| format!("--{name}: bad integer {v:?}")))
+                    .transpose()
+            };
             Ok(Command::Serve {
                 scenario: take("scenario").map(|v| path_arg(&v)),
                 servers: take("servers")
@@ -301,6 +318,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 data: take("data")
                     .map(|v| v.parse::<usize>().map_err(|_| "--data: bad integer".to_string()))
                     .unwrap_or(Ok(5))?,
+                scale_servers: opt_usize("scale-servers")?,
+                scale_users: opt_usize("scale-users")?,
                 seed: parse_u64("seed", 42)?,
                 ticks: parse_u64("ticks", 200)?,
                 density: parse_f64("density", 1.0)?,
@@ -471,6 +490,8 @@ mod tests {
                 servers,
                 users,
                 data,
+                scale_servers,
+                scale_users,
                 seed,
                 ticks,
                 checkpoint,
@@ -481,6 +502,7 @@ mod tests {
             } => {
                 assert_eq!(scenario, None);
                 assert_eq!((servers, users, data), (20, 100, 5));
+                assert_eq!((scale_servers, scale_users), (None, None));
                 assert_eq!((seed, ticks, checkpoint), (42, 1000, 50));
                 assert_eq!(drift, 0.05);
                 assert_eq!(csv, None);
@@ -499,6 +521,29 @@ mod tests {
             other => unreachable!("parse returned the wrong command variant: {other:?}"),
         }
         assert!(parse(&argv("serve --audit fifty")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_scale_flags() {
+        let cmd = parse(&argv(
+            "serve --scale-servers 2000 --scale-users 50000 --servers 2000 --users 2000",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { scale_servers, scale_users, servers, users, .. } => {
+                assert_eq!(scale_servers, Some(2000));
+                assert_eq!(scale_users, Some(50_000));
+                assert_eq!((servers, users), (2000, 2000));
+            }
+            other => unreachable!("parse returned the wrong command variant: {other:?}"),
+        }
+        // One flag alone is fine — the other keeps its base-geography default.
+        assert!(matches!(
+            parse(&argv("serve --scale-servers 500")).unwrap(),
+            Command::Serve { scale_servers: Some(500), scale_users: None, .. }
+        ));
+        assert!(parse(&argv("serve --scale-servers many")).is_err());
+        assert!(parse(&argv("generate --servers 5 --users 9 --data 1 --scale-servers 9")).is_err());
     }
 
     #[test]

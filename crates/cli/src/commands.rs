@@ -44,6 +44,8 @@ pub fn run(command: Command) -> Result<(), String> {
             servers,
             users,
             data,
+            scale_servers,
+            scale_users,
             seed,
             ticks,
             density,
@@ -58,6 +60,8 @@ pub fn run(command: Command) -> Result<(), String> {
             servers,
             users,
             data,
+            scale_servers,
+            scale_users,
             seed,
             ticks,
             density,
@@ -384,6 +388,8 @@ struct ServeOptions {
     servers: usize,
     users: usize,
     data: usize,
+    scale_servers: Option<usize>,
+    scale_users: Option<usize>,
     seed: u64,
     ticks: u64,
     density: f64,
@@ -396,21 +402,30 @@ struct ServeOptions {
 }
 
 /// Loads a scenario file (`Some`) or samples a synthetic one (`None`).
+/// `scale` enlarges the synthetic base geography to `(sites, user_sites)`
+/// density-preservingly (see [`SyntheticEua::scaled`]); `None` keeps the
+/// default 125-site EUA extract.
 fn load_or_sample_scenario(
     scenario: &Option<Option<std::path::PathBuf>>,
     servers: usize,
     users: usize,
     data: usize,
+    scale: Option<(usize, usize)>,
     seed: u64,
 ) -> Result<Scenario, String> {
     match scenario {
         Some(path) => read_scenario(path.as_deref()),
         None => {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let population = SyntheticEua::default().generate(&mut rng);
+            let gen = match scale {
+                Some((sites, user_sites)) => SyntheticEua::scaled(sites, user_sites),
+                None => SyntheticEua::default(),
+            };
+            let population = gen.generate(&mut rng);
             if population.num_server_sites() < servers {
                 return Err(format!(
-                    "the base population has {} server sites; --servers {servers} is too large",
+                    "the base population has {} server sites; --servers {servers} is too large \
+                     (use --scale-servers to enlarge the geography)",
                     population.num_server_sites()
                 ));
             }
@@ -420,8 +435,19 @@ fn load_or_sample_scenario(
 }
 
 fn serve(opts: ServeOptions) -> Result<(), String> {
-    let scenario =
-        load_or_sample_scenario(&opts.scenario, opts.servers, opts.users, opts.data, opts.seed)?;
+    let base = SyntheticEua::default();
+    let scale = match (opts.scale_servers, opts.scale_users) {
+        (None, None) => None,
+        (s, u) => Some((s.unwrap_or(base.num_servers), u.unwrap_or(base.num_users))),
+    };
+    let scenario = load_or_sample_scenario(
+        &opts.scenario,
+        opts.servers,
+        opts.users,
+        opts.data,
+        scale,
+        opts.seed,
+    )?;
     let num_data = scenario.num_data();
     if num_data == 0 {
         return Err("serve needs a scenario with at least one data item".into());
@@ -507,7 +533,7 @@ fn chaos_dry_run(
     density: f64,
     net_seed: u64,
 ) -> Result<(), String> {
-    let scenario = load_or_sample_scenario(&scenario, servers, users, data, seed)?;
+    let scenario = load_or_sample_scenario(&scenario, servers, users, data, None, seed)?;
     let problem = build_problem(scenario, density, net_seed);
     let plan = FaultSpec::parse(spec)
         .and_then(|s| s.compile(problem.topology.graph()))
@@ -597,6 +623,8 @@ mod tests {
                 servers: 8,
                 users: 30,
                 data: 3,
+                scale_servers: None,
+                scale_users: None,
                 seed: 42,
                 ticks: 10,
                 density: 1.0,
@@ -628,6 +656,8 @@ mod tests {
             servers: 8,
             users: 30,
             data: 3,
+            scale_servers: None,
+            scale_users: None,
             seed: 42,
             ticks: 10,
             density: 1.0,
@@ -685,6 +715,8 @@ mod tests {
                 servers: 10,
                 users: 40,
                 data: 6,
+                scale_servers: None,
+                scale_users: None,
                 seed: 42,
                 ticks: 30,
                 density: 1.0,
@@ -712,6 +744,8 @@ mod tests {
             servers: 8,
             users: 30,
             data: 3,
+            scale_servers: None,
+            scale_users: None,
             seed: 42,
             ticks: 5,
             density: 1.0,
@@ -736,6 +770,19 @@ mod tests {
     #[test]
     fn oversized_generate_is_rejected() {
         assert!(generate(1000, 10, 2, 1, None).is_err());
+    }
+
+    #[test]
+    fn scaled_geography_lifts_the_site_cap() {
+        // `--servers` beyond the 125-site extract fails on the default
+        // geography and points at the fix …
+        let err = load_or_sample_scenario(&None, 200, 100, 2, None, 1).unwrap_err();
+        assert!(err.contains("--scale-servers"), "{err}");
+        // … and succeeds once the base population is scaled up.
+        let s = load_or_sample_scenario(&None, 200, 150, 2, Some((300, 400)), 1).unwrap();
+        assert_eq!(s.num_servers(), 200);
+        assert_eq!(s.num_users(), 150);
+        assert!(s.validate().is_ok());
     }
 
     #[test]

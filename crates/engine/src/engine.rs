@@ -352,7 +352,16 @@ impl Engine {
             scenario.users[j].position
         };
         debug_assert!(self.problem.scenario.area.contains(moved));
-        self.problem.radio.update_user(&self.problem.scenario, user);
+        // Restricted gain refresh: every consumer of the gain table — the
+        // game's best-response scans, the interference field and the audit's
+        // reference SINR — only reads (server, user) pairs within 3× the
+        // maximum coverage radius of the user's current position, so
+        // refreshing the spatial index's candidate superset is bit-identical
+        // to the full O(N) column refresh for every entry ever read.
+        match self.problem.scenario.coverage.gain_refresh_candidates(moved) {
+            Some(near) => self.problem.radio.update_user_among(&self.problem.scenario, user, &near),
+            None => self.problem.radio.update_user(&self.problem.scenario, user),
+        }
 
         // Constraint (1): a decision whose server no longer covers the user
         // is infeasible and must be released before the field is rebuilt.
@@ -401,11 +410,23 @@ impl Engine {
 
     /// Re-derives `problem.topology` from the healthy baseline through the
     /// current fault overlay (all-pairs recompute on the surviving graph).
+    /// Used for server-scoped faults, which change many links at once.
     fn rebuild_topology(&mut self) {
         let cloud_speed = self.problem.topology.cloud_speed();
         let path_model = self.problem.topology.path_model();
         self.problem.topology =
             self.faults.effective_topology(&self.base_graph, cloud_speed, path_model);
+    }
+
+    /// Incremental counterpart of [`Engine::rebuild_topology`] for faults
+    /// scoped to the single link `{a, b}`: derives the surviving graph from
+    /// the overlay as usual, but repairs only the all-pairs rows that could
+    /// route through the changed link (`Topology::apply_link_update`, which
+    /// is bitwise equal to the full rebuild — the chaos proptests compare
+    /// the live matrix against a from-scratch recompute exactly).
+    fn update_topology_for_link(&mut self, a: ServerId, b: ServerId) {
+        let graph = self.faults.effective_graph(&self.base_graph);
+        self.problem.topology.apply_link_update(graph, a, b);
     }
 
     /// A placement repair triggered by a fault: same machinery as churn
@@ -425,7 +446,7 @@ impl Engine {
         }
         self.faults.set_link(index, LinkState::Down);
         self.metrics.link_faults += 1;
-        self.rebuild_topology();
+        self.update_topology_for_link(a, b);
         self.refresh_placement_after_fault();
     }
 
@@ -438,7 +459,7 @@ impl Engine {
         self.metrics.restorations += 1;
         // Paths are back; the next placement repair or checkpoint reclaims
         // the capacity — restoration itself must not thrash the strategy.
-        self.rebuild_topology();
+        self.update_topology_for_link(a, b);
     }
 
     fn apply_link_degrade(&mut self, a: ServerId, b: ServerId, factor: f64) {
@@ -451,7 +472,7 @@ impl Engine {
         }
         self.faults.set_link(index, LinkState::Degraded(factor));
         self.metrics.link_faults += 1;
-        self.rebuild_topology();
+        self.update_topology_for_link(a, b);
         self.refresh_placement_after_fault();
     }
 
@@ -916,6 +937,95 @@ mod tests {
         assert!(e.problem().topology.unit_cost(link.a, link.b) >= healthy_cost);
         e.apply(&Event::LinkDegrade { a: link.a, b: link.b, factor: 0.0 }); // garbage
         assert_eq!(e.metrics().link_faults, 2);
+    }
+
+    /// Satellite audit of `apply_move`'s out-of-coverage release: the move
+    /// handler clears the infeasible decision via `allocation.set(user,
+    /// None)` *without* an explicit field deallocation — which is sound
+    /// because `repair` always rebuilds the interference field from the
+    /// allocation (no field persists between events), the same discipline
+    /// `apply_depart` relies on. This regression test pins that soundness:
+    /// a user flung outside every coverage disc ends up unallocated, the
+    /// induced field passes `consistency_check`, and the full Auditor
+    /// (including the Eq. 2–4 reference SINR, which also exercises the
+    /// restricted gain refresh) stays clean.
+    #[test]
+    fn move_out_of_all_coverage_releases_the_allocation_cleanly() {
+        use idde_model::{MegaBytes, MegaBytesPerSec, Rect, ScenarioBuilder, Watts};
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let mut b = ScenarioBuilder::new();
+        b.server(Point::new(0.0, 0.0), 150.0, 3, MegaBytesPerSec(200.0), MegaBytes(100.0));
+        b.server(Point::new(200.0, 0.0), 150.0, 3, MegaBytesPerSec(200.0), MegaBytes(100.0));
+        let users: Vec<UserId> = (0..6)
+            .map(|j| b.user(Point::new(20.0 * j as f64, 10.0), Watts(1.0), MegaBytesPerSec(200.0)))
+            .collect();
+        let d0 = b.data(MegaBytes(30.0));
+        for &u in &users {
+            b.request(u, d0);
+        }
+        let scenario = b.area(Rect::with_size(3_000.0, 3_000.0)).build().unwrap();
+        let problem = Problem::standard(scenario, &mut rng);
+        let mut e = Engine::new(
+            problem,
+            EngineConfig { paranoid: true, audit_every: 1, ..Default::default() },
+            vec![true; 6],
+        );
+        let user = users[0];
+        assert!(e.allocation().decision(user).is_some(), "covered user starts allocated");
+        e.apply(&Event::Move { user, dx: 2_900.0, dy: 2_900.0 });
+        assert!(
+            e.problem().scenario.coverage.servers_of(user).is_empty(),
+            "the move must leave the user outside every coverage disc"
+        );
+        assert_eq!(e.allocation().decision(user), None, "infeasible decision must be released");
+        let field = InterferenceField::from_allocation(
+            &e.problem().radio,
+            &e.problem().scenario,
+            e.allocation(),
+        );
+        assert!(field.consistency_check(), "no stale occupant may survive the release");
+        assert_eq!(e.metrics().audit_violations, 0);
+        let report = e.run_audit();
+        assert!(report.is_clean(), "{report}");
+        assert!(e.problem().is_feasible(&e.strategy()));
+    }
+
+    /// The incremental single-link repair inside the engine stays bitwise
+    /// equal to a from-scratch all-pairs rebuild on the surviving graph
+    /// through a cut → degrade → restore sequence.
+    #[test]
+    fn incremental_link_repair_matches_full_rebuild() {
+        let problem = small_problem(13);
+        let m = problem.scenario.num_users();
+        let mut e = Engine::new(problem, EngineConfig::default(), vec![true; m]);
+        let links: Vec<_> = e.base_graph().links().to_vec();
+        let first = links[0];
+        let last = links[links.len() - 1];
+        let script = [
+            Event::LinkDown { a: first.a, b: first.b },
+            Event::LinkDegrade { a: last.a, b: last.b, factor: 0.5 },
+            Event::LinkRestore { a: first.a, b: first.b },
+            Event::LinkRestore { a: last.a, b: last.b },
+        ];
+        for event in script {
+            e.apply(&event);
+            let live = &e.problem().topology;
+            let rebuilt = e.faults().effective_topology(
+                e.base_graph(),
+                live.cloud_speed(),
+                live.path_model(),
+            );
+            for o in e.problem().scenario.server_ids() {
+                for i in e.problem().scenario.server_ids() {
+                    assert_eq!(
+                        live.try_unit_cost(o, i),
+                        rebuilt.try_unit_cost(o, i),
+                        "{o}->{i} after {event:?}"
+                    );
+                }
+            }
+        }
+        assert!(e.faults().is_healthy());
     }
 
     #[test]

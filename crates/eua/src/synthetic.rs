@@ -123,6 +123,29 @@ impl SyntheticEua {
         population
     }
 
+    /// A density-preserving enlargement of the default CBD geography to
+    /// `num_servers` sites and `num_users` users — the "large geography"
+    /// behind the scaling sweeps and the CI scale job.
+    ///
+    /// Width and height grow by `sqrt(num_servers / 125)` so the server
+    /// density (sites per km²) matches the EUA extract, and the hotspot
+    /// count grows with the area so user clustering stays comparable.
+    /// Coverage radii, jitter and the hotspot mixture are unchanged.
+    pub fn scaled(num_servers: usize, num_users: usize) -> Self {
+        let base = Self::default();
+        let factor = (num_servers as f64 / base.num_servers as f64).sqrt().max(1.0);
+        let num_hotspots =
+            ((base.num_hotspots as f64 * factor * factor).round() as usize).max(base.num_hotspots);
+        Self {
+            width_m: base.width_m * factor,
+            height_m: base.height_m * factor,
+            num_servers,
+            num_users,
+            num_hotspots,
+            ..base
+        }
+    }
+
     /// Convenience: generate the base population and immediately draw one
     /// experiment scenario with `n` servers, `m` users and `k` data items
     /// using the paper's §4.2/§4.3 settings (see [`crate::sampling`]).
@@ -184,6 +207,33 @@ mod tests {
         assert_eq!(a.server_sites, b.server_sites);
         assert_eq!(a.user_sites, b.user_sites);
         assert_eq!(a.coverage_radii_m, b.coverage_radii_m);
+    }
+
+    #[test]
+    fn scaled_preserves_density_and_shape() {
+        let base = SyntheticEua::default();
+        let big = SyntheticEua::scaled(2_000, 50_000);
+        assert_eq!(big.num_servers, 2_000);
+        assert_eq!(big.num_users, 50_000);
+        // 2000 / 125 = 16 → linear factor 4.
+        assert!((big.width_m - base.width_m * 4.0).abs() < 1e-9);
+        assert!((big.height_m - base.height_m * 4.0).abs() < 1e-9);
+        // Server density per unit area is preserved.
+        let base_density = base.num_servers as f64 / (base.width_m * base.height_m);
+        let big_density = big.num_servers as f64 / (big.width_m * big.height_m);
+        assert!((base_density - big_density).abs() / base_density < 1e-9);
+        // Hotspots scale with area (16×).
+        assert_eq!(big.num_hotspots, base.num_hotspots * 16);
+        // Radii unchanged — coverage degree stays EUA-like.
+        assert_eq!(big.coverage_radius_m, base.coverage_radius_m);
+
+        // Shrinking below the default never shrinks the area.
+        let small = SyntheticEua::scaled(50, 100);
+        assert!((small.width_m - base.width_m).abs() < 1e-9);
+        let pop = SyntheticEua::scaled(500, 1_000).generate(&mut rng(7));
+        assert_eq!(pop.num_server_sites(), 500);
+        assert_eq!(pop.num_user_sites(), 1_000);
+        assert!(pop.covered_fraction() > 0.9, "covered = {}", pop.covered_fraction());
     }
 
     #[test]

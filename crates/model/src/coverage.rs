@@ -7,12 +7,143 @@
 //! two adjacency lists because both directions are hot: the game iterates
 //! `V_j` per user, the interference field iterates `U_i` per server.
 
+use crate::geometry::Point;
 use crate::ids::{ServerId, UserId};
 use crate::server::EdgeServer;
+use crate::spatial::{FrozenGrid, SpatialGrid};
 use crate::user::User;
 
+/// Spatial acceleration for the coverage relation: a static server grid and
+/// a dynamic user grid sharing the same geometry, with cells at least the
+/// largest coverage radius on a side. Any server covering a point is then
+/// within Chebyshev distance 1 of the point's cell (and vice versa for the
+/// users a server's disc can contain), so every geometric query reduces to
+/// a 3×3 candidate lookup.
+#[derive(Clone, Debug)]
+struct CoverageIndex {
+    /// Static buckets of server ids, built over the server-site bounding
+    /// box and frozen into a CSR layout (servers never move), so the 3×3
+    /// gather on the mobility hot path reads three contiguous id ranges.
+    servers: FrozenGrid,
+    /// Dynamic buckets of user ids over the same grid geometry. Users
+    /// outside the server bounding box are clamped to border cells, which
+    /// preserves the neighbour invariant for server-centred queries.
+    users: SpatialGrid,
+    /// Current bucket of each user in `users`, so a mobility update does not
+    /// need the old position.
+    user_cell: Vec<usize>,
+    /// Per-cell candidate stencil in CSR form: cell `c`'s 3×3 candidate
+    /// window is `cand[cand_starts[c]..cand_starts[c + 1]]`, precomputed at
+    /// build time (servers never move). A coverage query is then a single
+    /// contiguous row scan — no bucket indirection on the hot path.
+    cand_starts: Vec<u32>,
+    /// Stencil payload `(site, radius², id)` per candidate. Filtering reads
+    /// only this packed array instead of the full [`EdgeServer`] records;
+    /// the predicate (`distance_sq ≤ r·r`) is the same float expression as
+    /// [`EdgeServer::covers`], so grid and brute paths agree bitwise.
+    cand: Vec<(Point, f64, u32)>,
+    /// Reused candidate buffer — amortises the per-event allocation on the
+    /// mobility hot path.
+    scratch: Vec<u32>,
+}
+
+impl CoverageIndex {
+    /// Builds the index, or `None` when the geometry cannot support it
+    /// (no servers, or a non-finite/non-positive maximum radius) — callers
+    /// fall back to the brute-force scans.
+    fn build(servers: &[EdgeServer], users: &[User]) -> Option<Self> {
+        let max_radius = servers.iter().map(|s| s.coverage_radius_m).fold(0.0_f64, f64::max);
+        if !(max_radius.is_finite() && max_radius > 0.0) {
+            return None;
+        }
+        debug_assert!(
+            servers.iter().enumerate().all(|(i, s)| s.id.index() == i),
+            "spatial index requires dense server ids in slice order"
+        );
+        debug_assert!(
+            users.iter().enumerate().all(|(j, u)| u.id.index() == j),
+            "spatial index requires dense user ids in slice order"
+        );
+        let sites: Vec<Point> = servers.iter().map(|s| s.position).collect();
+        let server_grid = SpatialGrid::build(&sites, max_radius)?;
+        let mut user_grid = server_grid.empty_like();
+        let server_grid = server_grid.freeze();
+        let mut user_cell = Vec::with_capacity(users.len());
+        for (j, user) in users.iter().enumerate() {
+            if !user.position.is_finite() {
+                return None;
+            }
+            user_cell.push(user_grid.insert(j as u32, user.position));
+        }
+        let (cand_starts, mut stencil) = server_grid.stencil(1);
+        // Pre-sort each stencil row by id: the covering subset of a sorted
+        // row is sorted, so the hot query needs no sort of its own.
+        for w in cand_starts.windows(2) {
+            stencil[w[0] as usize..w[1] as usize].sort_unstable();
+        }
+        let cand = stencil
+            .iter()
+            .map(|&raw| {
+                let s = &servers[raw as usize];
+                (s.position, s.coverage_radius_m * s.coverage_radius_m, raw)
+            })
+            .collect();
+        Some(Self {
+            servers: server_grid,
+            users: user_grid,
+            user_cell,
+            cand_starts,
+            cand,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Rebuckets a user after a mobility event (same-cell moves are free).
+    fn move_user(&mut self, user: usize, position: Point) {
+        self.user_cell[user] = self.users.relocate(self.user_cell[user], user as u32, position);
+    }
+
+    /// Takes the scratch buffer, filled with the *sorted covering servers*
+    /// of `position`: one contiguous scan of the clamped cell's stencil
+    /// row, distance-filtered in place. Return it via
+    /// [`CoverageIndex::restore_scratch`]. Taking the buffer out ends the
+    /// index borrow, so callers can mutate the adjacency lists while
+    /// iterating it.
+    fn take_covering_servers(&mut self, position: Point) -> Vec<u32> {
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        let cell = self.servers.clamped_cell(position);
+        let row = &self.cand[self.cand_starts[cell] as usize..self.cand_starts[cell + 1] as usize];
+        for &(site, r_sq, raw) in row {
+            if site.distance_sq(position) <= r_sq {
+                out.push(raw);
+            }
+        }
+        // Stencil rows are pre-sorted by id, so the covering subset is
+        // already in ascending order.
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        out
+    }
+
+    /// Takes the scratch buffer, filled with the *unsorted user candidates*
+    /// a server disc centred at `position` could contain (assuming the user
+    /// grid reflects current positions). Return it via
+    /// [`CoverageIndex::restore_scratch`].
+    fn take_user_candidates(&mut self, position: Point) -> Vec<u32> {
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        self.users.gather(position, 1, &mut out);
+        out
+    }
+
+    /// Hands the scratch buffer back for reuse by the next event.
+    fn restore_scratch(&mut self, buf: Vec<u32>) {
+        self.scratch = buf;
+    }
+}
+
 /// Materialised bidirectional coverage adjacency.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct CoverageMap {
     /// `servers_of[j]` = sorted servers covering user `j` (the paper's `V_j`).
     servers_of: Vec<Vec<ServerId>>,
@@ -23,26 +154,70 @@ pub struct CoverageMap {
     /// everything derived from it: best responses, dirty sets, audits —
     /// automatically excludes them.
     disabled: Vec<bool>,
+    /// Spatial acceleration; `None` when the map was built without geometry
+    /// ([`CoverageMap::from_adjacency`], [`CoverageMap::compute_brute_force`])
+    /// or the geometry is degenerate, in which case every query falls back
+    /// to the original full scans.
+    index: Option<CoverageIndex>,
+}
+
+/// Equality is over the materialised relation (adjacency + disabled mask)
+/// only: a grid-backed map and a brute-force map describing the same
+/// relation compare equal, which is exactly what the differential tests
+/// assert.
+impl PartialEq for CoverageMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.servers_of == other.servers_of
+            && self.users_of == other.users_of
+            && self.disabled == other.disabled
+    }
 }
 
 impl CoverageMap {
     /// Computes the coverage relation from server and user geometry.
     ///
-    /// Complexity is `O(N·M)` distance checks, which is negligible next to
-    /// the allocation game for the paper's scales (`N ≤ 50`, `M ≤ 350`).
+    /// Every server is treated as *enabled*: the relation is the fault-free
+    /// one, and callers holding a faulted scenario must replay
+    /// [`CoverageMap::disable_server`] for each downed server afterwards
+    /// (the chaos tests pin exactly this rebuild recipe).
+    ///
+    /// A uniform-grid spatial index (cell size = max coverage radius) is
+    /// built alongside the adjacency, so the cost is `O(N + M + Σ|V_j|)`
+    /// candidate checks instead of `O(N·M)` distance checks; degenerate
+    /// geometry falls back to [`CoverageMap::compute_brute_force`].
     pub fn compute(servers: &[EdgeServer], users: &[User]) -> Self {
         let mut servers_of = vec![Vec::new(); users.len()];
         let mut users_of = vec![Vec::new(); servers.len()];
-        for user in users {
-            for server in servers {
-                if server.covers(user.position) {
-                    servers_of[user.id.index()].push(server.id);
-                    users_of[server.id.index()].push(user.id);
+        let mut index = CoverageIndex::build(servers, users);
+        match index.as_mut() {
+            Some(idx) => {
+                for user in users {
+                    let near = idx.take_covering_servers(user.position);
+                    for &raw in &near {
+                        // Users arrive in ascending id order, so `users_of`
+                        // rows stay sorted without a search.
+                        servers_of[user.id.index()].push(ServerId(raw));
+                        users_of[raw as usize].push(user.id);
+                    }
+                    idx.restore_scratch(near);
                 }
             }
+            None => fill_brute_force(servers, users, &mut servers_of, &mut users_of),
         }
         let disabled = vec![false; servers.len()];
-        Self { servers_of, users_of, disabled }
+        Self { servers_of, users_of, disabled, index }
+    }
+
+    /// Computes the coverage relation with the original exhaustive `O(N·M)`
+    /// scan and **no** spatial index: every later query on the returned map
+    /// also takes the linear-scan path. This is the differential-testing
+    /// oracle the grid-backed fast path is checked against.
+    pub fn compute_brute_force(servers: &[EdgeServer], users: &[User]) -> Self {
+        let mut servers_of = vec![Vec::new(); users.len()];
+        let mut users_of = vec![Vec::new(); servers.len()];
+        fill_brute_force(servers, users, &mut servers_of, &mut users_of);
+        let disabled = vec![false; servers.len()];
+        Self { servers_of, users_of, disabled, index: None }
     }
 
     /// Builds a coverage map directly from adjacency lists (used by tests and
@@ -58,7 +233,7 @@ impl CoverageMap {
             }
         }
         let disabled = vec![false; num_servers];
-        Self { servers_of, users_of, disabled }
+        Self { servers_of, users_of, disabled, index: None }
     }
 
     /// Removes a downed server from the relation: every `V_j` loses it and
@@ -80,6 +255,11 @@ impl CoverageMap {
 
     /// Re-admits a restored server, re-deriving its rows from geometry
     /// (users may have moved while it was down). Idempotent.
+    ///
+    /// With a spatial index only the users bucketed in the server's 3×3
+    /// cell neighbourhood are tested (the user grid tracks every mobility
+    /// event through [`CoverageMap::update_user`], so it reflects current
+    /// positions); otherwise all of `users` are scanned.
     pub fn enable_server(&mut self, server: &EdgeServer, users: &[User]) {
         let i = server.id.index();
         if !self.disabled[i] {
@@ -87,12 +267,34 @@ impl CoverageMap {
         }
         self.disabled[i] = false;
         debug_assert!(self.users_of[i].is_empty(), "disabled server kept users");
-        for user in users {
-            if server.covers(user.position) {
-                self.users_of[i].push(user.id);
-                let list = &mut self.servers_of[user.id.index()];
-                if let Err(pos) = list.binary_search(&server.id) {
-                    list.insert(pos, server.id);
+        let candidates = self.index.as_mut().map(|idx| idx.take_user_candidates(server.position));
+        match candidates {
+            Some(near) => {
+                for &raw in &near {
+                    let user = &users[raw as usize];
+                    debug_assert_eq!(user.id.index(), raw as usize);
+                    if server.covers(user.position) {
+                        self.users_of[i].push(user.id);
+                        let list = &mut self.servers_of[raw as usize];
+                        if let Err(pos) = list.binary_search(&server.id) {
+                            list.insert(pos, server.id);
+                        }
+                    }
+                }
+                // Candidates arrive in bucket order; restore the sorted-row
+                // invariant on the one row rebuilt here.
+                self.users_of[i].sort_unstable();
+                self.index.as_mut().expect("index checked above").restore_scratch(near);
+            }
+            None => {
+                for user in users {
+                    if server.covers(user.position) {
+                        self.users_of[i].push(user.id);
+                        let list = &mut self.servers_of[user.id.index()];
+                        if let Err(pos) = list.binary_search(&server.id) {
+                            list.insert(pos, server.id);
+                        }
+                    }
                 }
             }
         }
@@ -113,31 +315,103 @@ impl CoverageMap {
             .map(|(i, _)| ServerId::from_index(i))
     }
 
-    /// Recomputes the relation rows touched by a single user's movement in
-    /// `O(N + Σ|U_i|)` instead of the full `O(N·M)` rebuild — the hook the
-    /// online serving engine uses on every mobility event. `user` must
-    /// already carry its new position.
+    /// Recomputes the relation rows touched by a single user's movement —
+    /// the hook the online serving engine uses on every mobility event.
+    /// `user` must already carry its new position.
+    ///
+    /// The new covering set is *diffed* against the old row, so only the
+    /// `U_i` rows whose membership actually changed are edited — a mobility
+    /// step that stays within the same coverage set costs `O(|V_j|)`
+    /// comparisons and zero row edits. With a spatial index the covering
+    /// set comes from a 3×3 candidate gather (per-event cost independent of
+    /// the total server count); maps without an index keep the original
+    /// `O(N)` scan to find it. Disabled servers are excluded in both paths,
+    /// matching [`CoverageMap::disable_server`]'s contract.
     pub fn update_user(&mut self, servers: &[EdgeServer], user: &User) {
         let j = user.id.index();
-        for &old in &self.servers_of[j] {
-            let list = &mut self.users_of[old.index()];
-            if let Ok(pos) = list.binary_search(&user.id) {
-                list.remove(pos);
+        // New covering set as sorted raw server ids (disabled excluded).
+        let mut near = match self.index.as_mut() {
+            Some(idx) => {
+                idx.move_user(j, user.position);
+                idx.take_covering_servers(user.position)
             }
-        }
-        self.servers_of[j].clear();
-        for server in servers {
-            if self.disabled[server.id.index()] {
-                continue;
+            None => {
+                let mut out = Vec::with_capacity(self.servers_of[j].len() + 4);
+                for server in servers {
+                    if server.covers(user.position) {
+                        out.push(server.id.0);
+                    }
+                }
+                out
             }
-            if server.covers(user.position) {
-                self.servers_of[j].push(server.id);
-                let list = &mut self.users_of[server.id.index()];
+        };
+        near.retain(|&raw| {
+            let keep = !self.disabled[raw as usize];
+            debug_assert!(
+                keep || self.users_of[raw as usize].is_empty(),
+                "disabled server kept users"
+            );
+            keep
+        });
+        // Two-pointer diff of the (sorted) old and new rows: remove the
+        // user from servers it left, insert it into servers it entered.
+        let mut row = std::mem::take(&mut self.servers_of[j]);
+        let (mut a, mut b) = (0, 0);
+        while a < row.len() || b < near.len() {
+            let old_id = row.get(a).map(|s| s.0);
+            let new_id = near.get(b).copied();
+            if old_id == new_id {
+                a += 1;
+                b += 1;
+            } else if old_id.is_some() && new_id.is_none_or(|n| old_id.unwrap() < n) {
+                // Left this server's disc: drop the user from its row.
+                let list = &mut self.users_of[old_id.unwrap() as usize];
+                if let Ok(pos) = list.binary_search(&user.id) {
+                    list.remove(pos);
+                }
+                a += 1;
+            } else {
+                // Entered this server's disc: insert in sorted position.
+                let n = new_id.expect("loop condition guarantees one side remains");
+                let list = &mut self.users_of[n as usize];
                 if let Err(pos) = list.binary_search(&user.id) {
                     list.insert(pos, user.id);
                 }
+                b += 1;
             }
         }
+        row.clear();
+        row.extend(near.iter().map(|&raw| ServerId(raw)));
+        self.servers_of[j] = row;
+        if let Some(idx) = self.index.as_mut() {
+            idx.restore_scratch(near);
+        }
+    }
+
+    /// Candidate servers for a restricted per-move radio gain refresh:
+    /// every server bucketed within Chebyshev distance 3 of `position`'s
+    /// cell, sorted — a superset of all servers within `3 × max coverage
+    /// radius` of the position (cells are at least one max-radius wide).
+    /// Every consumer of the gain table (the game's best-response scans,
+    /// the interference field, the audit's reference SINR) only reads
+    /// `(server, user)` pairs within that ball, so refreshing exactly this
+    /// candidate set after a move is bit-identical, for every entry ever
+    /// read, to refreshing all `N` servers. Disabled servers are included
+    /// (their gains must stay fresh for later re-enablement). Returns
+    /// `None` when the map carries no index — callers then refresh all
+    /// servers.
+    pub fn gain_refresh_candidates(&self, position: Point) -> Option<Vec<ServerId>> {
+        let idx = self.index.as_ref()?;
+        let mut raw = Vec::new();
+        idx.servers.gather(position, 3, &mut raw);
+        raw.sort_unstable();
+        Some(raw.into_iter().map(ServerId).collect())
+    }
+
+    /// Whether the map carries a live spatial index (false for adjacency-
+    /// built maps, the brute-force oracle, and degenerate geometry).
+    pub fn has_spatial_index(&self) -> bool {
+        self.index.is_some()
     }
 
     /// Servers covering the given user — the paper's `V_j`.
@@ -186,6 +460,23 @@ impl CoverageMap {
     /// Number of server rows in the relation.
     pub fn num_servers(&self) -> usize {
         self.users_of.len()
+    }
+}
+
+/// The original exhaustive scan filling both adjacency directions.
+fn fill_brute_force(
+    servers: &[EdgeServer],
+    users: &[User],
+    servers_of: &mut [Vec<ServerId>],
+    users_of: &mut [Vec<UserId>],
+) {
+    for user in users {
+        for server in servers {
+            if server.covers(user.position) {
+                servers_of[user.id.index()].push(server.id);
+                users_of[server.id.index()].push(user.id);
+            }
+        }
     }
 }
 
@@ -299,5 +590,95 @@ mod tests {
             cov.update_user(&servers, &users[1]);
             assert_eq!(cov, CoverageMap::compute(&servers, &users), "at ({x},{y})");
         }
+    }
+
+    /// A deterministic pseudo-random mix of radii and positions: the
+    /// grid-backed map must equal the brute-force oracle after compute and
+    /// after every mobility / disable / enable step.
+    #[test]
+    fn grid_matches_brute_force_under_churn() {
+        let mut x = 0x2545F4914F6CDD1D_u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let servers: Vec<EdgeServer> = (0..30)
+            .map(|i| server(i, next() * 2_000.0, next() * 1_500.0, 50.0 + next() * 400.0))
+            .collect();
+        let mut users: Vec<User> =
+            (0..80).map(|j| user(j, next() * 2_200.0, next() * 1_700.0)).collect();
+        let mut grid = CoverageMap::compute(&servers, &users);
+        let mut brute = CoverageMap::compute_brute_force(&servers, &users);
+        assert!(grid.has_spatial_index());
+        assert!(!brute.has_spatial_index());
+        assert_eq!(grid, brute);
+        for step in 0..200 {
+            match step % 5 {
+                4 => {
+                    let i = (next() * servers.len() as f64) as usize % servers.len();
+                    if grid.is_enabled(ServerId(i as u32)) {
+                        grid.disable_server(ServerId(i as u32));
+                        brute.disable_server(ServerId(i as u32));
+                    } else {
+                        grid.enable_server(&servers[i], &users);
+                        brute.enable_server(&servers[i], &users);
+                    }
+                }
+                _ => {
+                    let j = (next() * users.len() as f64) as usize % users.len();
+                    // Occasionally step far outside the server bounding box
+                    // to exercise the clamped user buckets.
+                    let span = if step % 7 == 0 { 6_000.0 } else { 2_200.0 };
+                    users[j].position = Point::new(next() * span - 500.0, next() * span - 500.0);
+                    grid.update_user(&servers, &users[j]);
+                    brute.update_user(&servers, &users[j]);
+                }
+            }
+            assert_eq!(grid, brute, "diverged at step {step}");
+        }
+    }
+
+    /// The canonical rebuild recipe for a faulted relation — `compute`
+    /// (all-enabled) plus a `disable_server` replay — matches the
+    /// incrementally maintained state. `compute` alone must *not*: it
+    /// resurrects downed servers by design.
+    #[test]
+    fn faulted_rebuild_recipe_requires_disable_replay() {
+        let servers = vec![server(0, 0.0, 0.0, 100.0), server(1, 150.0, 0.0, 100.0)];
+        let mut users = vec![user(0, 10.0, 0.0), user(1, 75.0, 0.0)];
+        let mut cov = CoverageMap::compute(&servers, &users);
+        cov.disable_server(ServerId(0));
+        users[1].position = Point::new(20.0, 0.0);
+        cov.update_user(&servers, &users[1]);
+
+        let plain = CoverageMap::compute(&servers, &users);
+        assert_ne!(cov, plain, "compute ignores the disabled set by contract");
+        let mut replayed = CoverageMap::compute(&servers, &users);
+        for s in cov.disabled_servers().collect::<Vec<_>>() {
+            replayed.disable_server(s);
+        }
+        assert_eq!(cov, replayed);
+    }
+
+    #[test]
+    fn gain_refresh_candidates_cover_the_triple_radius_ball() {
+        let servers: Vec<EdgeServer> = (0..12)
+            .map(|i| server(i, (i as f64) * 130.0, ((i * 7) % 5) as f64 * 90.0, 100.0))
+            .collect();
+        let users = vec![user(0, 300.0, 100.0)];
+        let cov = CoverageMap::compute(&servers, &users);
+        let p = Point::new(310.0, 120.0);
+        let near = cov.gain_refresh_candidates(p).expect("geometric map has an index");
+        assert!(near.windows(2).all(|w| w[0] < w[1]), "candidates must be sorted");
+        for s in &servers {
+            if s.position.distance(p) <= 3.0 * 100.0 {
+                assert!(near.contains(&s.id), "server {} inside 3R ball missed", s.id);
+            }
+        }
+        // Adjacency-built maps have no index and signal the full-refresh path.
+        let adj = CoverageMap::from_adjacency(vec![vec![ServerId(0)]], 12);
+        assert!(adj.gain_refresh_candidates(p).is_none());
     }
 }

@@ -43,6 +43,7 @@ pub mod profile;
 pub mod requests;
 pub mod scenario;
 pub mod server;
+pub mod spatial;
 pub mod svg;
 pub mod testkit;
 pub mod units;
@@ -57,5 +58,6 @@ pub use profile::{Allocation, AllocationDecision, Placement};
 pub use requests::RequestMatrix;
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use server::EdgeServer;
+pub use spatial::{FrozenGrid, SpatialGrid};
 pub use units::{MegaBytes, MegaBytesPerSec, Milliseconds, Watts};
 pub use user::User;

@@ -3,11 +3,13 @@
 //!
 //! Fault injection never mutates the base [`EdgeGraph`] — it owns a small
 //! overlay ([`NetworkFaults`]) of per-link [`LinkState`]s and per-server
-//! liveness bits, and rebuilds an effective [`Topology`] from the overlay
-//! whenever it changes. At the paper's scales (`N ≤ 125`) the all-pairs
-//! recompute is a few milliseconds, far cheaper than maintaining an
-//! incrementally-decremental shortest-path structure, and it is trivially
-//! equal to a from-scratch rebuild — the property the chaos proptests pin.
+//! liveness bits from which the surviving graph is derived. Server-scoped
+//! faults (which change many links at once) rebuild an effective
+//! [`Topology`] from scratch; single-link cuts, restorations and
+//! degradations go through [`Topology::apply_link_update`], which re-runs
+//! the single-source pass only for rows that could route through the
+//! changed link. Both paths are bitwise equal to a from-scratch rebuild —
+//! the property the chaos proptests pin.
 
 use idde_model::{MegaBytesPerSec, ServerId};
 

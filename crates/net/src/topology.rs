@@ -4,7 +4,7 @@
 use idde_model::{DataId, MegaBytes, MegaBytesPerSec, Milliseconds, Placement, ServerId};
 
 use crate::graph::EdgeGraph;
-use crate::shortest::{all_pairs_dijkstra, all_pairs_widest, UNREACHABLE};
+use crate::shortest::{all_pairs_dijkstra, all_pairs_widest, dijkstra, widest_path, UNREACHABLE};
 
 /// How the latency of a multi-hop edge-to-edge path is computed.
 ///
@@ -67,6 +67,80 @@ impl Topology {
             PathModel::StoreAndForward => all_pairs_dijkstra(&graph),
         };
         Self { graph, cloud_speed, path_model, unit_cost }
+    }
+
+    /// Swaps in a new link graph that differs from the current one **only**
+    /// in the links joining the unordered pair `{a, b}` (a single link cut,
+    /// restoration or degradation), repairing the all-pairs matrix
+    /// incrementally: only source rows whose costs could route through the
+    /// changed link re-run their single-source pass; every other row is
+    /// kept verbatim. Returns the number of rows recomputed.
+    ///
+    /// Kept rows are *bitwise* identical to a full
+    /// [`Topology::with_model`] recompute. A row `o` is kept only when, for
+    /// both the old and the new bundle cost `c` of `{a, b}` (the cheapest
+    /// parallel link joining the pair, `∞` when none survives), entering
+    /// the pair from either side cannot compete:
+    /// `combine(cost(o,a), c) > cost(o,b)` **and**
+    /// `combine(cost(o,b), c) > cost(o,a)` (with a small conservative
+    /// slack). Both `+` (store-and-forward) and `max` (pipelined) folds are
+    /// monotone in `f64`, so any path crossing the pair costs at least
+    /// `combine(cost(o, entry), c)` at its exit — if that already exceeds
+    /// the exit's known cost, no old or new optimum crosses the pair and
+    /// the row's attainable path-cost set is unchanged. Rows with both
+    /// endpoints unreachable are always kept (a path to the pair cannot
+    /// exist in either graph).
+    pub fn apply_link_update(&mut self, new_graph: EdgeGraph, a: ServerId, b: ServerId) -> usize {
+        assert_eq!(
+            new_graph.num_nodes(),
+            self.graph.num_nodes(),
+            "link update must preserve the node set"
+        );
+        let bundle_cost = |g: &EdgeGraph| {
+            g.links()
+                .iter()
+                .filter(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+                .map(|l| l.unit_cost())
+                .fold(UNREACHABLE, f64::min)
+        };
+        let c_old = bundle_cost(&self.graph);
+        let c_new = bundle_cost(&new_graph);
+        self.graph = new_graph;
+        if c_old.to_bits() == c_new.to_bits() {
+            return 0;
+        }
+        // Conservative slack: flagging extra rows only costs time, never
+        // correctness, so borderline comparisons round towards "recompute".
+        const SLACK_REL: f64 = 1e-9;
+        const SLACK_ABS: f64 = 1e-9;
+        let model = self.path_model;
+        let combine = |x: f64, c: f64| match model {
+            PathModel::Pipelined => x.max(c),
+            PathModel::StoreAndForward => x + c,
+        };
+        let (ai, bi) = (a.index(), b.index());
+        let mut recomputed = 0;
+        for o in 0..self.unit_cost.len() {
+            let (ra, rb) = (self.unit_cost[o][ai], self.unit_cost[o][bi]);
+            if ra == UNREACHABLE && rb == UNREACHABLE {
+                continue;
+            }
+            let competitive = [c_old, c_new].into_iter().any(|c| {
+                c != UNREACHABLE
+                    && (combine(ra, c) <= rb * (1.0 + SLACK_REL) + SLACK_ABS
+                        || combine(rb, c) <= ra * (1.0 + SLACK_REL) + SLACK_ABS)
+            });
+            if !competitive {
+                continue;
+            }
+            let source = ServerId::from_index(o);
+            self.unit_cost[o] = match model {
+                PathModel::Pipelined => widest_path(&self.graph, source),
+                PathModel::StoreAndForward => dijkstra(&self.graph, source),
+            };
+            recomputed += 1;
+        }
+        recomputed
     }
 
     /// The path cost model in use.
@@ -315,6 +389,96 @@ mod tests {
         let lat = t.edge_latency(MegaBytes(0.0), ServerId(0), ServerId(2));
         assert!(lat.value().is_infinite() && lat.value() > 0.0, "got {lat:?}");
         assert_eq!(t.edge_latency(MegaBytes(0.0), ServerId(0), ServerId(1)).value(), 0.0);
+    }
+
+    /// Exact (bitwise) agreement between the incremental single-link repair
+    /// and a from-scratch rebuild, across both path models, for cut,
+    /// restore and degradation of every link of a small mesh.
+    #[test]
+    fn apply_link_update_matches_full_rebuild_exactly() {
+        let speeds = [3000.0, 6000.0, 2500.0, 4000.0, 5500.0];
+        let base_links: Vec<Link> = [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (1, 3)]
+            .iter()
+            .zip(speeds)
+            .map(|(&(a, b), s)| Link { a: ServerId(a), b: ServerId(b), speed: MegaBytesPerSec(s) })
+            .collect();
+        for model in [PathModel::Pipelined, PathModel::StoreAndForward] {
+            for victim in 0..base_links.len() {
+                for factor in [None, Some(0.25)] {
+                    let healthy = EdgeGraph::new(4, base_links.clone());
+                    let mut topo = Topology::with_model(healthy, MegaBytesPerSec(600.0), model);
+                    let (a, b) = (base_links[victim].a, base_links[victim].b);
+                    // Cut (or degrade) the victim link…
+                    let mutated: Vec<Link> = base_links
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, l)| {
+                            if i != victim {
+                                Some(*l)
+                            } else {
+                                factor.map(|f| Link {
+                                    speed: MegaBytesPerSec(l.speed.value() * f),
+                                    ..*l
+                                })
+                            }
+                        })
+                        .collect();
+                    let degraded = EdgeGraph::new(4, mutated);
+                    topo.apply_link_update(degraded.clone(), a, b);
+                    let full = Topology::with_model(degraded, MegaBytesPerSec(600.0), model);
+                    for o in 0..4 {
+                        for i in 0..4 {
+                            let (o, i) = (ServerId(o), ServerId(i));
+                            assert_eq!(
+                                topo.try_unit_cost(o, i),
+                                full.try_unit_cost(o, i),
+                                "{model:?} victim {victim} factor {factor:?} {o}->{i}"
+                            );
+                        }
+                    }
+                    // …and restore it: costs must return to the healthy
+                    // matrix bit-for-bit.
+                    let healthy = EdgeGraph::new(4, base_links.clone());
+                    topo.apply_link_update(healthy.clone(), a, b);
+                    let reference = Topology::with_model(healthy, MegaBytesPerSec(600.0), model);
+                    for o in 0..4 {
+                        for i in 0..4 {
+                            let (o, i) = (ServerId(o), ServerId(i));
+                            assert_eq!(
+                                topo.try_unit_cost(o, i),
+                                reference.try_unit_cost(o, i),
+                                "restore {model:?} victim {victim} {o}->{i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rows that provably cannot route through the changed link are kept,
+    /// not recomputed — the point of the incremental repair.
+    #[test]
+    fn apply_link_update_skips_unaffected_rows() {
+        // Two far components: {0,1} and {2,3}. Cutting 2-3 cannot touch the
+        // rows of 0 and 1.
+        let links = vec![
+            Link { a: ServerId(0), b: ServerId(1), speed: MegaBytesPerSec(3000.0) },
+            Link { a: ServerId(2), b: ServerId(3), speed: MegaBytesPerSec(6000.0) },
+        ];
+        let mut topo = Topology::with_model(
+            EdgeGraph::new(4, links.clone()),
+            MegaBytesPerSec(600.0),
+            PathModel::Pipelined,
+        );
+        let cut = EdgeGraph::new(4, links[..1].to_vec());
+        let recomputed = topo.apply_link_update(cut, ServerId(2), ServerId(3));
+        assert_eq!(recomputed, 2, "only the rows of servers 2 and 3 may re-run");
+        assert!(topo.try_unit_cost(ServerId(2), ServerId(3)).is_none());
+        assert!(topo.try_unit_cost(ServerId(0), ServerId(1)).is_some());
+        // A no-op swap (identical bundle) recomputes nothing.
+        let same = EdgeGraph::new(4, links[..1].to_vec());
+        assert_eq!(topo.apply_link_update(same, ServerId(2), ServerId(3)), 0);
     }
 
     #[test]

@@ -111,6 +111,26 @@ impl GainTable {
                 model.gain(server.position.distance(position));
         }
     }
+
+    /// Recomputes one user's gains for `servers` only — the restricted
+    /// mobility refresh behind the engine's spatial-index fast path.
+    /// Entries for servers outside the slice keep their previous values
+    /// (stale by design: the caller guarantees no consumer reads them; see
+    /// `CoverageMap::gain_refresh_candidates` in `idde-model`).
+    pub fn update_user_among(
+        &mut self,
+        scenario: &Scenario,
+        model: &dyn GainModel,
+        user: UserId,
+        servers: &[ServerId],
+    ) {
+        let position = scenario.users[user.index()].position;
+        for &s in servers {
+            let server = &scenario.servers[s.index()];
+            self.values[s.index() * self.num_users + user.index()] =
+                model.gain(server.position.distance(position));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +189,29 @@ mod tests {
         for s in &scenario.servers {
             for u in &scenario.users {
                 assert_eq!(table.get(s.id, u.id), fresh.get(s.id, u.id));
+            }
+        }
+    }
+
+    #[test]
+    fn update_user_among_refreshes_exactly_the_named_servers() {
+        let mut scenario = testkit::fig2_example();
+        let model = PowerLaw::new(1.0, 3.0);
+        let mut table = GainTable::compute(&scenario, &model);
+        let stale = table.clone();
+        let user = scenario.users[1].id;
+        scenario.users[1].position = idde_model::Point::new(222.0, 77.0);
+        let subset = vec![scenario.servers[0].id];
+        table.update_user_among(&scenario, &model, user, &subset);
+        let fresh = GainTable::compute(&scenario, &model);
+        for s in &scenario.servers {
+            for u in &scenario.users {
+                let expected = if u.id == user && subset.contains(&s.id) {
+                    fresh.get(s.id, u.id)
+                } else {
+                    stale.get(s.id, u.id)
+                };
+                assert_eq!(table.get(s.id, u.id), expected, "({}, {})", s.id, u.id);
             }
         }
     }

@@ -80,6 +80,23 @@ impl RadioEnvironment {
         self.gains.update_user(scenario, &model, user);
     }
 
+    /// Recomputes one user's gains for the given servers only (power-law
+    /// model) — the spatial-index-restricted variant of
+    /// [`RadioEnvironment::update_user`]. Bit-identical to the full column
+    /// refresh for every refreshed entry; entries outside `servers` are
+    /// left untouched and must never be read by any consumer (the engine
+    /// derives the slice from `CoverageMap::gain_refresh_candidates`, whose
+    /// superset guarantee establishes exactly that).
+    pub fn update_user_among(
+        &mut self,
+        scenario: &Scenario,
+        user: idde_model::UserId,
+        servers: &[idde_model::ServerId],
+    ) {
+        let model = PowerLaw::new(self.params.eta, self.params.loss_exponent);
+        self.gains.update_user_among(scenario, &model, user, servers);
+    }
+
     /// The active jamming floor at `server`, in watts (0 when unjammed).
     #[inline]
     pub fn jamming_floor(&self, server: idde_model::ServerId) -> f64 {

@@ -46,8 +46,10 @@ impl Summary {
         } else {
             0.0
         };
+        // `total_cmp` is a total order (NaN sorts above +inf), so a stray
+        // NaN sample degrades the summary instead of panicking mid-run.
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        sorted.sort_by(f64::total_cmp);
         Self {
             count,
             mean,
@@ -118,5 +120,39 @@ mod tests {
         let a = Summary::of(&[3.0, 1.0, 2.0]);
         let b = Summary::of(&[1.0, 2.0, 3.0]);
         assert_eq!(a, b);
+    }
+
+    /// NaN-bearing samples must not panic (the old `partial_cmp(...).expect`
+    /// sort did): under `total_cmp` positive NaNs sort above `+inf`, so the
+    /// finite order statistics stay meaningful and the NaN surfaces in
+    /// `max`/`mean` where a caller can see it.
+    #[test]
+    fn nan_samples_do_not_panic() {
+        let s = Summary::of(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert!(s.max.is_nan());
+        assert!(s.mean.is_nan());
+        let all_nan = Summary::of(&[f64::NAN]);
+        assert_eq!(all_nan.count, 1);
+        assert!(all_nan.median.is_nan());
+    }
+
+    /// Tiny sample counts: the linear-interpolation index math
+    /// (`pos = q·(n−1)`) is exact at both ends and never indexes out of
+    /// bounds for n = 2 and n = 3.
+    #[test]
+    fn tiny_inputs_interpolate_correctly() {
+        let two = Summary::of(&[1.0, 3.0]);
+        assert!((two.q1 - 1.5).abs() < 1e-12);
+        assert!((two.median - 2.0).abs() < 1e-12);
+        assert!((two.q3 - 2.5).abs() < 1e-12);
+        let three = Summary::of(&[1.0, 2.0, 10.0]);
+        assert!((three.q1 - 1.5).abs() < 1e-12);
+        assert!((three.median - 2.0).abs() < 1e-12);
+        assert!((three.q3 - 6.0).abs() < 1e-12);
+        assert_eq!(three.min, 1.0);
+        assert_eq!(three.max, 10.0);
     }
 }

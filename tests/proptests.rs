@@ -209,6 +209,131 @@ proptest! {
         }
     }
 
+    /// The spatial-grid coverage index agrees with the brute-force oracle
+    /// after any mix of random radii, user walks (including excursions far
+    /// outside the original bounding box) and disable/enable churn.
+    #[test]
+    fn grid_coverage_matches_brute_force_under_churn(
+        server_sites in proptest::collection::vec(
+            (0.0f64..2_000.0, 0.0f64..1_500.0, 40.0f64..500.0), 1..20),
+        user_sites in proptest::collection::vec((0.0f64..2_000.0, 0.0f64..1_500.0), 1..30),
+        steps in proptest::collection::vec(
+            (0usize..64, -900.0f64..900.0, -900.0f64..900.0, 0usize..64, proptest::bool::ANY),
+            0..50,
+        ),
+    ) {
+        use idde::model::{CoverageMap, EdgeServer, MegaBytes, Point, User, Watts};
+        let servers: Vec<EdgeServer> = server_sites
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, r))| EdgeServer {
+                id: ServerId::from_index(i),
+                position: Point::new(x, y),
+                coverage_radius_m: r,
+                num_channels: 3,
+                channel_bandwidth: MegaBytesPerSec(200.0),
+                storage: MegaBytes(100.0),
+            })
+            .collect();
+        let mut users: Vec<User> = user_sites
+            .iter()
+            .enumerate()
+            .map(|(j, &(x, y))| {
+                User::new(UserId::from_index(j), Point::new(x, y), Watts(1.0), MegaBytesPerSec(200.0))
+            })
+            .collect();
+        let mut grid = CoverageMap::compute(&servers, &users);
+        let mut brute = CoverageMap::compute_brute_force(&servers, &users);
+        prop_assert!(grid.has_spatial_index(), "grid path must actually be indexed");
+        prop_assert!(!brute.has_spatial_index(), "oracle must stay brute-force");
+        prop_assert_eq!(&grid, &brute);
+        for (pick, dx, dy, spick, toggle) in steps {
+            if toggle {
+                let i = spick % servers.len();
+                let sid = servers[i].id;
+                if grid.is_enabled(sid) {
+                    grid.disable_server(sid);
+                    brute.disable_server(sid);
+                } else {
+                    grid.enable_server(&servers[i], &users);
+                    brute.enable_server(&servers[i], &users);
+                }
+            } else {
+                let j = pick % users.len();
+                let p = users[j].position;
+                users[j].position = Point::new(p.x + dx, p.y + dy);
+                let user = users[j].clone();
+                grid.update_user(&servers, &user);
+                brute.update_user(&servers, &user);
+            }
+            prop_assert_eq!(&grid, &brute);
+        }
+        // The end state also matches a from-scratch compute with the same
+        // disable set replayed (the documented rebuild recipe).
+        let mut fresh = CoverageMap::compute(&servers, &users);
+        for sid in grid.disabled_servers().collect::<Vec<_>>() {
+            fresh.disable_server(sid);
+        }
+        prop_assert_eq!(&grid, &fresh);
+    }
+
+    /// Incremental all-pairs path repair: after any sequence of single-link
+    /// cuts, restores and degradations, `Topology::apply_link_update` leaves
+    /// exactly the matrix a full recompute on the surviving graph produces.
+    #[test]
+    fn incremental_path_repair_matches_full_recompute(
+        n in 2usize..10,
+        edges in proptest::collection::vec((0u32..10, 0u32..10, 2_000.0f64..6_000.0), 1..24),
+        steps in proptest::collection::vec((0usize..64, 0u8..3), 1..30),
+        pipelined in proptest::bool::ANY,
+    ) {
+        use idde::net::{LinkState, NetworkFaults, PathModel, Topology};
+        let links: Vec<Link> = edges
+            .into_iter()
+            .filter(|&(a, b, _)| a as usize % n != b as usize % n)
+            .map(|(a, b, speed)| Link {
+                a: ServerId(a % n as u32),
+                b: ServerId(b % n as u32),
+                speed: MegaBytesPerSec(speed),
+            })
+            .collect();
+        prop_assume!(!links.is_empty());
+        let base = EdgeGraph::new(n, links.clone());
+        let cloud = MegaBytesPerSec(600.0);
+        let model = if pipelined { PathModel::Pipelined } else { PathModel::StoreAndForward };
+        let mut faults = NetworkFaults::healthy(n, links.len());
+        let mut live = Topology::with_model(base.clone(), cloud, model);
+        for (pick, kind) in steps {
+            let idx = pick % links.len();
+            let state = match kind {
+                0 => LinkState::Down,
+                1 => LinkState::Up,
+                _ => LinkState::Degraded(0.5),
+            };
+            faults.set_link(idx, state);
+            let (a, b) = (links[idx].a, links[idx].b);
+            live.apply_link_update(faults.effective_graph(&base), a, b);
+            let full = Topology::with_model(faults.effective_graph(&base), cloud, model);
+            for i in 0..n {
+                for j in 0..n {
+                    let (from, to) = (ServerId(i as u32), ServerId(j as u32));
+                    let (l, f) = (live.try_unit_cost(from, to), full.try_unit_cost(from, to));
+                    match (l, f) {
+                        (None, None) => {}
+                        (Some(lv), Some(fv)) => prop_assert!(
+                            (lv - fv).abs() <= 1e-12,
+                            "({i},{j}): incremental {lv} vs full {fv}"
+                        ),
+                        other => prop_assert!(
+                            false,
+                            "({i},{j}): reachability diverged: {other:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
     /// Evaluated metrics are always physically sane.
     #[test]
     fn metrics_are_sane_for_every_panelist((seed, problem) in arb_problem()) {
