@@ -218,6 +218,130 @@ impl Auditor {
         report
     }
 
+    /// The cross-shard consistency audit: certifies that K per-shard
+    /// serving states tile one coherent global profile.
+    ///
+    /// `owner[s]` names the shard owning server `s`; `shards[k]` is shard
+    /// `k`'s live `(allocation, active)` pair. Three layers:
+    ///
+    /// 1. **Partition of users** — every user slot is active in at most one
+    ///    shard (a failed handoff leaves it in two).
+    /// 2. **Ownership of decisions** — an active user's decision names a
+    ///    server its own shard owns (halo mirrors are inactive, so they
+    ///    never trip this).
+    /// 3. **Field equality** — the global interference field rebuilt from
+    ///    the union of the shards' active decisions must agree with each
+    ///    shard's locally rebuilt field on every channel of every server
+    ///    that shard owns: occupant lists exactly, per-channel power sums
+    ///    within [`AuditConfig::power_rel_tol`] (1e-12 by default, the same
+    ///    bound the field's own `consistency_check` enforces).
+    ///
+    /// Occupant lists and power sums are functions of the allocation
+    /// profile and the users' transmit powers only — never of positions or
+    /// gains — so `problem` may be any shard's problem clone; the
+    /// bounded-staleness of halo *positions* cannot blur this audit.
+    pub fn audit_cross_shard(
+        &self,
+        problem: &Problem,
+        owner: &[usize],
+        shards: &[(&Allocation, &[bool])],
+    ) -> AuditReport {
+        let scenario = &problem.scenario;
+        assert_eq!(owner.len(), scenario.num_servers(), "owner map must cover every server");
+        let mut report = AuditReport::new();
+
+        // Layer 1: each user active in at most one shard.
+        let mut active_in: Vec<Option<usize>> = vec![None; scenario.num_users()];
+        for (k, &(_, active)) in shards.iter().enumerate() {
+            for (j, &a) in active.iter().enumerate() {
+                if !a {
+                    continue;
+                }
+                let user = UserId(j as u32);
+                match active_in[j] {
+                    Some(first) => report.check(false, || Violation::DuplicateActiveUser {
+                        user,
+                        shards: (first, k),
+                    }),
+                    None => active_in[j] = Some(k),
+                }
+            }
+        }
+
+        // Layer 2 + global profile: active decisions stay inside their
+        // shard's ownership and union into one allocation.
+        let mut global = Allocation::unallocated(scenario.num_users());
+        for (k, &(alloc, active)) in shards.iter().enumerate() {
+            for (user, decision) in alloc.iter() {
+                if !active.get(user.index()).copied().unwrap_or(false) {
+                    continue;
+                }
+                let Some((server, _)) = decision else { continue };
+                report.check(owner[server.index()] == k, || Violation::CrossShardDecision {
+                    user,
+                    server,
+                    shard: k,
+                });
+                if active_in[user.index()] == Some(k) {
+                    global.set(user, decision);
+                }
+            }
+        }
+
+        // Layer 3: the global occupancy/power table rebuilt from the union
+        // profile versus each shard's local table, on the shard's own
+        // servers. These are the exact quantities `InterferenceField`
+        // caches per channel, recomputed here straight from the raw
+        // profiles so a corrupt shard state surfaces as a violation rather
+        // than a rebuild panic.
+        let occupancy = |alloc: &Allocation| -> Vec<Vec<(Vec<UserId>, f64)>> {
+            let mut per: Vec<Vec<(Vec<UserId>, f64)>> = scenario
+                .servers
+                .iter()
+                .map(|s| vec![(Vec::new(), 0.0); s.num_channels as usize])
+                .collect();
+            for (user, decision) in alloc.iter() {
+                let Some((server, channel)) = decision else { continue };
+                if channel.index() >= per[server.index()].len() {
+                    continue; // nonexistent channel: the per-shard field audit flags it
+                }
+                let slot = &mut per[server.index()][channel.index()];
+                slot.0.push(user);
+                slot.1 += scenario.users[user.index()].power.value();
+            }
+            per
+        };
+        let reference = occupancy(&global);
+        for (k, &(alloc, _)) in shards.iter().enumerate() {
+            let local = occupancy(alloc);
+            for server in scenario.server_ids() {
+                if owner[server.index()] != k {
+                    continue;
+                }
+                for channel in scenario.servers[server.index()].channels() {
+                    let (live_users, live_power) = &local[server.index()][channel.index()];
+                    let (ref_users, ref_power) = &reference[server.index()][channel.index()];
+                    report.check(live_users == ref_users, || Violation::OccupantMismatch {
+                        server,
+                        channel,
+                        live: live_users.len(),
+                        rebuilt: ref_users.len(),
+                    });
+                    report.check(close(*live_power, *ref_power, self.config.power_rel_tol), || {
+                        Violation::PowerSumDrift {
+                            server,
+                            channel,
+                            live: *live_power,
+                            rebuilt: *ref_power,
+                        }
+                    });
+                }
+            }
+        }
+
+        report
+    }
+
     /// The fault-mode invariant: a downed server serves nobody and stores
     /// nothing. Run after every outage/restoration to certify that graceful
     /// degradation actually displaced the occupants and stripped the
@@ -457,6 +581,67 @@ mod tests {
         // No declared outages ⇒ trivially clean, zero checks.
         let empty = auditor.audit_liveness(&p.scenario, &alloc, &placement, &[]);
         assert!(empty.is_clean() && empty.checks == 0);
+    }
+
+    #[test]
+    fn cross_shard_audit_certifies_a_clean_tiling_and_flags_breaches() {
+        let p = problem(8);
+        let alloc = IddeUGame::default().run(&p).field.into_allocation();
+        // Tile the servers in two halves by index.
+        let half = p.scenario.num_servers() / 2;
+        let owner: Vec<usize> =
+            (0..p.scenario.num_servers()).map(|s| usize::from(s >= half)).collect();
+        // Each user is active in (and allocated by) the shard owning its
+        // serving server; unallocated users live in shard 0.
+        let mut allocs = [
+            Allocation::unallocated(p.scenario.num_users()),
+            Allocation::unallocated(p.scenario.num_users()),
+        ];
+        let mut actives =
+            [vec![false; p.scenario.num_users()], vec![false; p.scenario.num_users()]];
+        for (user, decision) in alloc.iter() {
+            let k = decision.map_or(0, |(s, _)| owner[s.index()]);
+            allocs[k].set(user, decision);
+            actives[k][user.index()] = true;
+        }
+        let auditor = Auditor::default();
+        let shards = [(&allocs[0], actives[0].as_slice()), (&allocs[1], actives[1].as_slice())];
+        let report = auditor.audit_cross_shard(&p, &owner, &shards);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.checks > 0);
+
+        // Breach 1: a failed handoff leaves a user active in both shards.
+        let twice = alloc.iter().find(|(_, d)| d.is_some()).map(|(u, _)| u).unwrap();
+        let mut dup = actives.clone();
+        dup[0][twice.index()] = true;
+        dup[1][twice.index()] = true;
+        let shards = [(&allocs[0], dup[0].as_slice()), (&allocs[1], dup[1].as_slice())];
+        let report = auditor.audit_cross_shard(&p, &owner, &shards);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateActiveUser { user, .. } if *user == twice)));
+
+        // Breach 2: shard 0 allocates one of its users across the cut. The
+        // ownership layer names the culprit and the field layer sees shard
+        // 1's channel occupancy diverge from the global rebuild.
+        let (stray, (_, x)) = alloc
+            .iter()
+            .find_map(|(u, d)| d.filter(|(s, _)| owner[s.index()] == 0).map(|d| (u, d)))
+            .unwrap();
+        let foreign_server = ServerId::from_index(half);
+        let mut bad = allocs[0].clone();
+        bad.set(stray, Some((foreign_server, x)));
+        let shards = [(&bad, actives[0].as_slice()), (&allocs[1], actives[1].as_slice())];
+        let report = auditor.audit_cross_shard(&p, &owner, &shards);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::CrossShardDecision { user, server, shard: 0 }
+                if *user == stray && *server == foreign_server
+        )));
+        assert!(report.violations.iter().any(
+            |v| matches!(v, Violation::OccupantMismatch { server, .. } if *server == foreign_server)
+        ));
     }
 
     #[test]

@@ -105,6 +105,25 @@ pub enum Violation {
         /// The surviving replica's data item.
         data: DataId,
     },
+    /// A user slot is simultaneously active in two shards — the router's
+    /// ownership handoff failed to pair the depart with the arrive.
+    DuplicateActiveUser {
+        /// The twice-active user.
+        user: UserId,
+        /// The two shard indices both claiming the user.
+        shards: (usize, usize),
+    },
+    /// An active user's real decision names a server outside its shard's
+    /// ownership — a shard allocated across the cut instead of treating the
+    /// server as foreign.
+    CrossShardDecision {
+        /// The mis-allocated user.
+        user: UserId,
+        /// The foreign server the decision names.
+        server: ServerId,
+        /// The shard that made the decision.
+        shard: usize,
+    },
     /// A request's bookkept Eq. 8 delivery latency disagrees with the
     /// brute-force re-derivation (min over all replicas and the cloud).
     LatencyMismatch {
@@ -161,6 +180,15 @@ impl fmt::Display for Violation {
             Violation::DeadServerReplica { server, data } => write!(
                 f,
                 "server {server}: replica of data {data} survives the outage"
+            ),
+            Violation::DuplicateActiveUser { user, shards } => write!(
+                f,
+                "user {user}: active in shards {} and {} at once",
+                shards.0, shards.1
+            ),
+            Violation::CrossShardDecision { user, server, shard } => write!(
+                f,
+                "user {user}: shard {shard} allocated it onto foreign server {server}"
             ),
             Violation::LatencyMismatch { user, data, live, reference } => write!(
                 f,

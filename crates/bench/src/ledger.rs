@@ -29,8 +29,10 @@ use idde_core::{GameConfig, GreedyDelivery, IddeG, IddeUGame, Problem, ScoringMo
 use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};
 use idde_eua::SyntheticEua;
 use idde_model::{
-    CoverageMap, EdgeServer, MegaBytes, MegaBytesPerSec, Point, ServerId, User, UserId, Watts,
+    CoverageMap, EdgeServer, MegaBytes, MegaBytesPerSec, Point, Rect, ScenarioBuilder, ServerId,
+    User, UserId, Watts,
 };
+use idde_shard::ShardPlan;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -401,12 +403,155 @@ pub fn run_engine_suite(cfg: &LedgerConfig) -> Ledger {
         adjacency_fingerprint,
     );
 
+    // Shard-scaling sweep: the same walk partitioned by a real ShardPlan
+    // tiling. The `threads` column of this case records the *shard count* K
+    // (reusing the sweep's 1/2/4/8 axis), and the determinism check becomes
+    // the partition-invariance contract: every K must land on the identical
+    // global coverage fingerprint — including K = 1, whose digest equals the
+    // unsharded `scale_mobility_brute` fingerprint by construction.
+    let shard_case = shard_scaling_case(cfg, &scale_servers, &scale_users, &scale_events);
+
     Ledger {
         suite: "engine".into(),
         seed: cfg.seed,
         samples: cfg.samples,
         host_parallelism: host_parallelism(),
-        cases: vec![init_case, serve_case, grid_case, brute_case],
+        cases: vec![init_case, serve_case, grid_case, brute_case, shard_case],
+    }
+}
+
+/// One shard's pre-partitioned slice of the scaling walk: the servers it
+/// owns re-numbered to local ids (coverage maps index their tables by raw
+/// id, so a subset map needs a dense id space), the local→global id map,
+/// the events routed to it, and the coverage prototype replays clone.
+struct ShardWork {
+    globals: Vec<ServerId>,
+    servers: Vec<EdgeServer>,
+    events: Vec<(usize, Point)>,
+    proto: CoverageMap,
+}
+
+/// Partitions the scaling walk for `k` shards using a [`ShardPlan`] tiling
+/// over the server sites. An event is routed to every shard whose tile is
+/// within one interference range of the user's previous *or* new position
+/// (the dilated-rect rule): a server owned by shard `k` sits inside
+/// `rect(k)`, so a user farther than the maximum coverage radius from the
+/// rect cannot be covered by any of the shard's servers — missed events can
+/// only toggle coverage that is empty on both sides.
+fn partition_shard_work(
+    k: usize,
+    servers: &[EdgeServer],
+    users: &[User],
+    events: &[(usize, Point)],
+) -> Vec<ShardWork> {
+    // A minimal scenario carrying just the geometry ShardPlan reads: the
+    // area (the server bounding box; the plan dilates to it anyway) and the
+    // server sites with their real coverage radii.
+    let mut b = ScenarioBuilder::new();
+    let mut lo = servers[0].position;
+    let mut hi = servers[0].position;
+    for s in servers {
+        lo = Point::new(lo.x.min(s.position.x), lo.y.min(s.position.y));
+        hi = Point::new(hi.x.max(s.position.x), hi.y.max(s.position.y));
+        b.server(s.position, s.coverage_radius_m, s.num_channels, s.channel_bandwidth, s.storage);
+    }
+    b.user(servers[0].position, Watts(0.5), MegaBytesPerSec(100.0));
+    let d = b.data(MegaBytes(1.0));
+    b.request(UserId(0), d);
+    let scenario = b.area(Rect::new(lo, hi)).build().expect("scaling geometry is valid");
+    let plan = ShardPlan::build(&scenario, k).expect("2000 sites tile into any benched K");
+
+    let mut work: Vec<ShardWork> = (0..k)
+        .map(|shard| {
+            let globals: Vec<ServerId> = plan
+                .owner()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &o)| o == shard)
+                .map(|(i, _)| ServerId::from_index(i))
+                .collect();
+            let servers: Vec<EdgeServer> = globals
+                .iter()
+                .enumerate()
+                .map(|(local, &g)| EdgeServer {
+                    id: ServerId::from_index(local),
+                    ..servers[g.index()].clone()
+                })
+                .collect();
+            let proto = CoverageMap::compute_brute_force(&servers, users);
+            ShardWork { globals, servers, events: Vec::new(), proto }
+        })
+        .collect();
+    let range = plan.interference_range();
+    let mut positions: Vec<Point> = users.iter().map(|u| u.position).collect();
+    for &(j, next) in events {
+        let prev = positions[j];
+        for (shard, w) in work.iter_mut().enumerate() {
+            let rect = plan.rect(shard);
+            if rect.distance_to(prev) <= range || rect.distance_to(next) <= range {
+                w.events.push((j, next));
+            }
+        }
+        positions[j] = next;
+    }
+    work
+}
+
+/// FNV digest over the union of the shards' coverage relations, rows in
+/// global server-id order — shaped exactly like [`adjacency_fingerprint`],
+/// so any shard count (including 1) must reproduce the unsharded digest.
+fn sharded_adjacency_fingerprint(num_users: usize, shards: &[(&[ServerId], &CoverageMap)]) -> u64 {
+    let mut fp = Fingerprint::new();
+    let mut row: Vec<u64> = Vec::new();
+    for j in 0..num_users {
+        row.clear();
+        for (globals, map) in shards {
+            for &local in map.servers_of(UserId::from_index(j)) {
+                row.push(globals[local.index()].index() as u64);
+            }
+        }
+        row.sort_unstable();
+        fp.absorb(row.len() as u64);
+        for &g in &row {
+            fp.absorb(g);
+        }
+    }
+    fp.digest()
+}
+
+/// The `shard_scaling` case: the scaling walk replayed through per-shard
+/// coverage maps for K ∈ `cfg.threads` shards (the `threads` column records
+/// K). Partitioning and prototype construction happen outside the timed
+/// region — the measurement is the per-event maintenance cost, which drops
+/// with K because each shard only scans the servers it owns.
+fn shard_scaling_case(
+    cfg: &LedgerConfig,
+    servers: &[EdgeServer],
+    users: &[User],
+    events: &[(usize, Point)],
+) -> BenchCase {
+    let mut points = Vec::with_capacity(cfg.threads.len());
+    for &k in &cfg.threads {
+        let work = partition_shard_work(k, servers, users, events);
+        let mut samples_ms = Vec::with_capacity(cfg.samples);
+        let mut digest = 0u64;
+        for _ in 0..cfg.samples {
+            let start = Instant::now();
+            let maps: Vec<CoverageMap> = work
+                .iter()
+                .map(|w| replay_mobility(&w.servers, users, &w.events, &w.proto))
+                .collect();
+            samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            let views: Vec<(&[ServerId], &CoverageMap)> =
+                work.iter().zip(&maps).map(|(w, m)| (w.globals.as_slice(), m)).collect();
+            digest = sharded_adjacency_fingerprint(users.len(), &views);
+        }
+        points.push(ThreadPoint { threads: k, samples_ms, fingerprint: digest });
+    }
+    BenchCase {
+        name: "shard_scaling".into(),
+        workload: "scale walk partitioned by ShardPlan; threads column = shard count K".into(),
+        points,
     }
 }
 
@@ -424,7 +569,8 @@ fn scale_mobility_workload(
     num_events: usize,
 ) -> (Vec<EdgeServer>, Vec<User>, Vec<(usize, Point)>) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5ca1_ab1e);
-    let gen = SyntheticEua::scaled(num_servers, num_users);
+    let gen = SyntheticEua::scaled(num_servers, num_users)
+        .expect("bench workloads use positive scale factors");
     let pop = gen.generate(&mut rng);
     let servers = pop
         .server_sites
@@ -559,6 +705,47 @@ mod tests {
         // time a no-op.
         let initial = CoverageMap::compute(&servers, &users);
         assert_ne!(grid, initial, "mobility walk left coverage untouched");
+    }
+
+    /// The shard_scaling case's partition-invariance contract, observed at
+    /// small scale: every shard count lands on one global coverage digest,
+    /// and K = 1 equals the unsharded brute fingerprint exactly.
+    #[test]
+    fn shard_scaling_fingerprints_are_partition_invariant() {
+        let (servers, users, events) = scale_mobility_workload(7, 60, 150, 400);
+        let unsharded = adjacency_fingerprint(&replay_mobility(
+            &servers,
+            &users,
+            &events,
+            &CoverageMap::compute_brute_force(&servers, &users),
+        ));
+        for k in [1usize, 2, 3, 4] {
+            let work = partition_shard_work(k, &servers, &users, &events);
+            assert_eq!(work.len(), k);
+            assert_eq!(work.iter().map(|w| w.servers.len()).sum::<usize>(), servers.len());
+            let maps: Vec<CoverageMap> = work
+                .iter()
+                .map(|w| replay_mobility(&w.servers, &users, &w.events, &w.proto))
+                .collect();
+            let views: Vec<(&[ServerId], &CoverageMap)> =
+                work.iter().zip(&maps).map(|(w, m)| (w.globals.as_slice(), m)).collect();
+            assert_eq!(
+                sharded_adjacency_fingerprint(users.len(), &views),
+                unsharded,
+                "K = {k} diverged from the unsharded coverage relation"
+            );
+            // Sharding must actually shed work: each shard sees no more
+            // events than the full walk, and for K > 1 strictly fewer.
+            for w in &work {
+                assert!(w.events.len() <= events.len());
+            }
+            if k > 1 {
+                assert!(
+                    work.iter().any(|w| w.events.len() < events.len()),
+                    "no shard shed any events at K = {k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ commands:
              [--scale-servers N] [--scale-users M]
              [--seed S] [--ticks T] [--density D] [--net-seed S]
              [--checkpoint T] [--drift X] [--csv FILE] [--audit N]
-             [--chaos SPEC]
+             [--chaos SPEC] [--shards K]
   chaos      compile a fault spec against a scenario's topology and
              print the scheduled fault timeline (dry run)
              --spec SPEC [--scenario FILE | --servers N --users M
@@ -46,6 +46,12 @@ violation is found; 0 (the default) disables auditing. `--chaos SPEC`
 injects a deterministic fault schedule into the serve event stream
 (e.g. 'server:3@40+80,link:0-5@30+60,jam:1@20+30'; see idde-chaos for
 the grammar — `rand:SEED:L:S:J@SPAN+D` draws a seeded random plan).
+`--shards K` serves through the spatially sharded router (idde-shard):
+the area is tiled into K server-balanced rectangles, each shard runs
+its own engine and the shards exchange halo state every tick;
+`--shards 1` is byte-identical to the unsharded engine, and with
+`--audit N` a per-tick cross-shard audit certifies the shards agree
+on one global interference field (reported separately from the CSV).
 `--scale-servers`/`--scale-users` enlarge the synthetic base
 geography density-preservingly before sampling (default 125
 sites/816 users), lifting the 125-site cap for scaling runs, e.g.
@@ -142,6 +148,10 @@ pub enum Command {
         audit: u64,
         /// Fault spec to compile and inject (None = healthy serve).
         chaos: Option<String>,
+        /// Shard count for the sharded router (None = monolithic engine;
+        /// `Some(1)` routes through `idde-shard` with one shard, which is
+        /// byte-identical to the monolithic serve).
+        shards: Option<usize>,
     },
     /// `idde chaos` — compile a fault spec and print its timeline.
     Chaos {
@@ -301,12 +311,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 "csv",
                 "audit",
                 "chaos",
+                "shards",
             ])?;
             let opt_usize = |name: &str| -> Result<Option<usize>, String> {
                 take(name)
                     .map(|v| v.parse::<usize>().map_err(|_| format!("--{name}: bad integer {v:?}")))
                     .transpose()
             };
+            let shards = opt_usize("shards")?;
+            if shards == Some(0) {
+                return Err("--shards needs a positive shard count".into());
+            }
             Ok(Command::Serve {
                 scenario: take("scenario").map(|v| path_arg(&v)),
                 servers: take("servers")
@@ -329,6 +344,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 csv: take("csv").map(|v| path_arg(&v)),
                 audit: parse_u64("audit", 0)?,
                 chaos: take("chaos"),
+                shards,
             })
         }
         "chaos" => {
@@ -609,6 +625,24 @@ mod tests {
             other => unreachable!("parse returned the wrong command variant: {other:?}"),
         }
         assert!(matches!(parse(&argv("serve")).unwrap(), Command::Serve { chaos: None, .. }));
+    }
+
+    #[test]
+    fn parses_serve_shards() {
+        // Unset means the monolithic engine; an explicit count routes
+        // through idde-shard (1 is allowed — the identity-contract mode).
+        assert!(matches!(parse(&argv("serve")).unwrap(), Command::Serve { shards: None, .. }));
+        assert!(matches!(
+            parse(&argv("serve --shards 4 --ticks 50")).unwrap(),
+            Command::Serve { shards: Some(4), ticks: 50, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("serve --shards 1")).unwrap(),
+            Command::Serve { shards: Some(1), .. }
+        ));
+        assert!(parse(&argv("serve --shards 0")).is_err());
+        assert!(parse(&argv("serve --shards four")).is_err());
+        assert!(parse(&argv("generate --servers 5 --users 9 --data 1 --shards 2")).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use idde_eua::{SampleConfig, SyntheticEua};
 use idde_model::{io as scenario_io, Scenario};
 use idde_net::{generate_topology, TopologyConfig};
 use idde_radio::{RadioEnvironment, RadioParams};
+use idde_shard::ShardRouter;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -55,6 +56,7 @@ pub fn run(command: Command) -> Result<(), String> {
             csv,
             audit,
             chaos,
+            shards,
         } => serve(ServeOptions {
             scenario,
             servers,
@@ -71,6 +73,7 @@ pub fn run(command: Command) -> Result<(), String> {
             csv,
             audit,
             chaos,
+            shards,
         }),
     }
 }
@@ -380,6 +383,16 @@ fn print_ledger_table(ledger: &idde_bench::ledger::Ledger) {
             );
         }
     }
+    // The shard_scaling case's `threads` column records the shard count K;
+    // summarise it as a speedup table against K = 1.
+    if let Some(case) = ledger.cases.iter().find(|c| c.name == "shard_scaling") {
+        let points: Vec<(usize, f64)> =
+            case.points.iter().map(|p| (p.threads, p.median_ms())).collect();
+        print!(
+            "{}",
+            idde_sim::report::scaling_table("shard scaling (threads column = K):", &points)
+        );
+    }
 }
 
 /// `idde serve` inputs (mirrors `Command::Serve`).
@@ -399,6 +412,7 @@ struct ServeOptions {
     csv: Option<Option<std::path::PathBuf>>,
     audit: u64,
     chaos: Option<String>,
+    shards: Option<usize>,
 }
 
 /// Loads a scenario file (`Some`) or samples a synthetic one (`None`).
@@ -418,7 +432,8 @@ fn load_or_sample_scenario(
         None => {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let gen = match scale {
-                Some((sites, user_sites)) => SyntheticEua::scaled(sites, user_sites),
+                Some((sites, user_sites)) => SyntheticEua::scaled(sites, user_sites)
+                    .map_err(|e| format!("invalid scaled geography: {e}"))?,
                 None => SyntheticEua::default(),
             };
             let population = gen.generate(&mut rng);
@@ -461,15 +476,15 @@ fn serve(opts: ServeOptions) -> Result<(), String> {
     };
     let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), num_data, opts.seed);
     let initial = workload.initial_active(problem.scenario.num_users());
-    let mut engine = Engine::new(problem, config, initial);
 
     // Compile the fault plan against the healthy topology; scheduled fault
     // events join the same deterministic `(tick, seq)` stream as the
-    // workload (faults first within a tick).
+    // workload (faults first within a tick). The engine's `base_graph` is a
+    // clone of `problem.topology.graph()`, so compiling here is identical.
     let mut plan = match &opts.chaos {
         Some(spec) => {
             let plan = FaultSpec::parse(spec)
-                .and_then(|s| s.compile(engine.base_graph()))
+                .and_then(|s| s.compile(problem.topology.graph()))
                 .map_err(|e| format!("--chaos: {e}"))?;
             eprintln!(
                 "chaos: {} fault windows, {} scheduled events",
@@ -481,21 +496,59 @@ fn serve(opts: ServeOptions) -> Result<(), String> {
         None => None,
     };
 
-    let t0 = Instant::now();
-    match plan.as_mut() {
-        Some(plan) => engine.run_sources(&mut [plan, &mut workload], opts.ticks),
-        None => engine.run(&mut workload, opts.ticks),
-    }
-    let elapsed = t0.elapsed();
+    // `--shards K` serves through the sharded router; otherwise the
+    // monolithic engine. Both paths end with a final audit (when enabled)
+    // and the same metrics rendering, so `--shards 1` output is
+    // byte-identical to the unsharded serve.
+    let (metrics, elapsed, cross) = match opts.shards {
+        None => {
+            let mut engine = Engine::new(problem, config, initial);
+            let t0 = Instant::now();
+            match plan.as_mut() {
+                Some(plan) => engine.run_sources(&mut [plan, &mut workload], opts.ticks),
+                None => engine.run(&mut workload, opts.ticks),
+            }
+            let elapsed = t0.elapsed();
+            // One final audit catches anything the periodic cadence missed
+            // (e.g. state touched after the last audited event).
+            if opts.audit > 0 {
+                let report = engine.run_audit();
+                eprint!("final {report}");
+            }
+            (engine.metrics().clone(), elapsed, None)
+        }
+        Some(k) => {
+            let mut router = ShardRouter::new(problem, config, k, initial)
+                .map_err(|e| format!("--shards: {e}"))?;
+            eprintln!(
+                "shards: {k} tiles, servers per shard {:?}, halo sizes {:?}",
+                router.plan().server_counts(),
+                (0..k).map(|s| router.plan().halo(s).len()).collect::<Vec<_>>()
+            );
+            let t0 = Instant::now();
+            match plan.as_mut() {
+                Some(plan) => router.run_sources(&mut [plan, &mut workload], opts.ticks),
+                None => router.run(&mut workload, opts.ticks),
+            }
+            let elapsed = t0.elapsed();
+            if opts.audit > 0 {
+                let report = router.run_audit();
+                eprint!("final {report}");
+            }
+            let stats = router.cross_audit_stats();
+            (router.metrics(), elapsed, Some((stats, router.handoffs())))
+        }
+    };
 
-    // One final audit catches anything the periodic cadence missed (e.g.
-    // state touched after the last audited event).
-    if opts.audit > 0 {
-        let report = engine.run_audit();
-        eprint!("final {report}");
+    if let Some(((audits, checks, violations), handoffs)) = cross {
+        // Cross-shard accounting stays out of the CSV (its schema is
+        // shard-count independent); CI greps this stderr line instead.
+        eprintln!(
+            "cross-shard: {audits} audits, {checks} checks, {violations} violations, \
+             {handoffs} handoffs"
+        );
     }
 
-    let metrics = engine.metrics();
     match &opts.csv {
         // `--csv -`: deterministic CSV on stdout, human table on stderr.
         Some(None) => {
@@ -516,6 +569,13 @@ fn serve(opts: ServeOptions) -> Result<(), String> {
             "audit failed: {} invariant violations and {} certificate deviations over {} audits",
             metrics.audit_violations, metrics.certificate_violations, metrics.audits
         ));
+    }
+    if let Some(((audits, _, cross_violations), _)) = cross {
+        if cross_violations > 0 {
+            return Err(format!(
+                "cross-shard audit failed: {cross_violations} violations over {audits} audits"
+            ));
+        }
     }
     Ok(())
 }
@@ -634,6 +694,7 @@ mod tests {
                 csv: Some(Some(path.clone())),
                 audit: 0,
                 chaos: None,
+                shards: None,
             })
             .unwrap();
             std::fs::read_to_string(path).unwrap()
@@ -667,6 +728,7 @@ mod tests {
             csv: Some(Some(path.clone())),
             audit: 10,
             chaos: None,
+            shards: None,
         })
         .unwrap();
         let csv = std::fs::read_to_string(&path).unwrap();
@@ -676,6 +738,44 @@ mod tests {
         let audits: u64 =
             csv.lines().find_map(|l| l.strip_prefix("audits,")).unwrap().parse().unwrap();
         assert!(audits >= 2, "expected periodic + final audits, got {audits}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_serve_matches_monolithic_at_one_shard_and_audits_at_four() {
+        let dir = std::env::temp_dir().join("idde-cli-shard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |name: &str, shards: Option<usize>, audit: u64| -> String {
+            let path = dir.join(name);
+            serve(ServeOptions {
+                scenario: None,
+                servers: 12,
+                users: 40,
+                data: 4,
+                scale_servers: None,
+                scale_users: None,
+                seed: 42,
+                ticks: 20,
+                density: 1.0,
+                net_seed: 1,
+                checkpoint: 10,
+                drift: 0.05,
+                csv: Some(Some(path.clone())),
+                audit,
+                chaos: None,
+                shards,
+            })
+            .unwrap();
+            std::fs::read_to_string(path).unwrap()
+        };
+        // The migration-safety contract: one shard is the monolithic engine.
+        let mono = run("mono.csv", None, 25);
+        let one = run("one.csv", Some(1), 25);
+        assert_eq!(mono, one, "--shards 1 must match the unsharded serve byte for byte");
+        // A multi-shard audited serve stays violation-free.
+        let four = run("four.csv", Some(4), 25);
+        assert!(four.contains("audit_violations,0\n"), "{four}");
+        assert!(four.contains("certificate_violations,0\n"), "{four}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -726,6 +826,7 @@ mod tests {
                 csv: Some(Some(path.clone())),
                 audit: 25,
                 chaos: Some("rand:2022:2:1:1@20+8".into()),
+                shards: None,
             })
             .unwrap();
             std::fs::read_to_string(path).unwrap()
@@ -755,6 +856,7 @@ mod tests {
             csv: None,
             audit: 0,
             chaos: Some("meteor:3@4".into()),
+            shards: None,
         })
         .unwrap_err();
         assert!(err.contains("--chaos"), "{err}");

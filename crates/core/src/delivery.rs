@@ -177,8 +177,13 @@ impl GreedyDelivery {
         loop {
             // Select the feasible candidate with the maximal score
             // (deterministic tie-break: smallest server id, then data id).
+            // Foreign servers (owned by another shard) are never candidates:
+            // the owning shard manages their storage.
             let mut best: Option<(usize, usize, f64)> = None;
             for i in 0..n {
+                if !scenario.coverage.is_candidate(ServerId::from_index(i)) {
+                    continue;
+                }
                 let remaining = scenario.servers[i].storage.value()
                     - placement.used(ServerId::from_index(i)).value();
                 for k in 0..k_total {
@@ -247,6 +252,9 @@ pub fn evict_useless_replicas(
     let scenario = &problem.scenario;
     let mut evicted = 0usize;
     for server in scenario.server_ids() {
+        if !scenario.coverage.is_candidate(server) {
+            continue; // foreign replicas belong to the owning shard
+        }
         let data_here: Vec<DataId> = placement.data_on(server).collect();
         for data in data_here {
             let size = scenario.data[data.index()].size;

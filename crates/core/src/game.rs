@@ -263,6 +263,12 @@ impl IddeUGame {
     /// Computes `user`'s best response: the decision in `δ_j` with the
     /// highest benefit (Algorithm 1 lines 7–13). Returns `None` when the
     /// user has no covering server.
+    ///
+    /// Servers marked foreign in the coverage map (owned by another shard)
+    /// are not candidates: they still shape every benefit through the
+    /// interference field, but a local player can never *move onto* them.
+    /// Monolithic maps carry no foreign servers, so the scan is unchanged
+    /// outside the shard layer.
     pub fn best_response(
         &self,
         field: &InterferenceField<'_>,
@@ -271,6 +277,9 @@ impl IddeUGame {
         let scenario = field.scenario();
         let mut best: Option<(ServerId, ChannelIndex, f64)> = None;
         for &server in scenario.coverage.servers_of(user) {
+            if !scenario.coverage.is_candidate(server) {
+                continue;
+            }
             for channel in scenario.servers[server.index()].channels() {
                 let b = self.benefit_at(field, user, server, channel);
                 if best.is_none_or(|(_, _, cur)| b > cur) {
@@ -466,6 +475,14 @@ impl IddeUGame {
         field: &InterferenceField<'_>,
         user: UserId,
     ) -> Option<(UserId, ServerId, ChannelIndex, f64)> {
+        // A user currently sitting on a foreign server is a halo mirror of a
+        // decision owned by another shard: it is frozen here — it exerts
+        // interference but never plays (the owning shard moves it).
+        if let Some((s, _)) = field.allocation().decision(user) {
+            if field.scenario().coverage.is_foreign(s) {
+                return None;
+            }
+        }
         let (s, x, best) = self.best_response(field, user)?;
         let current = self.current_benefit(field, user);
         let gain = best - current;

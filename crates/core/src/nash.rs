@@ -26,6 +26,9 @@ pub fn is_nash_equilibrium(game: &IddeUGame, field: &InterferenceField<'_>, epsi
     let scenario = field.scenario();
     for user in scenario.user_ids() {
         let current = match field.allocation().decision(user) {
+            // Halo mirrors — users pinned to a foreign server by another
+            // shard — are not players here; the owning shard certifies them.
+            Some((s, _)) if scenario.coverage.is_foreign(s) => continue,
             Some((s, x)) => game.benefit_at(field, user, s, x),
             None => {
                 if game.best_response(field, user).is_some() {

@@ -107,6 +107,15 @@ pub struct Engine {
     base_graph: EdgeGraph,
     /// Current link/server fault overlay.
     faults: NetworkFaults,
+    /// Halo mirrors installed by [`Engine::set_overlay`]: allocation entries
+    /// that replicate decisions *another* shard made for its own users on
+    /// servers foreign to this engine. They live directly inside
+    /// `allocation`, so every field rebuilt via
+    /// [`InterferenceField::from_allocation`] — repairs, rate sampling,
+    /// audits — sees their interference for free. The mirrored users are
+    /// inactive locally, which keeps them out of every dirty set, rate
+    /// average and player list.
+    overlay: Vec<(UserId, ServerId, ChannelIndex)>,
 }
 
 impl Engine {
@@ -139,6 +148,7 @@ impl Engine {
             metrics: ServeMetrics::default(),
             base_graph,
             faults,
+            overlay: Vec::new(),
         }
     }
 
@@ -227,13 +237,26 @@ impl Engine {
             while let Some(scheduled) = queue.pop() {
                 self.apply(&scheduled.event);
             }
-            self.metrics.ticks += 1;
-            self.metrics.unreachable_item_ticks += self.count_edgeless_items();
-            self.metrics.sample_rate(self.average_active_rate());
-            let interval = self.config.checkpoint_interval;
-            if interval > 0 && (tick + 1) % interval == 0 {
-                self.checkpoint();
-            }
+            self.end_tick(tick);
+        }
+    }
+
+    /// Closes tick `tick` after its events were applied: bumps the tick
+    /// counter, takes the per-tick rate and edgeless-item samples, and fires
+    /// a drift checkpoint on the configured cadence. [`Engine::run_sources`]
+    /// calls this once per tick; external drivers that apply events
+    /// themselves (the shard router) must call it with the same tick numbers
+    /// to keep the metrics and checkpoint schedule identical to a monolithic
+    /// run.
+    pub fn end_tick(&mut self, tick: u64) {
+        self.metrics.ticks += 1;
+        self.metrics.unreachable_item_ticks += self.count_edgeless_items();
+        self.metrics.sample_rate(self.average_active_rate());
+        let interval = self.config.checkpoint_interval;
+        // `% interval` rather than `u64::is_multiple_of` — MSRV 1.85.
+        #[allow(clippy::manual_is_multiple_of)]
+        if interval > 0 && (tick + 1) % interval == 0 {
+            self.checkpoint();
         }
     }
 
@@ -711,8 +734,27 @@ impl Engine {
         let started = Instant::now();
         let active_ids = self.active_users();
         let repaired_rate = self.average_active_rate();
-        let outcome =
-            IddeUGame::new(self.config.game).run_restricted(self.problem.field(), &active_ids);
+        // Without halo mirrors the re-solve starts from the pristine empty
+        // field, exactly as it always has (the `--shards 1` byte-identity
+        // contract rides on this branch). With mirrors, the re-solve must
+        // start from an overlay-only profile instead: the frozen mirrors
+        // then exert their cross-shard interference on every best-response
+        // scan, and adopting the full solution preserves them (non-players
+        // survive `into_allocation` untouched).
+        let outcome = if self.overlay.is_empty() {
+            IddeUGame::new(self.config.game).run_restricted(self.problem.field(), &active_ids)
+        } else {
+            let mut base = Allocation::unallocated(self.problem.scenario.num_users());
+            for &(user, server, channel) in &self.overlay {
+                base.set(user, Some((server, channel)));
+            }
+            let field = InterferenceField::from_allocation(
+                &self.problem.radio,
+                &self.problem.scenario,
+                &base,
+            );
+            IddeUGame::new(self.config.game).run_restricted(field, &active_ids)
+        };
         let full_rate = Self::active_rate_of(&outcome.field, &self.active);
         let drift =
             if full_rate > 0.0 { ((full_rate - repaired_rate) / full_rate).max(0.0) } else { 0.0 };
@@ -726,6 +768,77 @@ impl Engine {
             self.repair_placement();
         }
         drift
+    }
+
+    /// Teleports `user` to `position` (clamped to the scenario area) and
+    /// re-synchronises every position-derived structure: the coverage
+    /// relation, the gain table (restricted refresh when the spatial index
+    /// can bound the candidates) and the feasibility of the user's current
+    /// decision, which is released — overlay mirror included — when its
+    /// server no longer covers the user. Pure state synchronisation: no
+    /// repair runs and no metric moves, so the shard router can mirror a
+    /// neighbour's mobility without perturbing local accounting.
+    pub fn set_position(&mut self, user: UserId, position: Point) {
+        let j = user.index();
+        let scenario = &mut self.problem.scenario;
+        scenario.users[j].position = scenario.area.clamp(position);
+        scenario.coverage.update_user(&scenario.servers, &scenario.users[j]);
+        let moved = scenario.users[j].position;
+        match self.problem.scenario.coverage.gain_refresh_candidates(moved) {
+            Some(near) => self.problem.radio.update_user_among(&self.problem.scenario, user, &near),
+            None => self.problem.radio.update_user(&self.problem.scenario, user),
+        }
+        if let Some((server, _)) = self.allocation.decision(user) {
+            if !self.problem.scenario.coverage.covers(server, user) {
+                self.allocation.set(user, None);
+                self.overlay.retain(|&(u, _, _)| u != user);
+            }
+        }
+    }
+
+    /// Replaces the halo overlay wholesale with `entries`, each a
+    /// `(user, position, server, channel)` mirror of a decision some other
+    /// shard owns. Previous mirrors are cleared first, so refreshing the
+    /// halo every boundary phase never leaks stale interference. Mirrored
+    /// users must be inactive locally; infeasible entries (the mirrored
+    /// server no longer covers the user at its mirrored position) are
+    /// dropped rather than installed.
+    pub fn set_overlay(&mut self, entries: &[(UserId, Point, ServerId, ChannelIndex)]) {
+        for (user, _, _) in std::mem::take(&mut self.overlay) {
+            self.allocation.set(user, None);
+        }
+        for &(user, position, server, channel) in entries {
+            debug_assert!(
+                !self.active[user.index()],
+                "halo mirror for {user} collides with a locally active slot"
+            );
+            self.set_position(user, position);
+            if !self.problem.scenario.coverage.covers(server, user) {
+                debug_assert!(false, "halo mirror {user}@{server} is out of coverage");
+                continue;
+            }
+            self.allocation.set(user, Some((server, channel)));
+            self.overlay.push((user, server, channel));
+        }
+    }
+
+    /// Removes `user`'s halo mirror (decision and bookkeeping), returning
+    /// whether one existed. Used when a user hands off across a shard cut:
+    /// the new owner allocates it for real, so every other shard must drop
+    /// its mirror immediately rather than wait for the next halo refresh.
+    pub fn strip_overlay_user(&mut self, user: UserId) -> bool {
+        let before = self.overlay.len();
+        self.overlay.retain(|&(u, _, _)| u != user);
+        if self.overlay.len() == before {
+            return false;
+        }
+        self.allocation.set(user, None);
+        true
+    }
+
+    /// The installed halo mirrors, in insertion order.
+    pub fn overlay(&self) -> &[(UserId, ServerId, ChannelIndex)] {
+        &self.overlay
     }
 }
 
@@ -1058,6 +1171,85 @@ mod tests {
         assert_eq!(e.metrics().restorations, 1);
         let report = e.run_audit();
         assert!(report.is_clean(), "{report}");
+    }
+
+    /// The halo-overlay lifecycle a shard engine goes through every
+    /// boundary phase: install mirrors of a neighbour's decisions on
+    /// foreign servers, let local repairs and checkpoints run around them
+    /// untouched, then strip a mirror on handoff.
+    #[test]
+    fn halo_overlay_survives_repairs_and_checkpoints() {
+        use idde_model::{MegaBytes, MegaBytesPerSec, Rect, ScenarioBuilder, Watts};
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut b = ScenarioBuilder::new();
+        b.server(Point::new(0.0, 0.0), 150.0, 3, MegaBytesPerSec(200.0), MegaBytes(100.0));
+        let foreign = ServerId(1);
+        b.server(Point::new(200.0, 0.0), 150.0, 3, MegaBytesPerSec(200.0), MegaBytes(100.0));
+        let local = b.user(Point::new(30.0, 10.0), Watts(1.0), MegaBytesPerSec(200.0));
+        let mirror = b.user(Point::new(260.0, 0.0), Watts(1.0), MegaBytesPerSec(200.0));
+        let d0 = b.data(MegaBytes(30.0));
+        b.request(local, d0);
+        b.request(mirror, d0);
+        let mut scenario = b.area(Rect::with_size(1_000.0, 1_000.0)).build().unwrap();
+        scenario.coverage.set_foreign(foreign, true);
+        let problem = Problem::standard(scenario, &mut rng);
+        let mut e = Engine::new(
+            problem,
+            EngineConfig { paranoid: true, ..Default::default() },
+            vec![true, false],
+        );
+        assert_eq!(e.allocation().decision(mirror), None);
+
+        // Install the neighbour's decision: `mirror` sits at (190, 0) on the
+        // foreign server's channel 0 (its builder position is elsewhere, so
+        // this also exercises the position sync).
+        e.set_overlay(&[(mirror, Point::new(190.0, 0.0), foreign, ChannelIndex(0))]);
+        assert_eq!(e.allocation().decision(mirror), Some((foreign, ChannelIndex(0))));
+        assert_eq!(e.problem().scenario.users[mirror.index()].position, Point::new(190.0, 0.0));
+        assert_eq!(e.overlay().len(), 1);
+
+        // A local repair (the move's dirty set includes the mirror's server
+        // neighbourhood) must not displace or re-decide the mirror.
+        e.apply(&Event::Move { user: local, dx: 40.0, dy: 0.0 });
+        assert_eq!(e.allocation().decision(mirror), Some((foreign, ChannelIndex(0))));
+        // Checkpoints re-solve from an overlay-only field; the mirror
+        // survives whether or not the full solution is adopted.
+        e.checkpoint();
+        assert_eq!(e.allocation().decision(mirror), Some((foreign, ChannelIndex(0))));
+        let field = InterferenceField::from_allocation(
+            &e.problem().radio,
+            &e.problem().scenario,
+            e.allocation(),
+        );
+        assert!(field.consistency_check());
+
+        // Refreshing the overlay clears the previous mirrors first.
+        e.set_overlay(&[(mirror, Point::new(210.0, 0.0), foreign, ChannelIndex(1))]);
+        assert_eq!(e.allocation().decision(mirror), Some((foreign, ChannelIndex(1))));
+        assert_eq!(e.overlay().len(), 1);
+
+        // Handoff: stripping the mirror frees the slot immediately.
+        assert!(e.strip_overlay_user(mirror));
+        assert_eq!(e.allocation().decision(mirror), None);
+        assert!(!e.strip_overlay_user(mirror), "second strip finds nothing");
+        assert!(e.overlay().is_empty());
+    }
+
+    #[test]
+    fn end_tick_matches_the_run_loop_tail() {
+        let mut via_run = engine(14);
+        let mut via_end_tick = via_run.clone();
+        struct Silence;
+        impl EventSource for Silence {
+            fn push_tick(&mut self, _: u64, _: &[bool], _: &mut EventQueue) {}
+        }
+        via_run.run(&mut Silence, 50);
+        for tick in 0..50 {
+            via_end_tick.end_tick(tick);
+        }
+        assert_eq!(via_run.metrics().ticks, 50);
+        assert_eq!(via_run.metrics().checkpoints, 1, "interval 50 fires once");
+        assert_eq!(via_run.metrics().to_csv(), via_end_tick.metrics().to_csv());
     }
 
     #[test]

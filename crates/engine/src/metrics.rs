@@ -38,6 +38,14 @@ impl LatencyHistogram {
         &self.counts
     }
 
+    /// Adds `other`'s per-bucket counts into this histogram (the buckets are
+    /// a fixed global grid, so shard-local histograms sum exactly).
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+    }
+
     /// Total observations.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
@@ -193,6 +201,61 @@ impl ServeMetrics {
     pub fn record_certificate(&mut self, violations: u64) {
         self.certificates += 1;
         self.certificate_violations += violations;
+    }
+
+    /// Folds another engine's metrics into this one — the reduction a shard
+    /// router uses to present K per-shard engines as one serving run.
+    ///
+    /// Counter semantics: event/repair/fault counters and the latency and
+    /// rate accumulators are disjoint across shards (each event is applied
+    /// by exactly one engine), so they **sum**. `ticks` is shared — every
+    /// shard closes the same ticks — so it takes the **max** rather than
+    /// K-counting the wall. The drift gauges report the worst shard
+    /// (**max**): a single drifting shard is exactly as alarming as a
+    /// drifting monolith. Phase timings sum, giving aggregate CPU spent per
+    /// phase across shards. Merging a default-initialised `ServeMetrics`
+    /// with one engine's metrics reproduces that engine's metrics exactly,
+    /// which is what keeps the K=1 serve CSV byte-identical.
+    pub fn merge(&mut self, other: &ServeMetrics) {
+        self.ticks = self.ticks.max(other.ticks);
+        self.events += other.events;
+        self.arrivals += other.arrivals;
+        self.departures += other.departures;
+        self.moves += other.moves;
+        self.requests += other.requests;
+        self.edge_served += other.edge_served;
+        self.cloud_served += other.cloud_served;
+        self.repairs += other.repairs;
+        self.repair_moves += other.repair_moves;
+        self.placement_repairs += other.placement_repairs;
+        self.evicted_replicas += other.evicted_replicas;
+        self.new_replicas += other.new_replicas;
+        self.checkpoints += other.checkpoints;
+        self.fallbacks += other.fallbacks;
+        self.last_drift = self.last_drift.max(other.last_drift);
+        self.max_drift = self.max_drift.max(other.max_drift);
+        self.audits += other.audits;
+        self.audit_checks += other.audit_checks;
+        self.audit_violations += other.audit_violations;
+        self.certificates += other.certificates;
+        self.certificate_violations += other.certificate_violations;
+        self.link_faults += other.link_faults;
+        self.server_outages += other.server_outages;
+        self.jam_events += other.jam_events;
+        self.restorations += other.restorations;
+        self.displaced_users += other.displaced_users;
+        self.lost_replicas += other.lost_replicas;
+        self.re_replications += other.re_replications;
+        self.cloud_fallback_requests += other.cloud_fallback_requests;
+        self.unreachable_item_ticks += other.unreachable_item_ticks;
+        self.latency.merge(&other.latency);
+        self.timings.equilibrium += other.timings.equilibrium;
+        self.timings.placement += other.timings.placement;
+        self.timings.checkpoint += other.timings.checkpoint;
+        self.timings.audit += other.timings.audit;
+        self.total_latency_ms += other.total_latency_ms;
+        self.rate_sum += other.rate_sum;
+        self.rate_samples += other.rate_samples;
     }
 
     /// Running mean of the sampled average data rate, MB/s.
@@ -445,6 +508,42 @@ mod tests {
         assert!(table.contains("2 link, 1 outage, 0 jam, 3 restored"));
         assert!(table.contains("7 displaced users"));
         assert!(!csv.contains("sec"));
+    }
+
+    #[test]
+    fn merge_sums_counters_maxes_gauges_and_preserves_identity() {
+        let mut a = ServeMetrics::default();
+        a.record_request(10.0, true);
+        a.sample_rate(100.0);
+        a.record_drift(0.04, false);
+        a.ticks = 7;
+        a.timings.placement = Duration::from_millis(10);
+        let mut b = ServeMetrics::default();
+        b.record_request(200.0, false);
+        b.record_request(30.0, true);
+        b.sample_rate(50.0);
+        b.record_drift(0.01, false);
+        b.ticks = 7;
+        b.timings.placement = Duration::from_millis(5);
+
+        // Identity: folding into a default reproduces the operand exactly.
+        let mut id = ServeMetrics::default();
+        id.merge(&a);
+        assert_eq!(id, a);
+        assert_eq!(id.to_csv(), a.to_csv());
+
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.ticks, 7, "shards share the tick axis");
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.edge_served, 2);
+        assert_eq!(m.cloud_served, 1);
+        assert_eq!(m.checkpoints, 2);
+        assert_eq!(m.last_drift, 0.04, "gauges take the worst shard");
+        assert_eq!(m.latency.total(), 3);
+        assert_eq!(m.average_latency_ms(), 80.0);
+        assert_eq!(m.average_rate(), 75.0);
+        assert_eq!(m.timings.placement, Duration::from_millis(15));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   of 125 sites, the 2–6 candidates per user the IDDE game needs to be
 //!   interesting.
 
-use idde_model::{Point, Rect};
+use idde_model::{ModelError, Point, Rect};
 use rand::Rng;
 
 use crate::population::BasePopulation;
@@ -131,19 +131,37 @@ impl SyntheticEua {
     /// density (sites per km²) matches the EUA extract, and the hotspot
     /// count grows with the area so user clustering stays comparable.
     /// Coverage radii, jitter and the hotspot mixture are unchanged.
-    pub fn scaled(num_servers: usize, num_users: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Rejects `num_servers == 0` or `num_users == 0` with
+    /// [`ModelError::InvalidEntity`]: a zero scale factor would silently
+    /// produce a degenerate population (no sites to jitter a grid over, or
+    /// no users to cover) that only fails much later, deep inside scenario
+    /// sampling.
+    pub fn scaled(num_servers: usize, num_users: usize) -> Result<Self, ModelError> {
+        if num_servers == 0 {
+            return Err(ModelError::InvalidEntity(
+                "scaled population needs at least one server site (num_servers = 0)".into(),
+            ));
+        }
+        if num_users == 0 {
+            return Err(ModelError::InvalidEntity(
+                "scaled population needs at least one user site (num_users = 0)".into(),
+            ));
+        }
         let base = Self::default();
         let factor = (num_servers as f64 / base.num_servers as f64).sqrt().max(1.0);
         let num_hotspots =
             ((base.num_hotspots as f64 * factor * factor).round() as usize).max(base.num_hotspots);
-        Self {
+        Ok(Self {
             width_m: base.width_m * factor,
             height_m: base.height_m * factor,
             num_servers,
             num_users,
             num_hotspots,
             ..base
-        }
+        })
     }
 
     /// Convenience: generate the base population and immediately draw one
@@ -210,9 +228,21 @@ mod tests {
     }
 
     #[test]
+    fn scaled_rejects_non_positive_factors() {
+        for (n, m) in [(0, 100), (100, 0), (0, 0)] {
+            let err = SyntheticEua::scaled(n, m).unwrap_err();
+            assert!(
+                matches!(err, ModelError::InvalidEntity(_)),
+                "scaled({n}, {m}) returned {err:?}"
+            );
+            assert!(err.to_string().contains("scaled population"), "{err}");
+        }
+    }
+
+    #[test]
     fn scaled_preserves_density_and_shape() {
         let base = SyntheticEua::default();
-        let big = SyntheticEua::scaled(2_000, 50_000);
+        let big = SyntheticEua::scaled(2_000, 50_000).unwrap();
         assert_eq!(big.num_servers, 2_000);
         assert_eq!(big.num_users, 50_000);
         // 2000 / 125 = 16 → linear factor 4.
@@ -228,9 +258,9 @@ mod tests {
         assert_eq!(big.coverage_radius_m, base.coverage_radius_m);
 
         // Shrinking below the default never shrinks the area.
-        let small = SyntheticEua::scaled(50, 100);
+        let small = SyntheticEua::scaled(50, 100).unwrap();
         assert!((small.width_m - base.width_m).abs() < 1e-9);
-        let pop = SyntheticEua::scaled(500, 1_000).generate(&mut rng(7));
+        let pop = SyntheticEua::scaled(500, 1_000).unwrap().generate(&mut rng(7));
         assert_eq!(pop.num_server_sites(), 500);
         assert_eq!(pop.num_user_sites(), 1_000);
         assert!(pop.covered_fraction() > 0.9, "covered = {}", pop.covered_fraction());

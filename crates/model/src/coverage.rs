@@ -154,6 +154,16 @@ pub struct CoverageMap {
     /// everything derived from it: best responses, dirty sets, audits —
     /// automatically excludes them.
     disabled: Vec<bool>,
+    /// `foreign[i]` = server `i` is owned by another shard. Unlike
+    /// [`CoverageMap::disable_server`], a foreign server **stays in both
+    /// adjacency directions**: it still covers users, still exerts
+    /// interference, and allocations onto it (halo overlays mirrored from
+    /// the owning shard) remain feasible. The mask only removes it from the
+    /// *candidate* sets the optimisers enumerate — the game's best-response
+    /// scan and the greedy placement never propose decisions on servers the
+    /// local shard does not own. All-false outside the shard layer, so the
+    /// monolithic paths are untouched.
+    foreign: Vec<bool>,
     /// Spatial acceleration; `None` when the map was built without geometry
     /// ([`CoverageMap::from_adjacency`], [`CoverageMap::compute_brute_force`])
     /// or the geometry is degenerate, in which case every query falls back
@@ -164,7 +174,10 @@ pub struct CoverageMap {
 /// Equality is over the materialised relation (adjacency + disabled mask)
 /// only: a grid-backed map and a brute-force map describing the same
 /// relation compare equal, which is exactly what the differential tests
-/// assert.
+/// assert. The foreign-ownership mask is deliberately excluded — it
+/// restricts *candidate enumeration*, not the relation, so a shard-local
+/// map still compares equal to the canonical rebuild recipe (`compute` +
+/// `disable_server` replay) the audits pin.
 impl PartialEq for CoverageMap {
     fn eq(&self, other: &Self) -> bool {
         self.servers_of == other.servers_of
@@ -205,7 +218,8 @@ impl CoverageMap {
             None => fill_brute_force(servers, users, &mut servers_of, &mut users_of),
         }
         let disabled = vec![false; servers.len()];
-        Self { servers_of, users_of, disabled, index }
+        let foreign = vec![false; servers.len()];
+        Self { servers_of, users_of, disabled, foreign, index }
     }
 
     /// Computes the coverage relation with the original exhaustive `O(N·M)`
@@ -217,7 +231,8 @@ impl CoverageMap {
         let mut users_of = vec![Vec::new(); servers.len()];
         fill_brute_force(servers, users, &mut servers_of, &mut users_of);
         let disabled = vec![false; servers.len()];
-        Self { servers_of, users_of, disabled, index: None }
+        let foreign = vec![false; servers.len()];
+        Self { servers_of, users_of, disabled, foreign, index: None }
     }
 
     /// Builds a coverage map directly from adjacency lists (used by tests and
@@ -233,7 +248,8 @@ impl CoverageMap {
             }
         }
         let disabled = vec![false; num_servers];
-        Self { servers_of, users_of, disabled, index: None }
+        let foreign = vec![false; num_servers];
+        Self { servers_of, users_of, disabled, foreign, index: None }
     }
 
     /// Removes a downed server from the relation: every `V_j` loses it and
@@ -304,6 +320,36 @@ impl CoverageMap {
     #[inline]
     pub fn is_enabled(&self, server: ServerId) -> bool {
         !self.disabled[server.index()]
+    }
+
+    /// Marks a server as owned by another shard (or re-admits it with
+    /// `false`). Foreign servers stay in the coverage relation — they keep
+    /// covering users and carrying halo-overlay allocations — but the
+    /// optimisers exclude them from candidate enumeration (see
+    /// [`CoverageMap::is_candidate`]). Independent of the disabled mask.
+    pub fn set_foreign(&mut self, server: ServerId, foreign: bool) {
+        self.foreign[server.index()] = foreign;
+    }
+
+    /// Whether the server is owned by another shard.
+    #[inline]
+    pub fn is_foreign(&self, server: ServerId) -> bool {
+        self.foreign[server.index()]
+    }
+
+    /// Whether the optimisers may propose a decision on this server: it
+    /// must be locally owned (not foreign). Disabled servers are already
+    /// absent from the adjacency, so they never reach this predicate
+    /// through a `servers_of` scan.
+    #[inline]
+    pub fn is_candidate(&self, server: ServerId) -> bool {
+        !self.foreign[server.index()]
+    }
+
+    /// `true` when no server is marked foreign — every monolithic (non-
+    /// shard) map is in this state.
+    pub fn is_wholly_owned(&self) -> bool {
+        self.foreign.iter().all(|&f| !f)
     }
 
     /// Servers currently disabled by [`CoverageMap::disable_server`].
@@ -562,6 +608,30 @@ mod tests {
         assert_eq!(cov, CoverageMap::compute(&servers, &users));
         cov.enable_server(&servers[0], &users); // idempotent
         assert_eq!(cov, CoverageMap::compute(&servers, &users));
+    }
+
+    #[test]
+    fn foreign_mask_restricts_candidates_but_not_the_relation() {
+        let servers = vec![server(0, 0.0, 0.0, 100.0), server(1, 150.0, 0.0, 100.0)];
+        let mut users = vec![user(0, 75.0, 0.0)];
+        let mut cov = CoverageMap::compute(&servers, &users);
+        assert!(cov.is_wholly_owned());
+        cov.set_foreign(ServerId(1), true);
+        assert!(!cov.is_wholly_owned());
+        assert!(cov.is_foreign(ServerId(1)));
+        assert!(!cov.is_candidate(ServerId(1)));
+        assert!(cov.is_candidate(ServerId(0)));
+        // The relation itself is untouched: the foreign server still covers
+        // the user and still compares equal to an unmasked rebuild.
+        assert_eq!(cov.servers_of(UserId(0)), &[ServerId(0), ServerId(1)]);
+        assert!(cov.covers(ServerId(1), UserId(0)));
+        assert_eq!(cov, CoverageMap::compute(&servers, &users));
+        // Mobility maintenance keeps foreign servers in the rows too.
+        users[0].position = Point::new(90.0, 0.0);
+        cov.update_user(&servers, &users[0]);
+        assert_eq!(cov.servers_of(UserId(0)), &[ServerId(0), ServerId(1)]);
+        cov.set_foreign(ServerId(1), false);
+        assert!(cov.is_wholly_owned());
     }
 
     #[test]

@@ -115,6 +115,16 @@ impl Rect {
     pub fn clamp(&self, p: Point) -> Point {
         Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
     }
+
+    /// Euclidean distance from the point to the rectangle (0 when inside —
+    /// the clamp projects onto the nearest boundary point). This is the
+    /// halo-membership predicate of the shard layer: a server can interfere
+    /// inside a shard iff its distance to the shard's rectangle is below the
+    /// interference range.
+    #[inline]
+    pub fn distance_to(&self, p: Point) -> f64 {
+        p.distance(self.clamp(p))
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +164,19 @@ mod tests {
         assert_eq!(r.width(), 4.0);
         assert_eq!(r.height(), 6.0);
         assert_eq!(r.area(), 24.0);
+    }
+
+    #[test]
+    fn rect_distance_to_point() {
+        let r = Rect::with_size(100.0, 50.0);
+        // Inside (and on the border): zero.
+        assert_eq!(r.distance_to(Point::new(30.0, 20.0)), 0.0);
+        assert_eq!(r.distance_to(Point::new(0.0, 50.0)), 0.0);
+        // Beyond one axis: the perpendicular drop.
+        assert!((r.distance_to(Point::new(130.0, 20.0)) - 30.0).abs() < 1e-12);
+        assert!((r.distance_to(Point::new(50.0, -7.0)) - 7.0).abs() < 1e-12);
+        // Beyond a corner: the Euclidean corner distance.
+        assert!((r.distance_to(Point::new(103.0, 54.0)) - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -95,6 +95,26 @@ impl SpatialGrid {
         self.cell_size
     }
 
+    /// Lower-left corner of the grid (the bounding-box minimum it was built
+    /// over). Together with [`SpatialGrid::cell_size`], this pins the cell
+    /// lattice in the plane — the shard planner aligns its cuts to it.
+    #[inline]
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Number of cell columns (x axis).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of cell rows (y axis).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
     /// Total number of cells (`cols × rows`).
     #[inline]
     pub fn num_cells(&self) -> usize {
@@ -423,6 +443,17 @@ mod tests {
                 assert!(row.contains(id), "stencil missed {id} at {p:?}");
             }
         }
+    }
+
+    #[test]
+    fn geometry_accessors_expose_the_lattice() {
+        let points = vec![Point::new(10.0, 20.0), Point::new(310.0, 220.0)];
+        let grid = SpatialGrid::build(&points, 100.0).unwrap();
+        assert_eq!(grid.origin(), Point::new(10.0, 20.0));
+        assert_eq!(grid.cell_size(), 100.0);
+        assert_eq!(grid.cols(), 4); // floor(300 / 100) + 1
+        assert_eq!(grid.rows(), 3); // floor(200 / 100) + 1
+        assert_eq!(grid.num_cells(), grid.cols() * grid.rows());
     }
 
     #[test]

@@ -120,6 +120,46 @@ where
     });
 }
 
+/// Applies `f` to every element of `items` in parallel, each worker owning
+/// a disjoint `&mut` slot — the mutable counterpart of [`par_map`] for
+/// workloads that *are* the shared state, like one serving engine per
+/// shard. `f` receives `(index, &mut item)`; items must be independent (no
+/// cross-item reads), which the exclusive borrows enforce structurally.
+///
+/// Unlike the fine-grained maps there is no [`PAR_THRESHOLD`]: each item is
+/// assumed heavyweight (a shard's whole tick), so two items already justify
+/// two workers. One item or one worker falls back to a sequential in-order
+/// loop. Determinism: each item's mutation is a pure function of
+/// `(index, item)` state, so the final slice contents are identical for
+/// every worker count — only completion *order* varies, and nothing
+/// observes it.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = items.len();
+    let threads = num_threads().min(len.max(1));
+    if len < 2 || threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk_size = len.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, chunk) in items.chunks_mut(chunk_size).enumerate() {
+            let base = c * chunk_size;
+            scope.spawn(move || {
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    f(base + i, item);
+                }
+            });
+        }
+    });
+}
+
 /// A trivial free-list of reusable `Vec<T>` buffers.
 ///
 /// The greedy placement loop needs a few scratch vectors per round (one
@@ -202,6 +242,27 @@ mod tests {
         par_fill(&mut buf, 8, |i| i * 2);
         assert_eq!(buf.len(), 8);
         assert!(buf.capacity() >= cap.min(64), "capacity must survive refills");
+    }
+
+    #[test]
+    fn par_for_each_mut_matches_serial_for_every_worker_count() {
+        let reference: Vec<u64> = (0..97).map(|i| (i as u64) * 13 + 5).collect();
+        for threads in [1usize, 2, 3, 8] {
+            set_threads(threads);
+            let mut items: Vec<u64> = (0..97).collect();
+            par_for_each_mut(&mut items, |i, item| {
+                *item = *item * 13 + 5;
+                assert_eq!(*item, (i as u64) * 13 + 5, "slot {i} got someone else's item");
+            });
+            assert_eq!(items, reference, "{threads} threads changed the result");
+        }
+        set_threads(0);
+        // Degenerate sizes run inline.
+        let mut one = [41u64];
+        par_for_each_mut(&mut one, |_, item| *item += 1);
+        assert_eq!(one, [42]);
+        let mut none: [u64; 0] = [];
+        par_for_each_mut(&mut none, |_, _| unreachable!());
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! # idde-shard — spatially sharded serving with halo-cell exchange
+//!
+//! One engine per city works until the city outgrows one engine. This
+//! crate scales the online serving loop *spatially*: the scenario's area
+//! is tiled into `K` rectangular shards, each shard runs a full
+//! [`idde_engine::Engine`] over its own tile, and a router drives them
+//! through a deterministic two-phase tick.
+//!
+//! The crate is three layers:
+//!
+//! * [`ShardPlan`] — the tiling. Recursive bisection over the
+//!   [`idde_model::SpatialGrid`] cell lattice (cell size = one
+//!   interference range), balancing server counts across tiles, with
+//!   half-open ownership so every point belongs to exactly one shard. Each
+//!   shard's **halo** is the set of foreign servers within one
+//!   interference range of its tile — the only servers whose load can
+//!   leak interference across the cut.
+//! * [`ShardEngine`] — one shard's engine: a clone of the *global* problem
+//!   with the foreign-ownership mask applied, so ids never remap and
+//!   cross-cut interference stays physically present.
+//! * [`ShardRouter`] — the serve loop: events route deterministically by
+//!   `(tick, seq)`; interior events apply per-shard in parallel; boundary
+//!   events replay globally against exchanged halo state; users crossing a
+//!   cut hand off as deterministic depart/arrive pairs; an optional
+//!   per-tick cross-shard audit certifies that the union of the shard
+//!   states rebuilds one coherent global interference field.
+//!
+//! The migration-safety contract: `K = 1` is the monolithic engine byte
+//! for byte — same event stream, same repairs, same serve CSV.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod plan;
+pub mod router;
+
+pub use engine::ShardEngine;
+pub use plan::{ShardError, ShardPlan};
+pub use router::ShardRouter;

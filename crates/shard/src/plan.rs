@@ -1,0 +1,503 @@
+//! The spatial tiling: `K` rectangular shards aligned to the coverage
+//! grid's cell lattice, with per-shard halo sets.
+//!
+//! The planner recursively bisects the serving area into `K` axis-aligned
+//! tiles. Cuts are taken from the cell lattice of a [`SpatialGrid`] built
+//! over the server sites with cells at least one interference range (the
+//! maximum coverage radius) on a side — the same lattice the coverage index
+//! queries — so a tile boundary never slices a grid cell, and the halo of a
+//! tile is exactly its one-cell rind. Each cut splits the current tile's
+//! server population as evenly as the requested shard ratio allows, with a
+//! deterministic tie-break, so the plan is a pure function of
+//! `(scenario geometry, K)`.
+//!
+//! Ownership is **half-open**: a point on an interior cut line belongs to
+//! the tile on its upper/right side, and the outer boundary is closed, so
+//! every point of the plane (after clamping into the outer rectangle) has
+//! exactly one owner. Server ownership is assigned by the same predicate
+//! during the recursion, which yields the halo guarantee the proptests pin:
+//! if two servers of different shards are within one interference range of
+//! each other, each appears in the other shard's halo — membership of `s`
+//! in `halo(k)` only requires `dist(s, rect(k)) ≤ H`, and the distance to a
+//! rectangle is bounded by the distance to any point inside it.
+
+use idde_model::{Point, Rect, Scenario, ServerId, SpatialGrid};
+use std::fmt;
+
+/// Why a shard plan could not be built.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardError {
+    /// `K = 0` shards were requested.
+    InvalidShardCount,
+    /// Fewer servers than shards — some shard would own nothing.
+    TooFewServers {
+        /// Number of servers in the scenario.
+        servers: usize,
+        /// Number of shards requested.
+        shards: usize,
+    },
+    /// The geometry cannot support a tiling: no servers, a non-positive
+    /// interference range, or server sites too degenerate to separate.
+    DegenerateGeometry,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::InvalidShardCount => write!(f, "shard count must be at least 1"),
+            ShardError::TooFewServers { servers, shards } => {
+                write!(f, "{servers} servers cannot populate {shards} shards")
+            }
+            ShardError::DegenerateGeometry => {
+                write!(f, "server geometry cannot support a shard tiling")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// A tiling of the serving area into `K` rectangular shards.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// The tile of each shard; tiles partition `outer` exactly.
+    rects: Vec<Rect>,
+    /// Owning shard of each server (indexed by server id).
+    owner: Vec<usize>,
+    /// Per shard: the foreign servers within one interference range of its
+    /// tile, ascending by id — the servers whose occupancy/power state must
+    /// be mirrored into the shard before boundary work.
+    halos: Vec<Vec<ServerId>>,
+    /// The outer rectangle the tiles partition (the scenario area, dilated
+    /// to the server bounding box when servers sit outside it).
+    outer: Rect,
+    /// The interference range `H`: the maximum coverage radius, which
+    /// bounds how far any server's channels reach (Eq. 2's indicator is
+    /// zero beyond coverage).
+    interference_range: f64,
+}
+
+impl ShardPlan {
+    /// Tiles `scenario` into `num_shards` shards. Pure function of the
+    /// scenario geometry and the shard count.
+    pub fn build(scenario: &Scenario, num_shards: usize) -> Result<Self, ShardError> {
+        if num_shards == 0 {
+            return Err(ShardError::InvalidShardCount);
+        }
+        let servers = &scenario.servers;
+        if servers.len() < num_shards {
+            return Err(ShardError::TooFewServers { servers: servers.len(), shards: num_shards });
+        }
+        let interference_range =
+            servers.iter().map(|s| s.coverage_radius_m).fold(0.0_f64, f64::max);
+        if !(interference_range.is_finite() && interference_range > 0.0) {
+            return Err(ShardError::DegenerateGeometry);
+        }
+        let sites: Vec<Point> = servers.iter().map(|s| s.position).collect();
+        let grid =
+            SpatialGrid::build(&sites, interference_range).ok_or(ShardError::DegenerateGeometry)?;
+
+        // The outer rectangle must contain every server site *and* every
+        // reachable user position (users are clamped into the area).
+        let mut outer = scenario.area;
+        for p in &sites {
+            outer = Rect::new(
+                Point::new(outer.min.x.min(p.x), outer.min.y.min(p.y)),
+                Point::new(outer.max.x.max(p.x), outer.max.y.max(p.y)),
+            );
+        }
+
+        let mut rects = Vec::with_capacity(num_shards);
+        let mut owner = vec![usize::MAX; servers.len()];
+        let all: Vec<u32> = (0..servers.len() as u32).collect();
+        split(outer, all, num_shards, &grid, &sites, &mut rects, &mut owner)?;
+        debug_assert_eq!(rects.len(), num_shards);
+        debug_assert!(owner.iter().all(|&o| o < num_shards));
+
+        let mut halos = vec![Vec::new(); num_shards];
+        for (k, halo) in halos.iter_mut().enumerate() {
+            for (i, p) in sites.iter().enumerate() {
+                if owner[i] != k && rects[k].distance_to(*p) <= interference_range {
+                    halo.push(ServerId(i as u32));
+                }
+            }
+        }
+        let plan = Self { rects, owner, halos, outer, interference_range };
+        debug_assert!(sites
+            .iter()
+            .enumerate()
+            .all(|(i, p)| plan.owner_of_position(*p) == plan.owner[i]));
+        Ok(plan)
+    }
+
+    /// Number of shards `K`.
+    pub fn num_shards(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// The tile of shard `k`.
+    pub fn rect(&self, k: usize) -> Rect {
+        self.rects[k]
+    }
+
+    /// Owning shard of every server, indexed by server id.
+    pub fn owner(&self) -> &[usize] {
+        &self.owner
+    }
+
+    /// Owning shard of one server.
+    pub fn owner_of_server(&self, server: ServerId) -> usize {
+        self.owner[server.index()]
+    }
+
+    /// The halo of shard `k`: foreign servers within one interference range
+    /// of its tile, ascending by id.
+    pub fn halo(&self, k: usize) -> &[ServerId] {
+        &self.halos[k]
+    }
+
+    /// The interference range `H` the halos were dilated by.
+    pub fn interference_range(&self) -> f64 {
+        self.interference_range
+    }
+
+    /// The outer rectangle the tiles partition.
+    pub fn outer(&self) -> Rect {
+        self.outer
+    }
+
+    /// The shard owning `position` (clamped into the outer rectangle);
+    /// half-open on interior cut lines, closed on the outer boundary.
+    pub fn owner_of_position(&self, position: Point) -> usize {
+        let p = self.outer.clamp(position);
+        for (k, r) in self.rects.iter().enumerate() {
+            let x_ok = p.x >= r.min.x && (p.x < r.max.x || r.max.x >= self.outer.max.x);
+            let y_ok = p.y >= r.min.y && (p.y < r.max.y || r.max.y >= self.outer.max.y);
+            if x_ok && y_ok {
+                return k;
+            }
+        }
+        unreachable!("tiles partition the outer rectangle");
+    }
+
+    /// Whether `position` lies within one interference range of some shard
+    /// other than `home` — the predicate deciding that an event is
+    /// boundary-affected and must wait for the halo exchange.
+    pub fn near_foreign_boundary(&self, position: Point, home: usize) -> bool {
+        let p = self.outer.clamp(position);
+        self.rects
+            .iter()
+            .enumerate()
+            .any(|(k, r)| k != home && r.distance_to(p) <= self.interference_range)
+    }
+
+    /// Number of servers each shard owns.
+    pub fn server_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_shards()];
+        for &o in &self.owner {
+            counts[o] += 1;
+        }
+        counts
+    }
+}
+
+/// Recursively bisects `rect` (owning the servers in `indices`) into `k`
+/// tiles, pushing leaves in left/bottom-first depth-first order.
+fn split(
+    rect: Rect,
+    indices: Vec<u32>,
+    k: usize,
+    grid: &SpatialGrid,
+    sites: &[Point],
+    rects: &mut Vec<Rect>,
+    owner: &mut Vec<usize>,
+) -> Result<(), ShardError> {
+    if k == 1 {
+        let shard = rects.len();
+        for &i in &indices {
+            owner[i as usize] = shard;
+        }
+        rects.push(rect);
+        return Ok(());
+    }
+    // Ceil/floor split of the shard budget; the left/bottom child takes the
+    // larger half, so the ideal left share of the servers is `ka / k`.
+    let ka = k.div_ceil(2);
+    let kb = k - ka;
+    let total = indices.len();
+    let ideal_left = total as f64 * ka as f64 / k as f64;
+
+    // Try the longer axis first, then the other: `true` = vertical cut
+    // (splits x).
+    let axes = if rect.width() >= rect.height() { [true, false] } else { [false, true] };
+    let mut best: Option<(f64, f64, bool)> = None; // (imbalance, cut, vertical)
+    for &vertical in &axes {
+        for cut in aligned_cuts(rect, vertical, grid) {
+            let left =
+                indices.iter().filter(|&&i| coord(sites[i as usize], vertical) < cut).count();
+            let right = total - left;
+            if left < ka || right < kb {
+                continue; // some child could not seat one server per shard
+            }
+            let imbalance = (left as f64 - ideal_left).abs();
+            let candidate = (imbalance, cut, vertical);
+            // Strictly-better imbalance wins; ties keep the earlier axis
+            // and the smaller cut (the iteration order).
+            if best.is_none_or(|(b, _, _)| imbalance < b) {
+                best = Some(candidate);
+            }
+        }
+        if best.is_some() {
+            break; // never mix axes: the longer axis had a feasible cut
+        }
+    }
+    // No feasible cell-aligned line (the tile spans a single cell, or every
+    // line strands a child): cut between server coordinates instead —
+    // deterministic, and the only case a cut may be off-lattice.
+    let (cut, vertical) = match best {
+        Some((_, cut, vertical)) => (cut, vertical),
+        None => fallback_cut(rect, &indices, ka, kb, sites)?,
+    };
+
+    let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+    for &i in &indices {
+        if coord(sites[i as usize], vertical) < cut {
+            left_idx.push(i);
+        } else {
+            right_idx.push(i);
+        }
+    }
+    let (left_rect, right_rect) = if vertical {
+        (
+            Rect::new(rect.min, Point::new(cut, rect.max.y)),
+            Rect::new(Point::new(cut, rect.min.y), rect.max),
+        )
+    } else {
+        (
+            Rect::new(rect.min, Point::new(rect.max.x, cut)),
+            Rect::new(Point::new(rect.min.x, cut), rect.max),
+        )
+    };
+    split(left_rect, left_idx, ka, grid, sites, rects, owner)?;
+    split(right_rect, right_idx, kb, grid, sites, rects, owner)
+}
+
+#[inline]
+fn coord(p: Point, vertical: bool) -> f64 {
+    if vertical {
+        p.x
+    } else {
+        p.y
+    }
+}
+
+/// Cell-lattice lines strictly inside `rect` along one axis, ascending.
+fn aligned_cuts(rect: Rect, vertical: bool, grid: &SpatialGrid) -> Vec<f64> {
+    let (origin, lines) =
+        if vertical { (grid.origin().x, grid.cols()) } else { (grid.origin().y, grid.rows()) };
+    let (lo, hi) = if vertical { (rect.min.x, rect.max.x) } else { (rect.min.y, rect.max.y) };
+    (1..=lines)
+        .map(|i| origin + i as f64 * grid.cell_size())
+        .filter(|&c| c > lo && c < hi)
+        .collect()
+}
+
+/// Off-lattice fallback: the midpoint between the two distinct server
+/// coordinates that split the population closest to `ka : kb`, trying the
+/// longer axis first. Fails only when every server shares one position.
+fn fallback_cut(
+    rect: Rect,
+    indices: &[u32],
+    ka: usize,
+    kb: usize,
+    sites: &[Point],
+) -> Result<(f64, bool), ShardError> {
+    let axes = if rect.width() >= rect.height() { [true, false] } else { [false, true] };
+    for &vertical in &axes {
+        let mut coords: Vec<f64> =
+            indices.iter().map(|&i| coord(sites[i as usize], vertical)).collect();
+        coords.sort_by(f64::total_cmp);
+        // A cut between coords[n-1] and coords[n] puts n servers left; the
+        // feasible n are ka ..= total - kb. Pick the feasible boundary with
+        // distinct neighbours nearest the ideal split.
+        let total = coords.len();
+        let ideal = total * ka / (ka + kb);
+        let mut best: Option<(usize, usize)> = None; // (distance to ideal, n)
+        for n in ka..=total - kb {
+            if coords[n - 1] < coords[n] {
+                let d = n.abs_diff(ideal);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, n));
+                }
+            }
+        }
+        if let Some((_, n)) = best {
+            return Ok(((coords[n - 1] + coords[n]) * 0.5, vertical));
+        }
+    }
+    Err(ShardError::DegenerateGeometry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idde_model::{MegaBytes, MegaBytesPerSec, ScenarioBuilder, Watts};
+
+    /// A deterministic scatter of `n` servers over `w × h` metres.
+    fn scatter(n: usize, w: f64, h: f64, radius: f64) -> Scenario {
+        let mut b = ScenarioBuilder::new();
+        for i in 0..n {
+            let x = (i as f64 * 137.5077640500378) % w; // golden-angle walk
+            let y = (i as f64 * 86.83738580263417) % h;
+            b.server(Point::new(x, y), radius, 3, MegaBytesPerSec(200.0), MegaBytes(100.0));
+        }
+        b.user(Point::new(w / 2.0, h / 2.0), Watts(1.0), MegaBytesPerSec(200.0));
+        let d = b.data(MegaBytes(10.0));
+        b.request(idde_model::UserId(0), d);
+        b.area(Rect::with_size(w, h)).build().unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        let s = scatter(4, 1_000.0, 800.0, 150.0);
+        assert_eq!(ShardPlan::build(&s, 0).unwrap_err(), ShardError::InvalidShardCount);
+        assert_eq!(
+            ShardPlan::build(&s, 9).unwrap_err(),
+            ShardError::TooFewServers { servers: 4, shards: 9 }
+        );
+    }
+
+    #[test]
+    fn k1_owns_everything_with_empty_halos() {
+        let s = scatter(10, 1_500.0, 900.0, 120.0);
+        let plan = ShardPlan::build(&s, 1).unwrap();
+        assert_eq!(plan.num_shards(), 1);
+        assert!(plan.owner().iter().all(|&o| o == 0));
+        assert!(plan.halo(0).is_empty());
+        assert!(!plan.near_foreign_boundary(Point::new(0.0, 0.0), 0));
+        assert_eq!(plan.owner_of_position(Point::new(-50.0, 10_000.0)), 0);
+        assert_eq!(plan.server_counts(), vec![10]);
+    }
+
+    #[test]
+    fn tiles_partition_the_outer_rect_and_balance_servers() {
+        let s = scatter(40, 3_000.0, 2_000.0, 150.0);
+        for k in [2usize, 3, 4, 8] {
+            let plan = ShardPlan::build(&s, k).unwrap();
+            assert_eq!(plan.num_shards(), k);
+            // Tile areas sum to the outer area (a partition, no overlap).
+            let total: f64 = (0..k).map(|i| plan.rect(i).area()).sum();
+            assert!((total - plan.outer().area()).abs() < 1e-6 * plan.outer().area());
+            // Every shard owns at least one server, reasonably balanced.
+            let counts = plan.server_counts();
+            assert!(counts.iter().all(|&c| c >= 1), "k={k}: {counts:?}");
+            let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(hi - lo <= 40 / k, "k={k} imbalanced: {counts:?}");
+            // Owners agree with the position predicate.
+            for (i, srv) in s.servers.iter().enumerate() {
+                assert_eq!(plan.owner_of_position(srv.position), plan.owner()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_are_cell_aligned() {
+        let s = scatter(30, 2_400.0, 1_800.0, 150.0);
+        let grid_sites: Vec<Point> = s.servers.iter().map(|v| v.position).collect();
+        let grid = SpatialGrid::build(&grid_sites, 150.0).unwrap();
+        let plan = ShardPlan::build(&s, 4).unwrap();
+        let on_lattice = |c: f64, vertical: bool| {
+            let origin = if vertical { grid.origin().x } else { grid.origin().y };
+            let steps = (c - origin) / grid.cell_size();
+            (steps - steps.round()).abs() < 1e-9
+        };
+        for k in 0..4 {
+            let r = plan.rect(k);
+            for (c, vertical, outer) in [
+                (r.min.x, true, plan.outer().min.x),
+                (r.max.x, true, plan.outer().max.x),
+                (r.min.y, false, plan.outer().min.y),
+                (r.max.y, false, plan.outer().max.y),
+            ] {
+                assert!(
+                    c == outer || on_lattice(c, vertical),
+                    "shard {k}: boundary {c} is neither outer nor cell-aligned"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn halos_contain_every_cross_boundary_interferer() {
+        let s = scatter(25, 2_000.0, 1_600.0, 180.0);
+        let plan = ShardPlan::build(&s, 4).unwrap();
+        let h = plan.interference_range();
+        assert_eq!(h, 180.0);
+        for (i, a) in s.servers.iter().enumerate() {
+            for (j, b) in s.servers.iter().enumerate() {
+                let (oa, ob) = (plan.owner()[i], plan.owner()[j]);
+                if oa != ob && a.position.distance(b.position) <= h {
+                    assert!(
+                        plan.halo(ob).contains(&a.id),
+                        "server {i} interferes into shard {ob} but is missing from its halo"
+                    );
+                    assert!(plan.halo(oa).contains(&b.id));
+                }
+            }
+        }
+        // Halo members are foreign and sorted.
+        for k in 0..plan.num_shards() {
+            let halo = plan.halo(k);
+            assert!(halo.windows(2).all(|w| w[0] < w[1]));
+            assert!(halo.iter().all(|&sv| plan.owner_of_server(sv) != k));
+        }
+    }
+
+    #[test]
+    fn boundary_predicate_is_monotone_in_distance() {
+        let s = scatter(20, 2_400.0, 1_200.0, 140.0);
+        let plan = ShardPlan::build(&s, 2).unwrap();
+        // The deepest interior point of each tile is far from the other.
+        for k in 0..2 {
+            let c = plan.rect(k).center();
+            let other = 1 - k;
+            if plan.rect(other).distance_to(c) > plan.interference_range() {
+                assert!(!plan.near_foreign_boundary(c, k));
+            }
+            // A point inside the other tile is trivially near it.
+            assert!(plan.near_foreign_boundary(plan.rect(other).center(), k));
+        }
+    }
+
+    #[test]
+    fn clustered_sites_fall_back_to_off_lattice_cuts() {
+        // All servers inside one grid cell: no aligned interior line exists,
+        // yet the planner must still split them deterministically.
+        let mut b = ScenarioBuilder::new();
+        for i in 0..4 {
+            b.server(
+                Point::new(10.0 + i as f64, 20.0),
+                500.0,
+                3,
+                MegaBytesPerSec(200.0),
+                MegaBytes(100.0),
+            );
+        }
+        b.user(Point::new(12.0, 20.0), Watts(1.0), MegaBytesPerSec(200.0));
+        let d = b.data(MegaBytes(10.0));
+        b.request(idde_model::UserId(0), d);
+        let s = b.area(Rect::with_size(100.0, 100.0)).build().unwrap();
+        let plan = ShardPlan::build(&s, 2).unwrap();
+        assert_eq!(plan.server_counts(), vec![2, 2]);
+        // Coincident servers cannot be split at all.
+        let mut b = ScenarioBuilder::new();
+        for _ in 0..3 {
+            b.server(Point::new(5.0, 5.0), 100.0, 3, MegaBytesPerSec(200.0), MegaBytes(100.0));
+        }
+        b.user(Point::new(5.0, 5.0), Watts(1.0), MegaBytesPerSec(200.0));
+        let d = b.data(MegaBytes(10.0));
+        b.request(idde_model::UserId(0), d);
+        let s = b.area(Rect::with_size(50.0, 50.0)).build().unwrap();
+        assert_eq!(ShardPlan::build(&s, 2).unwrap_err(), ShardError::DegenerateGeometry);
+    }
+}

@@ -1,0 +1,514 @@
+//! The shard router: deterministic event routing and the two-phase tick.
+//!
+//! Every tick runs in two phases:
+//!
+//! * **Phase A (interior)** — the tick's events are split into per-shard
+//!   batches in global `(tick, seq)` order and every shard applies its
+//!   batch independently ([`idde_par::par_for_each_mut`]). A user event is
+//!   interior when replaying its tick's move chain from the owner's
+//!   authoritative position never comes within one interference range of a
+//!   foreign tile and never changes owner.
+//! * **Phase B (boundary)** — the halo state is exchanged (every shard's
+//!   live boundary decisions are mirrored into its neighbours' engines as
+//!   frozen overlay entries, see [`idde_engine::Engine::set_overlay`]),
+//!   then the deferred boundary events replay *globally* in `(tick, seq)`
+//!   order against the overlaid engines. A move that crosses a cut becomes
+//!   a deterministic handoff: depart from the old owner, position sync in
+//!   both engines, arrive in the new owner, and every other shard drops
+//!   its stale mirror of the user immediately.
+//!
+//! The tick closes with a final halo refresh and a per-shard
+//! [`idde_engine::Engine::end_tick`], so rate samples and drift
+//! checkpoints see the freshest cross-shard interference.
+//!
+//! ## Routing rules
+//!
+//! * User events go to the user's **home** shard — the shard whose tile
+//!   holds the user's position. Homes change only through handoffs; an
+//!   inactive user never moves, so its home stays valid across re-arrivals.
+//! * Server-scoped faults (`ServerDown`/`ServerRestore`/`Jam`/`Unjam`) go
+//!   to the server's owner only. Degradation bookkeeping (displacement,
+//!   replica loss) is the owner's job; other shards keep serving — their
+//!   view of the downed server's channels is already empty because the
+//!   owner displaced every occupant before the next halo exchange.
+//! * Link faults (`LinkDown`/`LinkRestore`/`LinkDegrade`) broadcast to
+//!   **all** shards: each engine owns a full topology clone, and all of
+//!   them must re-route. With `K > 1` the merged `link_faults` counter is
+//!   therefore `K×` the monolithic count — documented, and invisible at
+//!   `K = 1`.
+//!
+//! ## What `K = 1` degenerates to
+//!
+//! One batch holding every event in `(tick, seq)` order, no deferral (no
+//! foreign tile exists), no overlays, no handoffs — exactly the monolithic
+//! [`idde_engine::Engine::run_sources`] loop. The `--shards 1` serve CSV is
+//! byte-identical to the unsharded engine's; `tests/sharding.rs` pins it.
+//!
+//! ## Accounting differences at `K > 1`
+//!
+//! A handoff is applied as a `Depart`/`Arrive` pair, so the merged
+//! `arrivals`/`departures` counters each exceed the monolithic run by the
+//! handoff count (tracked separately via [`ShardRouter::handoffs`]), and
+//! the crossing `Move` is not counted as a move. Cross-shard audit
+//! counters live on the router, never inside [`ServeMetrics`], so the CSV
+//! schema is identical in every mode.
+
+use idde_audit::{AuditConfig, AuditReport, Auditor};
+use idde_core::Problem;
+use idde_engine::{EngineConfig, Event, EventQueue, EventSource, ScheduledEvent, ServeMetrics};
+use idde_model::{Allocation, ChannelIndex, Point, ServerId, UserId};
+
+use crate::engine::ShardEngine;
+use crate::plan::{ShardError, ShardPlan};
+
+/// Routes a deterministic event stream across `K` shard engines.
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    plan: ShardPlan,
+    engines: Vec<ShardEngine>,
+    /// Global activity mirror (union of the shards' local flags).
+    active: Vec<bool>,
+    /// Home shard of every user slot; changes only on handoff.
+    home: Vec<usize>,
+    handoffs: u64,
+    audit_every: u64,
+    audit_config: AuditConfig,
+    cross_audits: u64,
+    cross_checks: u64,
+    cross_violations: u64,
+}
+
+impl ShardRouter {
+    /// Builds the plan, the `K` shard engines (each over a clone of
+    /// `problem`) and the initial halo state.
+    pub fn new(
+        problem: Problem,
+        config: EngineConfig,
+        num_shards: usize,
+        initial_active: Vec<bool>,
+    ) -> Result<Self, ShardError> {
+        assert_eq!(
+            initial_active.len(),
+            problem.scenario.num_users(),
+            "initial_active must cover every user slot"
+        );
+        let plan = ShardPlan::build(&problem.scenario, num_shards)?;
+        let home: Vec<usize> =
+            problem.scenario.users.iter().map(|u| plan.owner_of_position(u.position)).collect();
+        let engines: Vec<ShardEngine> = (0..num_shards)
+            .map(|k| ShardEngine::new(k, &plan, &problem, config, &initial_active))
+            .collect();
+        let mut router = Self {
+            plan,
+            engines,
+            active: initial_active,
+            home,
+            handoffs: 0,
+            audit_every: config.audit_every,
+            audit_config: config.audit,
+            cross_audits: 0,
+            cross_checks: 0,
+            cross_violations: 0,
+        };
+        if router.plan.num_shards() > 1 {
+            router.refresh_overlays();
+        }
+        Ok(router)
+    }
+
+    /// The tiling.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The shard engines, by shard index.
+    pub fn engines(&self) -> &[ShardEngine] {
+        &self.engines
+    }
+
+    /// Global per-slot activity flags.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// The home shard currently owning `user`.
+    pub fn home_of(&self, user: UserId) -> usize {
+        self.home[user.index()]
+    }
+
+    /// Users handed off across a cut so far.
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// Cross-shard audit tallies accumulated by the serve loop:
+    /// `(audits, checks, violations)`. Kept outside [`ServeMetrics`] so the
+    /// CSV schema never depends on the shard count.
+    pub fn cross_audit_stats(&self) -> (u64, u64, u64) {
+        (self.cross_audits, self.cross_checks, self.cross_violations)
+    }
+
+    /// The merged serve metrics: counters sum, gauges max over the shards.
+    /// At `K = 1` this is exactly the single engine's metrics.
+    pub fn metrics(&self) -> ServeMetrics {
+        let mut merged = ServeMetrics::default();
+        for e in &self.engines {
+            merged.merge(e.engine().metrics());
+        }
+        merged
+    }
+
+    /// Runs `ticks` ticks of one event source through the router.
+    pub fn run<S: EventSource>(&mut self, source: &mut S, ticks: u64) {
+        let mut sources: [&mut dyn EventSource; 1] = [source];
+        self.run_sources(&mut sources, ticks);
+    }
+
+    /// Runs several event sources interleaved, mirroring
+    /// [`idde_engine::Engine::run_sources`]: every tick, each source is polled in slice
+    /// order against the *global* activity mirror, the queue drains, and
+    /// the two-phase tick applies the events.
+    pub fn run_sources(&mut self, sources: &mut [&mut dyn EventSource], ticks: u64) {
+        let mut queue = EventQueue::new();
+        for tick in 0..ticks {
+            for source in sources.iter_mut() {
+                source.push_tick(tick, &self.active, &mut queue);
+            }
+            let mut events = Vec::with_capacity(queue.len());
+            while let Some(scheduled) = queue.pop() {
+                events.push(scheduled);
+            }
+            self.tick(tick, &events);
+        }
+    }
+
+    /// Applies one tick's events (already in `(tick, seq)` order) through
+    /// the two-phase protocol and closes the tick on every engine.
+    pub fn tick(&mut self, tick: u64, events: &[ScheduledEvent]) {
+        let k = self.plan.num_shards();
+        let deferred = self.route_phase_a(events);
+        if !deferred.is_empty() {
+            // Boundary work sees the post-interior halo state.
+            self.refresh_overlays();
+            for event in &deferred {
+                self.apply_boundary_event(event);
+            }
+        }
+        if k > 1 {
+            self.refresh_overlays();
+        }
+        idde_par::par_for_each_mut(&mut self.engines, |_, e| e.engine_mut().end_tick(tick));
+        // Cross-shard consistency is certified once per tick on audited
+        // multi-shard runs (the per-event audits inside each engine already
+        // cover the intra-shard invariants).
+        if self.audit_every > 0 && k > 1 {
+            let report = self.cross_audit();
+            self.cross_audits += 1;
+            self.cross_checks += report.checks;
+            self.cross_violations += report.violations.len() as u64;
+        }
+    }
+
+    /// Splits the tick into per-shard interior batches, applies them in
+    /// parallel, and returns the deferred boundary events in global order.
+    fn route_phase_a(&mut self, events: &[ScheduledEvent]) -> Vec<Event> {
+        let k = self.plan.num_shards();
+        let mut batches: Vec<Vec<Event>> = vec![Vec::new(); k];
+        let mut deferred: Vec<Event> = Vec::new();
+        let mut boundary_seen: Vec<UserId> = Vec::new();
+        for scheduled in events {
+            let event = scheduled.event;
+            match event.user() {
+                Some(user) => {
+                    let defer = k > 1 && {
+                        if !boundary_seen.contains(&user) && self.bundle_is_boundary(user, events) {
+                            boundary_seen.push(user);
+                        }
+                        boundary_seen.contains(&user)
+                    };
+                    if defer {
+                        deferred.push(event);
+                    } else {
+                        self.mirror_activity(&event);
+                        batches[self.home[user.index()]].push(event);
+                    }
+                }
+                None => match event {
+                    Event::ServerDown { server }
+                    | Event::ServerRestore { server }
+                    | Event::Jam { server, .. }
+                    | Event::Unjam { server } => {
+                        batches[self.plan.owner_of_server(server)].push(event);
+                    }
+                    // Link faults touch every engine's topology clone.
+                    _ => {
+                        for batch in &mut batches {
+                            batch.push(event);
+                        }
+                    }
+                },
+            }
+        }
+        let batches = &batches;
+        idde_par::par_for_each_mut(&mut self.engines, |i, e| {
+            for event in &batches[i] {
+                e.engine_mut().apply(event);
+            }
+        });
+        deferred
+    }
+
+    /// Whether `user`'s whole bundle of events this tick is
+    /// boundary-affected: replaying its move chain from the owner engine's
+    /// authoritative position (the same clamp the engine itself applies)
+    /// comes within one interference range of a foreign tile, or changes
+    /// owner. Conservative — a deferred no-op is still a no-op in Phase B.
+    fn bundle_is_boundary(&self, user: UserId, events: &[ScheduledEvent]) -> bool {
+        let home = self.home[user.index()];
+        let scenario = &self.engines[home].engine().problem().scenario;
+        let mut position = scenario.users[user.index()].position;
+        if self.plan.near_foreign_boundary(position, home) {
+            return true;
+        }
+        for scheduled in events {
+            if let Event::Move { user: mover, dx, dy } = scheduled.event {
+                if mover != user {
+                    continue;
+                }
+                position = scenario.area.clamp(Point::new(position.x + dx, position.y + dy));
+                if self.plan.near_foreign_boundary(position, home)
+                    || self.plan.owner_of_position(position) != home
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Keeps the router's global activity mirror in lockstep with the
+    /// engines' stale-event semantics (`Arrive` on an active slot and
+    /// `Depart` on an inactive one are ignored, so idempotent flag writes
+    /// reproduce the outcome exactly).
+    fn mirror_activity(&mut self, event: &Event) {
+        match *event {
+            Event::Arrive { user } => self.active[user.index()] = true,
+            Event::Depart { user } => self.active[user.index()] = false,
+            _ => {}
+        }
+    }
+
+    /// Applies one deferred boundary event, handing the user off when a
+    /// move crosses a cut.
+    fn apply_boundary_event(&mut self, event: &Event) {
+        let user = event.user().expect("only user events are deferred");
+        let home = self.home[user.index()];
+        if let Event::Move { dx, dy, .. } = *event {
+            if self.active[user.index()] {
+                let (area, old) = {
+                    let scenario = &self.engines[home].engine().problem().scenario;
+                    (scenario.area, scenario.users[user.index()].position)
+                };
+                let target = area.clamp(Point::new(old.x + dx, old.y + dy));
+                let new_home = self.plan.owner_of_position(target);
+                if new_home != home {
+                    self.handoff(user, home, new_home, target);
+                    return;
+                }
+            }
+        }
+        self.mirror_activity(event);
+        self.engines[home].engine_mut().apply(event);
+    }
+
+    /// The deterministic ownership handoff for a move crossing a cut:
+    /// every shard drops its stale mirror of the user, the old owner
+    /// departs it (releasing its channel at the old position), both
+    /// engines sync to the new position, and the new owner arrives it —
+    /// allocating it for real on its own side of the cut.
+    fn handoff(&mut self, user: UserId, from: usize, to: usize, position: Point) {
+        for e in &mut self.engines {
+            e.engine_mut().strip_overlay_user(user);
+        }
+        self.engines[from].engine_mut().apply(&Event::Depart { user });
+        self.engines[from].engine_mut().set_position(user, position);
+        self.engines[to].engine_mut().set_position(user, position);
+        self.engines[to].engine_mut().apply(&Event::Arrive { user });
+        self.home[user.index()] = to;
+        self.handoffs += 1;
+    }
+
+    /// Exchanges the halo state: for every shard, the live decisions other
+    /// shards hold on servers in its halo are installed as frozen overlay
+    /// mirrors (positions taken from the owning engine's scenario, shards
+    /// then users ascending, so the exchange is deterministic).
+    pub fn refresh_overlays(&mut self) {
+        let k = self.plan.num_shards();
+        let mut entries: Vec<Vec<(UserId, Point, ServerId, ChannelIndex)>> = vec![Vec::new(); k];
+        for (target, slot) in entries.iter_mut().enumerate() {
+            let halo = self.plan.halo(target);
+            if halo.is_empty() {
+                continue;
+            }
+            for source in self.engines.iter() {
+                if source.shard() == target {
+                    continue;
+                }
+                let engine = source.engine();
+                let scenario = &engine.problem().scenario;
+                for (user, decision) in engine.allocation().iter() {
+                    if !engine.active()[user.index()] {
+                        continue; // skips both idle slots and mirrors
+                    }
+                    let Some((server, channel)) = decision else { continue };
+                    if halo.binary_search(&server).is_ok() {
+                        slot.push((user, scenario.users[user.index()].position, server, channel));
+                    }
+                }
+            }
+        }
+        for (target, slot) in entries.into_iter().enumerate() {
+            self.engines[target].engine_mut().set_overlay(&slot);
+        }
+    }
+
+    /// Runs the cross-shard consistency audit over the live shard states:
+    /// the union of the shards' active decisions must rebuild one coherent
+    /// global field that agrees with every shard's local view on the
+    /// servers it owns (occupants exactly, power within `1e-12` relative).
+    pub fn cross_audit(&self) -> AuditReport {
+        let auditor = Auditor::new(self.audit_config);
+        let shards: Vec<(&Allocation, &[bool])> =
+            self.engines.iter().map(|e| (e.engine().allocation(), e.engine().active())).collect();
+        auditor.audit_cross_shard(self.engines[0].engine().problem(), self.plan.owner(), &shards)
+    }
+
+    /// Runs every shard's full intra-shard audit plus the cross-shard
+    /// audit, merged — the sharded counterpart of [`idde_engine::Engine::run_audit`].
+    pub fn run_audit(&mut self) -> AuditReport {
+        let mut report = AuditReport::new();
+        for e in &mut self.engines {
+            report.merge(e.engine_mut().run_audit());
+        }
+        if self.plan.num_shards() > 1 {
+            let cross = self.cross_audit();
+            self.cross_audits += 1;
+            self.cross_checks += cross.checks;
+            self.cross_violations += cross.violations.len() as u64;
+            report.merge(cross);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idde_engine::{Engine, WorkloadConfig, WorkloadGenerator};
+    use idde_eua::{SampleConfig, SyntheticEua};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn problem(seed: u64, servers: usize, users: usize) -> Problem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let population = SyntheticEua::default().generate(&mut rng);
+        let scenario = SampleConfig::paper(servers, users, 4).sample(&population, &mut rng);
+        Problem::standard(scenario, &mut rng)
+    }
+
+    fn serve(problem: &Problem, shards: usize, seed: u64, ticks: u64) -> (ShardRouter, String) {
+        let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), 4, seed);
+        let initial = workload.initial_active(problem.scenario.num_users());
+        let config = EngineConfig { audit_every: 25, ..Default::default() };
+        let mut router = ShardRouter::new(problem.clone(), config, shards, initial).unwrap();
+        router.run(&mut workload, ticks);
+        let csv = router.metrics().to_csv();
+        (router, csv)
+    }
+
+    #[test]
+    fn one_shard_reproduces_the_monolithic_serve_csv() {
+        let p = problem(3, 12, 40);
+        let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), 4, 7);
+        let initial = workload.initial_active(p.scenario.num_users());
+        let config = EngineConfig { audit_every: 25, ..Default::default() };
+        let mut mono = Engine::new(p.clone(), config, initial.clone());
+        mono.run(&mut workload, 60);
+
+        let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), 4, 7);
+        let initial2 = workload.initial_active(p.scenario.num_users());
+        assert_eq!(initial, initial2);
+        let mut router = ShardRouter::new(p, config, 1, initial2).unwrap();
+        router.run(&mut workload, 60);
+
+        assert_eq!(router.metrics().to_csv(), mono.metrics().to_csv());
+        assert_eq!(router.handoffs(), 0);
+        assert_eq!(router.cross_audit_stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn multi_shard_serve_stays_consistent_and_audits_clean() {
+        let p = problem(11, 16, 60);
+        let (mut router, _) = serve(&p, 3, 21, 80);
+        // Per-shard audits found nothing all run long.
+        assert_eq!(router.metrics().audit_violations, 0);
+        // The per-tick cross-shard audit ran and stayed clean.
+        let (audits, checks, violations) = router.cross_audit_stats();
+        assert_eq!(audits, 80);
+        assert!(checks > 0);
+        assert_eq!(violations, 0, "cross-shard state diverged");
+        // A final full audit (intra + cross) is clean too.
+        let report = router.run_audit();
+        assert!(report.is_clean(), "{report}");
+        // Activity mirror matches the union of the shards' local flags, and
+        // every active user is active precisely in its home shard.
+        for j in 0..p.scenario.num_users() {
+            let user = UserId(j as u32);
+            let locally: Vec<usize> = router
+                .engines()
+                .iter()
+                .filter(|e| e.engine().active()[j])
+                .map(|e| e.shard())
+                .collect();
+            if router.active()[j] {
+                assert_eq!(locally, vec![router.home_of(user)], "user {j}");
+            } else {
+                assert!(locally.is_empty(), "inactive user {j} active in {locally:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_serving_is_deterministic() {
+        let p = problem(17, 14, 50);
+        let (ra, a) = serve(&p, 4, 5, 50);
+        let (rb, b) = serve(&p, 4, 5, 50);
+        assert_eq!(a, b, "same seed, same shard count, different CSV");
+        assert_eq!(ra.handoffs(), rb.handoffs());
+        // Thread-count independence: the same serve under 1 worker.
+        idde_par::set_threads(1);
+        let (rc, c) = serve(&p, 4, 5, 50);
+        idde_par::set_threads(0);
+        assert_eq!(a, c, "worker count changed the sharded serve");
+        assert_eq!(ra.handoffs(), rc.handoffs());
+    }
+
+    #[test]
+    fn handoffs_move_users_across_the_cut() {
+        let p = problem(29, 12, 40);
+        // A violent mobility model forces cut crossings quickly.
+        let cfg = WorkloadConfig { move_probability: 0.9, max_step_m: 700.0, ..Default::default() };
+        let mut workload = WorkloadGenerator::new(cfg, 4, 3);
+        let initial = workload.initial_active(p.scenario.num_users());
+        let mut router =
+            ShardRouter::new(p, EngineConfig { audit_every: 10, ..Default::default() }, 2, initial)
+                .unwrap();
+        router.run(&mut workload, 60);
+        assert!(router.handoffs() > 0, "700 m steps must cross a cut in 60 ticks");
+        let (_, checks, violations) = router.cross_audit_stats();
+        assert!(checks > 0);
+        assert_eq!(violations, 0, "handoffs corrupted the cross-shard state");
+        let report = router.run_audit();
+        assert!(report.is_clean(), "{report}");
+    }
+}

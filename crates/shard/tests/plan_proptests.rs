@@ -1,0 +1,91 @@
+//! Property tests for the shard plan's boundary classification
+//! (ISSUE 6, satellite 2): across random scenarios and shard counts,
+//!
+//! * every server site is interior to exactly one shard tile (half-open
+//!   ownership), and that tile is the one `owner()` records;
+//! * every cross-shard server pair closer than the interference range
+//!   appears in *both* shards' halos — no interferer can hide from the
+//!   halo exchange.
+
+use idde_core::Problem;
+use idde_eua::{SampleConfig, SyntheticEua};
+use idde_model::ServerId;
+use idde_shard::ShardPlan;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn scenario(seed: u64, servers: usize) -> idde_model::Scenario {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let population = SyntheticEua::default().generate(&mut rng);
+    let scenario = SampleConfig::paper(servers, 30, 3).sample(&population, &mut rng);
+    // Problem::standard validates the scenario the same way the serve
+    // path does; the plan only needs the scenario back.
+    Problem::standard(scenario, &mut rng).scenario
+}
+
+fn arb_case() -> impl Strategy<Value = (u64, usize, usize)> {
+    (0u64..5000, 8usize..32, 2usize..=6)
+        .prop_map(|(seed, servers, shards)| (seed, servers, shards.min(servers)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_server_is_interior_to_exactly_one_shard((seed, servers, shards) in arb_case()) {
+        let s = scenario(seed, servers);
+        let plan = ShardPlan::build(&s, shards).unwrap();
+        for (i, server) in s.servers.iter().enumerate() {
+            let id = ServerId(i as u32);
+            let containing: Vec<usize> = (0..plan.num_shards())
+                .filter(|&k| plan.owner_of_position(server.position) == k)
+                .collect();
+            prop_assert_eq!(containing.len(), 1, "server {} owned by {:?}", i, &containing);
+            prop_assert_eq!(containing[0], plan.owner_of_server(id));
+            // Half-open ownership also means the site sits inside (or on the
+            // closed outer boundary of) its tile's rectangle.
+            let rect = plan.rect(containing[0]);
+            prop_assert!(rect.contains(server.position));
+        }
+        // Every shard got at least one server.
+        for (k, count) in plan.server_counts().iter().enumerate() {
+            prop_assert!(*count >= 1, "shard {} owns no servers", k);
+        }
+    }
+
+    #[test]
+    fn close_cross_shard_pairs_appear_in_both_halos((seed, servers, shards) in arb_case()) {
+        let s = scenario(seed, servers);
+        let plan = ShardPlan::build(&s, shards).unwrap();
+        let range = plan.interference_range();
+        for i in 0..s.num_servers() {
+            for j in (i + 1)..s.num_servers() {
+                let (a, b) = (ServerId(i as u32), ServerId(j as u32));
+                let (ka, kb) = (plan.owner_of_server(a), plan.owner_of_server(b));
+                if ka == kb {
+                    continue;
+                }
+                let dist = s.servers[i].position.distance(s.servers[j].position);
+                if dist <= range {
+                    prop_assert!(
+                        plan.halo(kb).binary_search(&a).is_ok(),
+                        "server {} ({}m from {}) missing from shard {}'s halo",
+                        i, dist, j, kb
+                    );
+                    prop_assert!(
+                        plan.halo(ka).binary_search(&b).is_ok(),
+                        "server {} ({}m from {}) missing from shard {}'s halo",
+                        j, dist, i, ka
+                    );
+                }
+            }
+        }
+        // Halos only ever contain foreign servers.
+        for k in 0..plan.num_shards() {
+            for &id in plan.halo(k) {
+                prop_assert!(plan.owner_of_server(id) != k);
+            }
+        }
+    }
+}

@@ -36,6 +36,7 @@ pub use idde_model as model;
 pub use idde_net as net;
 pub use idde_par as par;
 pub use idde_radio as radio;
+pub use idde_shard as shard;
 pub use idde_sim as sim;
 pub use idde_solver as solver;
 
@@ -64,4 +65,5 @@ pub mod prelude {
     };
     pub use idde_net::Topology;
     pub use idde_radio::RadioEnvironment;
+    pub use idde_shard::{ShardEngine, ShardPlan, ShardRouter};
 }

@@ -1,0 +1,106 @@
+//! The shard layer's migration-safety contract (ISSUE 6, satellite 3):
+//! `--shards 1` — a `ShardRouter` with a single shard — must produce a
+//! serve CSV *byte-identical* to the monolithic engine's, across seeds,
+//! worker counts and an injected fault schedule. Plus the `K > 1`
+//! guarantees the contract implies: deterministic output per `(seed, K)`
+//! and a clean cross-shard audit throughout.
+
+use idde::prelude::*;
+
+fn sampled_problem(seed: u64) -> Problem {
+    let mut rng = idde::seeded_rng(seed);
+    let scenario = SyntheticEua::default().sample(14, 60, 4, &mut rng);
+    Problem::standard(scenario, &mut rng)
+}
+
+/// Serves `ticks` ticks of the seeded workload (plus an optional fault
+/// plan) through the monolithic engine and returns the metrics CSV.
+fn monolithic_csv(problem: &Problem, seed: u64, ticks: u64, chaos: Option<&str>) -> String {
+    let mut workload =
+        WorkloadGenerator::new(WorkloadConfig::default(), problem.scenario.num_data(), seed);
+    let initial = workload.initial_active(problem.scenario.num_users());
+    let config = EngineConfig { audit_every: 25, ..Default::default() };
+    let mut engine = Engine::new(problem.clone(), config, initial);
+    match chaos {
+        Some(spec) => {
+            let mut plan =
+                FaultSpec::parse(spec).and_then(|s| s.compile(engine.base_graph())).unwrap();
+            engine.run_sources(&mut [&mut plan, &mut workload], ticks);
+        }
+        None => engine.run(&mut workload, ticks),
+    }
+    engine.metrics().to_csv()
+}
+
+/// The same serve through a `ShardRouter` with `shards` shards.
+fn sharded_csv(
+    problem: &Problem,
+    shards: usize,
+    seed: u64,
+    ticks: u64,
+    chaos: Option<&str>,
+) -> String {
+    let mut workload =
+        WorkloadGenerator::new(WorkloadConfig::default(), problem.scenario.num_data(), seed);
+    let initial = workload.initial_active(problem.scenario.num_users());
+    let config = EngineConfig { audit_every: 25, ..Default::default() };
+    let mut router = ShardRouter::new(problem.clone(), config, shards, initial).unwrap();
+    match chaos {
+        Some(spec) => {
+            let graph = router.engines()[0].engine().base_graph();
+            let mut plan = FaultSpec::parse(spec).and_then(|s| s.compile(graph)).unwrap();
+            router.run_sources(&mut [&mut plan, &mut workload], ticks);
+        }
+        None => router.run(&mut workload, ticks),
+    }
+    let (_, _, violations) = router.cross_audit_stats();
+    assert_eq!(violations, 0, "cross-shard audit violations at K = {shards}");
+    router.metrics().to_csv()
+}
+
+#[test]
+fn one_shard_serve_csv_is_byte_identical_across_seeds() {
+    for seed in [2022u64, 7, 99] {
+        let p = sampled_problem(seed);
+        let mono = monolithic_csv(&p, seed, 60, None);
+        let one = sharded_csv(&p, 1, seed, 60, None);
+        assert_eq!(mono, one, "seed {seed}: --shards 1 diverged from the monolithic serve");
+    }
+}
+
+#[test]
+fn one_shard_serve_csv_is_byte_identical_across_worker_counts() {
+    let p = sampled_problem(11);
+    let reference = monolithic_csv(&p, 11, 60, None);
+    for threads in [1usize, 2, 4] {
+        idde::par::set_threads(threads);
+        let one = sharded_csv(&p, 1, 11, 60, None);
+        idde::par::set_threads(0);
+        assert_eq!(reference, one, "{threads} workers changed the K = 1 serve CSV");
+    }
+}
+
+#[test]
+fn one_shard_serve_csv_is_byte_identical_under_chaos() {
+    let spec = "rand:2022:2:1:1@20+8";
+    let p = sampled_problem(5);
+    let mono = monolithic_csv(&p, 5, 40, Some(spec));
+    let one = sharded_csv(&p, 1, 5, 40, Some(spec));
+    assert_eq!(mono, one, "--shards 1 diverged from the monolithic serve under chaos");
+    // The spec really scheduled faults — the identity is not vacuous.
+    let outages: u64 =
+        mono.lines().find_map(|l| l.strip_prefix("server_outages,")).unwrap().parse().unwrap();
+    assert!(outages > 0, "fault spec scheduled no outages:\n{mono}");
+}
+
+#[test]
+fn multi_shard_serve_is_deterministic_and_clean() {
+    let p = sampled_problem(3);
+    for shards in [2usize, 3] {
+        let a = sharded_csv(&p, shards, 3, 60, None);
+        let b = sharded_csv(&p, shards, 3, 60, None);
+        assert_eq!(a, b, "K = {shards} serve is not reproducible");
+        assert!(a.contains("audit_violations,0\n"), "K = {shards}:\n{a}");
+        assert!(a.contains("certificate_violations,0\n"), "K = {shards}:\n{a}");
+    }
+}
