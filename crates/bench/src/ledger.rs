@@ -26,7 +26,7 @@
 use std::time::Instant;
 
 use idde_core::{GameConfig, GreedyDelivery, IddeG, IddeUGame, Problem, ScoringMode};
-use idde_engine::{Engine, EngineConfig, WorkloadConfig, WorkloadGenerator};
+use idde_engine::{Engine, EngineConfig, Event, WorkloadConfig, WorkloadGenerator};
 use idde_eua::SyntheticEua;
 use idde_model::{
     CoverageMap, EdgeServer, MegaBytes, MegaBytesPerSec, Point, Rect, ScenarioBuilder, ServerId,
@@ -411,13 +411,99 @@ pub fn run_engine_suite(cfg: &LedgerConfig) -> Ledger {
     // unsharded `scale_mobility_brute` fingerprint by construction.
     let shard_case = shard_scaling_case(cfg, &scale_servers, &scale_users, &scale_events);
 
+    // Batch-ingestion sweep: one churn stream through a full-scale engine
+    // at group-commit sizes B ∈ {1, 7, 64, 512} (the `threads` column
+    // records B; every point runs single-threaded). The fingerprint hashes
+    // the ingest-invariant state and must be equal at every B.
+    let batch_case = batch_ingestion_case(cfg, &[1, 7, 64, 512]);
+
     Ledger {
         suite: "engine".into(),
         seed: cfg.seed,
         samples: cfg.samples,
         host_parallelism: host_parallelism(),
-        cases: vec![init_case, serve_case, grid_case, brute_case, shard_case],
+        cases: vec![init_case, serve_case, grid_case, brute_case, shard_case, batch_case],
     }
+}
+
+/// The `batch_ingestion` case: one seeded churn-only event stream (moves,
+/// arrivals, departures — requests and faults are flush barriers and would
+/// collapse every batch to size 1) replayed through a pre-built
+/// 2000-server / 5000-user engine at several group-commit sizes. The
+/// `threads` column records the batch size B and every point runs
+/// single-threaded, so the medians' ratio is the pure batching win:
+/// per-event ingestion pays a full interference-field rebuild, a restricted
+/// Nash repair and a placement repair *per event*, while the group commit
+/// pays them once per batch. Engine construction (a full-scale initial
+/// solve) and the per-sample engine clone happen outside the timed region —
+/// the online ingestion regime is the thing measured. Events/sec is
+/// `events ÷ median`; the fingerprint hashes the ingest-invariant state
+/// (bitwise positions, activity flags, the coverage adjacency), so the
+/// standard `deterministic_across_threads` gate doubles as the batching
+/// determinism contract observed at scale.
+fn batch_ingestion_case(cfg: &LedgerConfig, batches: &[u64]) -> BenchCase {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0bac_7ced);
+    let gen = SyntheticEua::scaled(2_000, 5_000).expect("bench workloads use positive scales");
+    let scenario = gen.sample(2_000, 5_000, 5, &mut rng);
+    let problem = Problem::standard(scenario, &mut rng);
+    let m = problem.scenario.num_users();
+    // A third of the population starts active: representative repair cost
+    // without making the B = 1 oracle point glacial (~1 s per event).
+    let initial: Vec<bool> = (0..m).map(|j| j % 3 == 0).collect();
+    let config = EngineConfig { checkpoint_interval: 0, ..EngineConfig::default() };
+    let proto = Engine::new(problem, config, initial);
+    let events: Vec<Event> = (0..64)
+        .map(|_| {
+            let user = UserId(rng.gen_range(0..m as u32));
+            match rng.gen_range(0..10u32) {
+                0..=7 => Event::Move {
+                    user,
+                    dx: rng.gen_range(-80.0..=80.0),
+                    dy: rng.gen_range(-80.0..=80.0),
+                },
+                8 => Event::Depart { user },
+                _ => Event::Arrive { user },
+            }
+        })
+        .collect();
+
+    let mut points = Vec::with_capacity(batches.len());
+    idde_par::set_threads(1);
+    for &b in batches {
+        let mut samples_ms = Vec::with_capacity(cfg.samples);
+        let mut digest = 0u64;
+        for _ in 0..cfg.samples {
+            let mut engine = proto.clone();
+            engine.set_batch(b);
+            let start = Instant::now();
+            engine.apply_batch(&events);
+            samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            digest = ingest_state_fingerprint(&engine);
+        }
+        points.push(ThreadPoint { threads: b as usize, samples_ms, fingerprint: digest });
+    }
+    idde_par::set_threads(0);
+    BenchCase {
+        name: "batch_ingestion".into(),
+        workload: "SyntheticEua::scaled 2000 servers / 5000 users; 64-event churn stream; \
+                   threads column = batch size B, all points single-threaded"
+            .into(),
+        points,
+    }
+}
+
+/// FNV digest over the engine state the batching layer must keep
+/// batch-size-invariant: bitwise user positions, activity flags and the
+/// coverage adjacency relation.
+fn ingest_state_fingerprint(engine: &Engine) -> u64 {
+    let mut fp = Fingerprint::new();
+    for (j, user) in engine.problem().scenario.users.iter().enumerate() {
+        fp.absorb(user.position.x.to_bits());
+        fp.absorb(user.position.y.to_bits());
+        fp.absorb(u64::from(engine.active()[j]));
+    }
+    fp.absorb(adjacency_fingerprint(&engine.problem().scenario.coverage));
+    fp.digest()
 }
 
 /// One shard's pre-partitioned slice of the scaling walk: the servers it
@@ -746,6 +832,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The batch_ingestion contract at small scale: every group-commit
+    /// size lands on the same ingest-state fingerprint (the full-scale
+    /// ledger case observes the same equality at 2000 servers), and the
+    /// whole-stream batch strictly coalesces repairs.
+    #[test]
+    fn batch_ingestion_fingerprints_are_batch_size_invariant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let scenario = SyntheticEua::default().sample(10, 40, 3, &mut rng);
+        let problem = Problem::standard(scenario, &mut rng);
+        let initial: Vec<bool> = (0..40).map(|j| j % 3 == 0).collect();
+        let config = EngineConfig { checkpoint_interval: 0, ..EngineConfig::default() };
+        let proto = Engine::new(problem, config, initial);
+        let events: Vec<Event> = (0..48)
+            .map(|_| {
+                let user = UserId(rng.gen_range(0..40));
+                match rng.gen_range(0..10u32) {
+                    0..=7 => Event::Move {
+                        user,
+                        dx: rng.gen_range(-80.0..=80.0),
+                        dy: rng.gen_range(-80.0..=80.0),
+                    },
+                    8 => Event::Depart { user },
+                    _ => Event::Arrive { user },
+                }
+            })
+            .collect();
+        let mut digests = Vec::new();
+        let mut repairs = Vec::new();
+        for b in [1u64, 7, 48] {
+            let mut engine = proto.clone();
+            engine.set_batch(b);
+            engine.apply_batch(&events);
+            digests.push(ingest_state_fingerprint(&engine));
+            repairs.push(engine.metrics().repairs);
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "ingest-state digests diverged across batch sizes: {digests:x?}"
+        );
+        assert!(
+            repairs[2] < repairs[0],
+            "whole-stream batching must coalesce repairs ({repairs:?})"
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ commands:
              [--scale-servers N] [--scale-users M]
              [--seed S] [--ticks T] [--density D] [--net-seed S]
              [--checkpoint T] [--drift X] [--csv FILE] [--audit N]
-             [--chaos SPEC] [--shards K]
+             [--chaos SPEC] [--shards K] [--batch N]
   chaos      compile a fault spec against a scenario's topology and
              print the scheduled fault timeline (dry run)
              --spec SPEC [--scenario FILE | --servers N --users M
@@ -52,6 +52,14 @@ its own engine and the shards exchange halo state every tick;
 `--shards 1` is byte-identical to the unsharded engine, and with
 `--audit N` a per-tick cross-shard audit certifies the shards agree
 on one global interference field (reported separately from the CSV).
+`--batch N` group-commits churn through the engine's batched
+ingestion layer: every N ingested events (and at every request,
+fault, audit point and tick boundary) one coalesced coverage/gain
+refresh, union dirty-set repair and placement repair run instead of
+N per-event ones. `--batch 1` (the default) is the unbatched engine,
+byte-identical to previous releases; larger batches keep positions,
+activity and the coverage relation identical but may settle a
+different (equally valid) restricted equilibrium.
 `--scale-servers`/`--scale-users` enlarge the synthetic base
 geography density-preservingly before sampling (default 125
 sites/816 users), lifting the 125-site cap for scaling runs, e.g.
@@ -152,6 +160,9 @@ pub enum Command {
         /// `Some(1)` routes through `idde-shard` with one shard, which is
         /// byte-identical to the monolithic serve).
         shards: Option<usize>,
+        /// Group-commit size of the batched ingestion layer (1 = the
+        /// classic per-event path).
+        batch: u64,
     },
     /// `idde chaos` — compile a fault spec and print its timeline.
     Chaos {
@@ -312,6 +323,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 "audit",
                 "chaos",
                 "shards",
+                "batch",
             ])?;
             let opt_usize = |name: &str| -> Result<Option<usize>, String> {
                 take(name)
@@ -321,6 +333,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let shards = opt_usize("shards")?;
             if shards == Some(0) {
                 return Err("--shards needs a positive shard count".into());
+            }
+            let batch = parse_u64("batch", 1)?;
+            if batch == 0 {
+                return Err("--batch needs a positive group-commit size".into());
             }
             Ok(Command::Serve {
                 scenario: take("scenario").map(|v| path_arg(&v)),
@@ -345,6 +361,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 audit: parse_u64("audit", 0)?,
                 chaos: take("chaos"),
                 shards,
+                batch,
             })
         }
         "chaos" => {
@@ -643,6 +660,24 @@ mod tests {
         assert!(parse(&argv("serve --shards 0")).is_err());
         assert!(parse(&argv("serve --shards four")).is_err());
         assert!(parse(&argv("generate --servers 5 --users 9 --data 1 --shards 2")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_batch() {
+        // Default 1 = the classic per-event path (the bitwise oracle).
+        assert!(matches!(parse(&argv("serve")).unwrap(), Command::Serve { batch: 1, .. }));
+        assert!(matches!(
+            parse(&argv("serve --batch 64 --ticks 50")).unwrap(),
+            Command::Serve { batch: 64, ticks: 50, .. }
+        ));
+        // Batching composes with the sharded router.
+        assert!(matches!(
+            parse(&argv("serve --batch 7 --shards 4")).unwrap(),
+            Command::Serve { batch: 7, shards: Some(4), .. }
+        ));
+        assert!(parse(&argv("serve --batch 0")).is_err());
+        assert!(parse(&argv("serve --batch many")).is_err());
+        assert!(parse(&argv("bench --batch 2")).is_err());
     }
 
     #[test]

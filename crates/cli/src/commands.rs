@@ -57,6 +57,7 @@ pub fn run(command: Command) -> Result<(), String> {
             audit,
             chaos,
             shards,
+            batch,
         } => serve(ServeOptions {
             scenario,
             servers,
@@ -74,6 +75,7 @@ pub fn run(command: Command) -> Result<(), String> {
             audit,
             chaos,
             shards,
+            batch,
         }),
     }
 }
@@ -393,6 +395,17 @@ fn print_ledger_table(ledger: &idde_bench::ledger::Ledger) {
             idde_sim::report::scaling_table("shard scaling (threads column = K):", &points)
         );
     }
+    // The batch_ingestion case's `threads` column records the group-commit
+    // size B (every point is single-threaded); summarise the batching win
+    // as a speedup table against the B = 1 per-event oracle.
+    if let Some(case) = ledger.cases.iter().find(|c| c.name == "batch_ingestion") {
+        let points: Vec<(usize, f64)> =
+            case.points.iter().map(|p| (p.threads, p.median_ms())).collect();
+        print!(
+            "{}",
+            idde_sim::report::scaling_table("batch ingestion (threads column = B):", &points)
+        );
+    }
 }
 
 /// `idde serve` inputs (mirrors `Command::Serve`).
@@ -413,6 +426,7 @@ struct ServeOptions {
     audit: u64,
     chaos: Option<String>,
     shards: Option<usize>,
+    batch: u64,
 }
 
 /// Loads a scenario file (`Some`) or samples a synthetic one (`None`).
@@ -472,6 +486,7 @@ fn serve(opts: ServeOptions) -> Result<(), String> {
         drift_threshold: opts.drift,
         checkpoint_interval: opts.checkpoint,
         audit_every: opts.audit,
+        batch: opts.batch,
         ..Default::default()
     };
     let mut workload = WorkloadGenerator::new(WorkloadConfig::default(), num_data, opts.seed);
@@ -695,6 +710,7 @@ mod tests {
                 audit: 0,
                 chaos: None,
                 shards: None,
+                batch: 1,
             })
             .unwrap();
             std::fs::read_to_string(path).unwrap()
@@ -729,6 +745,7 @@ mod tests {
             audit: 10,
             chaos: None,
             shards: None,
+            batch: 1,
         })
         .unwrap();
         let csv = std::fs::read_to_string(&path).unwrap();
@@ -764,6 +781,7 @@ mod tests {
                 audit,
                 chaos: None,
                 shards,
+                batch: 1,
             })
             .unwrap();
             std::fs::read_to_string(path).unwrap()
@@ -827,6 +845,7 @@ mod tests {
                 audit: 25,
                 chaos: Some("rand:2022:2:1:1@20+8".into()),
                 shards: None,
+                batch: 1,
             })
             .unwrap();
             std::fs::read_to_string(path).unwrap()
@@ -857,6 +876,7 @@ mod tests {
             audit: 0,
             chaos: Some("meteor:3@4".into()),
             shards: None,
+            batch: 1,
         })
         .unwrap_err();
         assert!(err.contains("--chaos"), "{err}");

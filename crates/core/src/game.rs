@@ -322,6 +322,10 @@ impl IddeUGame {
         let mut moves = 0usize;
         let mut converged = false;
         let mut order: Vec<UserId> = players.to_vec();
+        // One scan buffer for the whole run: every pass rescans the same
+        // player set, so the candidate vector is recycled instead of
+        // reallocated per pass (bit-neutral — the scan itself is unchanged).
+        let mut scan_buf: Vec<Option<(UserId, ServerId, ChannelIndex, f64)>> = Vec::new();
 
         while passes < self.config.max_passes {
             passes += 1;
@@ -350,8 +354,9 @@ impl IddeUGame {
                             // is unchanged when it is re-checked), so a pass
                             // with candidates always makes progress and
                             // `!any` still certifies quiescence.
-                            for cand in self.scan_pass(&field, &order) {
-                                let Some((user, s, x, _)) = cand else { continue };
+                            self.scan_pass_into(&field, &order, &mut scan_buf);
+                            for cand in &scan_buf {
+                                let Some((user, s, x, _)) = *cand else { continue };
                                 if self.revalidates(&field, user, s, x) {
                                     field.allocate(user, s, x);
                                     moves += 1;
@@ -369,8 +374,9 @@ impl IddeUGame {
                     // Collect all update requests of this pass. Both winner
                     // policies already score against the frozen pass-start
                     // field, so the parallel scan is a pure drop-in here.
+                    self.scan_pass_into(&field, players, &mut scan_buf);
                     let requests: Vec<(UserId, ServerId, ChannelIndex, f64)> =
-                        self.scan_pass(&field, players).into_iter().flatten().collect();
+                        scan_buf.iter().copied().flatten().collect();
                     if requests.is_empty() {
                         converged = true;
                         break;
@@ -406,12 +412,28 @@ impl IddeUGame {
         field: &InterferenceField<'_>,
         players: &[UserId],
     ) -> Vec<Option<(UserId, ServerId, ChannelIndex, f64)>> {
+        let mut out = Vec::new();
+        self.scan_pass_into(field, players, &mut out);
+        out
+    }
+
+    /// [`IddeUGame::scan_pass`] into a caller-owned buffer: the pass loop
+    /// threads one scan vector through the whole run instead of allocating
+    /// a fresh one per pass. Both scoring modes fill identical bytes
+    /// (`idde_par::par_map_into` preserves order for any worker count).
+    fn scan_pass_into(
+        &self,
+        field: &InterferenceField<'_>,
+        players: &[UserId],
+        out: &mut Vec<Option<(UserId, ServerId, ChannelIndex, f64)>>,
+    ) {
         match self.config.scoring {
             ScoringMode::Serial => {
-                players.iter().map(|&u| self.improving_move_with_gain(field, u)).collect()
+                out.clear();
+                out.extend(players.iter().map(|&u| self.improving_move_with_gain(field, u)));
             }
             ScoringMode::Parallel => {
-                idde_par::par_map(players, |&u| self.improving_move_with_gain(field, u))
+                idde_par::par_map_into(players, out, |&u| self.improving_move_with_gain(field, u));
             }
         }
     }

@@ -77,6 +77,18 @@ pub struct EngineConfig {
     pub audit_every: u64,
     /// Tolerances the audits compare with.
     pub audit: AuditConfig,
+    /// Group-commit size of the batched ingestion layer used by
+    /// [`Engine::apply_batch`]: churn events (arrivals, departures, moves)
+    /// are *ingested* — state-exact activity flips, per-step clamped
+    /// positions, released channels — while their coverage/gain refresh and
+    /// dirty-set repair are deferred and coalesced into **one**
+    /// group-committed repair per `batch` ingested events. `1` (the
+    /// default) disables batching: every event runs the classic per-event
+    /// path and the serve CSV is byte-identical to the unbatched engine —
+    /// the bitwise oracle batched runs are validated against. Requests,
+    /// fault events, audit points and tick boundaries are flush barriers,
+    /// so no event is ever served or audited against deferred state.
+    pub batch: u64,
 }
 
 impl Default for EngineConfig {
@@ -89,8 +101,37 @@ impl Default for EngineConfig {
             paranoid: false,
             audit_every: 0,
             audit: AuditConfig::default(),
+            batch: 1,
         }
     }
+}
+
+/// Deferred work accumulated by the batched ingestion layer between two
+/// flushes (see [`EngineConfig::batch`]). Ingested events have already made
+/// their *state-exact* effects — activity flips, per-step clamped positions,
+/// released channels, event counters — so the pending record only carries
+/// what the group commit still owes: which users need their coverage/gain
+/// columns refreshed, and which users/servers seed the union dirty set.
+#[derive(Clone, Debug, Default)]
+struct PendingBatch {
+    /// Movers whose coverage/gain refresh is deferred to the flush, paired
+    /// with the serving server they had when their chain started (so the
+    /// flush can tell whether the demand geometry moved and a placement
+    /// repair is owed). Positions are already final — every step of the
+    /// chain was clamped at ingest, so the net relocation is bitwise equal
+    /// to the unbatched replay.
+    moved: Vec<(UserId, Option<ServerId>)>,
+    /// Users seeding the union dirty set (arrivals and movers); their
+    /// *fresh* post-flush coverage neighbourhood joins the union.
+    dirty_users: Vec<UserId>,
+    /// Servers seeding the union dirty set: vacated decisions and the
+    /// pre-batch coverage of departed/moved users.
+    dirty_servers: Vec<ServerId>,
+    /// Whether an ingested arrival/departure already owes a placement
+    /// repair regardless of where the movers ended up.
+    placement_dirty: bool,
+    /// Ingested-but-unflushed event count.
+    len: u64,
 }
 
 /// The online event-driven serving engine.
@@ -116,6 +157,25 @@ pub struct Engine {
     /// inactive locally, which keeps them out of every dirty set, rate
     /// average and player list.
     overlay: Vec<(UserId, ServerId, ChannelIndex)>,
+    /// Deferred-ingest state of the batching layer; empty outside
+    /// [`Engine::apply_batch`] (every slice ends with a flush).
+    pending: PendingBatch,
+    /// Reusable dirty-set output: [`Engine::dirty_set`] and friends fill
+    /// this in place instead of allocating, sorting and deduping a fresh
+    /// `Vec<UserId>` on every event.
+    dirty_scratch: Vec<UserId>,
+    /// Server-neighbourhood scratch backing the dirty-set computations.
+    near_scratch: Vec<ServerId>,
+    /// Pre-move coverage scratch: `apply_move` snapshots the vacated
+    /// neighbourhood here before the coverage hook rewrites it.
+    cover_scratch: Vec<ServerId>,
+    /// Gain-refresh candidate scratch threaded through every mobility
+    /// event's restricted column refresh.
+    gain_scratch: Vec<ServerId>,
+    /// Interference-field occupancy arena recycled across repairs, so each
+    /// `from_allocation` rebuild reuses the previous field's flat CSR
+    /// buffers instead of reallocating them.
+    field_buffers: idde_radio::FieldBuffers,
 }
 
 impl Engine {
@@ -149,6 +209,12 @@ impl Engine {
             base_graph,
             faults,
             overlay: Vec::new(),
+            pending: PendingBatch::default(),
+            dirty_scratch: Vec::new(),
+            near_scratch: Vec::new(),
+            cover_scratch: Vec::new(),
+            gain_scratch: Vec::new(),
+            field_buffers: idde_radio::FieldBuffers::default(),
         }
     }
 
@@ -185,6 +251,15 @@ impl Engine {
     /// Metrics accumulated so far.
     pub fn metrics(&self) -> &ServeMetrics {
         &self.metrics
+    }
+
+    /// Reconfigures the group-commit size consumed by
+    /// [`Engine::apply_batch`] (clamped to at least 1). The pending set is
+    /// empty whenever control is outside `apply_batch`, so retuning between
+    /// slices can never strand deferred work.
+    pub fn set_batch(&mut self, batch: u64) {
+        debug_assert_eq!(self.pending.len, 0, "set_batch with deferred work pending");
+        self.config.batch = batch.max(1);
     }
 
     /// Average data rate over the *active* users under the current
@@ -230,13 +305,20 @@ impl Engine {
     /// push time).
     pub fn run_sources(&mut self, sources: &mut [&mut dyn EventSource], ticks: u64) {
         let mut queue = EventQueue::new();
+        let mut slice: Vec<Event> = Vec::new();
         for tick in 0..ticks {
             for source in sources.iter_mut() {
                 source.push_tick(tick, &self.active, &mut queue);
             }
+            // Drain the tick's events in (tick, seq) order into one slice
+            // and route it through the batching layer. At `batch == 1` the
+            // slice replays through the classic per-event path, so the
+            // collect step changes nothing observable.
+            slice.clear();
             while let Some(scheduled) = queue.pop() {
-                self.apply(&scheduled.event);
+                slice.push(scheduled.event);
             }
+            self.apply_batch(&slice);
             self.end_tick(tick);
         }
     }
@@ -298,6 +380,230 @@ impl Engine {
         }
     }
 
+    /// Applies a slice of events through the batched ingestion layer.
+    ///
+    /// At [`EngineConfig::batch`] `<= 1` this is exactly a sequential
+    /// [`Engine::apply`] loop — the bitwise oracle. At larger batch sizes,
+    /// churn events are *ingested*: their state-exact effects (activity
+    /// flips, per-step clamped positions, released channels, counters) land
+    /// immediately, while the coverage/gain refresh, the dirty-set repair
+    /// and the placement repair are deferred and **group-committed** once
+    /// per `batch` ingested events — same-user move chains coalesce into
+    /// one net relocation, the per-event dirty sets union into a single
+    /// restricted repair. Requests, fault events and audit points are flush
+    /// barriers (they observe fully committed state, exactly as unbatched),
+    /// and the slice always ends flushed, so callers never see deferred
+    /// state.
+    ///
+    /// Determinism contract: a fixed `(seed, batch)` replay is bitwise
+    /// reproducible, and across batch sizes the positions, activity flags,
+    /// coverage relation and ingest counters are identical; the repaired
+    /// *equilibrium* may differ (a union repair is one restricted game, not
+    /// N sequential ones), which is why equilibrium-derived gauges in the
+    /// CSV are only guaranteed stable at `batch == 1`.
+    pub fn apply_batch(&mut self, events: &[Event]) {
+        if self.config.batch <= 1 {
+            for event in events {
+                self.apply(event);
+            }
+            return;
+        }
+        for event in events {
+            self.metrics.events += 1;
+            match *event {
+                Event::Arrive { user } => self.ingest_arrive(user),
+                Event::Depart { user } => self.ingest_depart(user),
+                Event::Move { user, dx, dy } => self.ingest_move(user, dx, dy),
+                // Serving and fault handling always observe committed state.
+                Event::Request { user, data } => {
+                    self.flush_pending();
+                    self.apply_request(user, data);
+                }
+                Event::LinkDown { a, b } => {
+                    self.flush_pending();
+                    self.apply_link_down(a, b);
+                }
+                Event::LinkRestore { a, b } => {
+                    self.flush_pending();
+                    self.apply_link_restore(a, b);
+                }
+                Event::LinkDegrade { a, b, factor } => {
+                    self.flush_pending();
+                    self.apply_link_degrade(a, b, factor);
+                }
+                Event::ServerDown { server } => {
+                    self.flush_pending();
+                    self.apply_server_down(server);
+                }
+                Event::ServerRestore { server } => {
+                    self.flush_pending();
+                    self.apply_server_restore(server);
+                }
+                Event::Jam { server, floor_w } => {
+                    self.flush_pending();
+                    self.apply_jam(server, floor_w);
+                }
+                Event::Unjam { server } => {
+                    self.flush_pending();
+                    self.apply_unjam(server);
+                }
+            }
+            if self.pending.len >= self.config.batch {
+                self.flush_pending();
+            }
+            let every = self.config.audit_every;
+            // Same cadence as [`Engine::apply`]; the audit is a flush
+            // barrier so it never inspects deferred state.
+            #[allow(clippy::manual_is_multiple_of)]
+            if every > 0 && self.metrics.events % every == 0 {
+                self.flush_pending();
+                self.run_audit();
+            }
+        }
+        self.flush_pending();
+    }
+
+    /// Batched arrival ingest: the activity flip happens now; the
+    /// newcomer's allocation is owed by the flush's union repair (its fresh
+    /// coverage neighbourhood joins the union via `dirty_users`).
+    fn ingest_arrive(&mut self, user: UserId) {
+        if self.active[user.index()] {
+            return;
+        }
+        self.active[user.index()] = true;
+        self.metrics.arrivals += 1;
+        self.pending.dirty_users.push(user);
+        self.pending.placement_dirty = true;
+        self.pending.len += 1;
+    }
+
+    /// Batched departure ingest: the channel is released and the slot
+    /// deactivated now (so no later ingest sees a ghost), while the vacated
+    /// neighbourhood seeds the flush's union repair.
+    fn ingest_depart(&mut self, user: UserId) {
+        if !self.active[user.index()] {
+            return;
+        }
+        let old = self.allocation.set(user, None);
+        self.active[user.index()] = false;
+        self.metrics.departures += 1;
+        self.pending
+            .dirty_servers
+            .extend_from_slice(self.problem.scenario.coverage.servers_of(user));
+        if let Some((server, _)) = old {
+            self.pending.dirty_servers.push(server);
+        }
+        self.pending.placement_dirty = true;
+        self.pending.len += 1;
+    }
+
+    /// Batched move ingest: every step of a same-user chain updates the
+    /// position through the same per-step clamp as the unbatched path (so
+    /// the net position is bitwise equal to the sequential replay), but
+    /// coverage/gain refresh and repair are deferred — the chain coalesces
+    /// into one net relocation at flush. The first step snapshots the
+    /// vacated neighbourhood and the serving server.
+    fn ingest_move(&mut self, user: UserId, dx: f64, dy: f64) {
+        if !self.active[user.index()] {
+            return;
+        }
+        self.metrics.moves += 1;
+        if !self.pending.moved.iter().any(|&(u, _)| u == user) {
+            let old = self.allocation.server_of(user);
+            self.pending.moved.push((user, old));
+            self.pending
+                .dirty_servers
+                .extend_from_slice(self.problem.scenario.coverage.servers_of(user));
+            if let Some(server) = old {
+                self.pending.dirty_servers.push(server);
+            }
+            self.pending.dirty_users.push(user);
+        }
+        let scenario = &mut self.problem.scenario;
+        let p = scenario.users[user.index()].position;
+        scenario.users[user.index()].position = scenario.area.clamp(Point::new(p.x + dx, p.y + dy));
+        self.pending.len += 1;
+    }
+
+    /// Group commit of everything ingested since the last flush: one
+    /// coverage + restricted gain refresh per net-moved user at its final
+    /// position, constraint-(1) release of decisions the refreshed coverage
+    /// no longer supports, one union dirty-set repair, and at most one
+    /// placement repair (owed by churn, or by a mover whose serving server
+    /// changed). No-op when nothing is pending.
+    fn flush_pending(&mut self) {
+        if self.pending.len == 0 {
+            return;
+        }
+        let moved = std::mem::take(&mut self.pending.moved);
+        for &(user, _) in &moved {
+            let j = user.index();
+            {
+                let scenario = &mut self.problem.scenario;
+                scenario.coverage.update_user(&scenario.servers, &scenario.users[j]);
+            }
+            let here = self.problem.scenario.users[j].position;
+            debug_assert!(self.problem.scenario.area.contains(here));
+            self.refresh_gains(user, here);
+            // Constraint (1): a decision whose server no longer covers the
+            // user is infeasible and must be released before the flush
+            // rebuilds the field.
+            if let Some((server, _)) = self.allocation.decision(user) {
+                if !self.problem.scenario.coverage.covers(server, user) {
+                    self.allocation.set(user, None);
+                }
+            }
+        }
+        self.batch_dirty_union();
+        self.repair_scratch();
+        let placement_dirty = self.pending.placement_dirty
+            || moved.iter().any(|&(user, old)| self.allocation.server_of(user) != old);
+        if placement_dirty {
+            self.repair_placement();
+        }
+        self.pending.moved = moved;
+        self.pending.moved.clear();
+        self.pending.dirty_users.clear();
+        self.pending.dirty_servers.clear();
+        self.pending.placement_dirty = false;
+        self.pending.len = 0;
+    }
+
+    /// The union dirty set of a batch flush, filled into
+    /// [`Engine::dirty_scratch`]: the pending users and every active
+    /// allocated user within cross-interference range of the pending
+    /// neighbourhood — the seeds' *fresh* covering servers (post-refresh)
+    /// unioned with the vacated servers recorded at ingest. A superset of
+    /// the union of the per-event dirty sets it replaces.
+    fn batch_dirty_union(&mut self) {
+        let coverage = &self.problem.scenario.coverage;
+        let near = &mut self.near_scratch;
+        near.clear();
+        near.extend_from_slice(&self.pending.dirty_servers);
+        for &user in &self.pending.dirty_users {
+            near.extend_from_slice(coverage.servers_of(user));
+        }
+        near.sort_unstable();
+        near.dedup();
+
+        let dirty = &mut self.dirty_scratch;
+        dirty.clear();
+        dirty.extend(self.pending.dirty_users.iter().copied().filter(|u| self.active[u.index()]));
+        for (other, decision) in self.allocation.iter() {
+            if !self.active[other.index()] {
+                continue;
+            }
+            let allocated_near = decision.is_some_and(|(s, _)| near.binary_search(&s).is_ok());
+            let covered_near =
+                coverage.servers_of(other).iter().any(|s| near.binary_search(s).is_ok());
+            if allocated_near || covered_near {
+                dirty.push(other);
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+    }
+
     /// Runs one full invariant audit over the current strategy: the
     /// interference-field cross-check (Eqs. 2–4 versus a from-scratch
     /// rebuild) plus the placement audit (storage budget and Eq. 8 latency
@@ -339,8 +645,8 @@ impl Engine {
         }
         self.active[user.index()] = true;
         self.metrics.arrivals += 1;
-        let dirty = self.dirty_set(user, None, &[]);
-        self.repair(&dirty);
+        self.dirty_set(user, None, &[]);
+        self.repair_scratch();
         self.repair_placement();
     }
 
@@ -351,8 +657,8 @@ impl Engine {
         let old = self.allocation.set(user, None);
         self.active[user.index()] = false;
         self.metrics.departures += 1;
-        let dirty = self.dirty_set(user, old, &[]);
-        self.repair(&dirty);
+        self.dirty_set(user, old, &[]);
+        self.repair_scratch();
         self.repair_placement();
     }
 
@@ -362,7 +668,9 @@ impl Engine {
         }
         self.metrics.moves += 1;
         let old_decision = self.allocation.decision(user);
-        let old_cover: Vec<ServerId> = self.problem.scenario.coverage.servers_of(user).to_vec();
+        let mut old_cover = std::mem::take(&mut self.cover_scratch);
+        old_cover.clear();
+        old_cover.extend_from_slice(self.problem.scenario.coverage.servers_of(user));
 
         // Mutate the scenario in place: position, then the O(N)-per-user
         // coverage and gain refresh hooks.
@@ -375,16 +683,7 @@ impl Engine {
             scenario.users[j].position
         };
         debug_assert!(self.problem.scenario.area.contains(moved));
-        // Restricted gain refresh: every consumer of the gain table — the
-        // game's best-response scans, the interference field and the audit's
-        // reference SINR — only reads (server, user) pairs within 3× the
-        // maximum coverage radius of the user's current position, so
-        // refreshing the spatial index's candidate superset is bit-identical
-        // to the full O(N) column refresh for every entry ever read.
-        match self.problem.scenario.coverage.gain_refresh_candidates(moved) {
-            Some(near) => self.problem.radio.update_user_among(&self.problem.scenario, user, &near),
-            None => self.problem.radio.update_user(&self.problem.scenario, user),
-        }
+        self.refresh_gains(user, moved);
 
         // Constraint (1): a decision whose server no longer covers the user
         // is infeasible and must be released before the field is rebuilt.
@@ -394,8 +693,10 @@ impl Engine {
             }
         }
 
-        let dirty = self.dirty_set(user, old_decision, &old_cover);
-        self.repair(&dirty);
+        self.dirty_set(user, old_decision, &old_cover);
+        old_cover.clear();
+        self.cover_scratch = old_cover;
+        self.repair_scratch();
         // The mover's serving server may have changed, which shifts the
         // demand geometry Phase #2 optimises for.
         if self.allocation.server_of(user) != old_decision.map(|(s, _)| s) {
@@ -544,8 +845,8 @@ impl Engine {
 
         // Equilibrium repair over the displaced users and the surviving
         // neighbourhood, then re-replication of what was lost.
-        let dirty = self.neighbourhood_dirty_set(&affected);
-        self.repair(&dirty);
+        self.neighbourhood_dirty_set(&affected);
+        self.repair_scratch();
         self.refresh_placement_after_fault();
     }
 
@@ -573,8 +874,8 @@ impl Engine {
         // Everyone the jammed server covers sees a different Eq. 2/Eq. 12
         // trade-off now; let them re-evaluate.
         let affected: Vec<UserId> = self.problem.scenario.coverage.users_of(server).to_vec();
-        let dirty = self.neighbourhood_dirty_set(&affected);
-        self.repair(&dirty);
+        self.neighbourhood_dirty_set(&affected);
+        self.repair_scratch();
     }
 
     fn apply_unjam(&mut self, server: ServerId) {
@@ -584,25 +885,28 @@ impl Engine {
         self.problem.radio.set_jamming(server, 0.0);
         self.metrics.restorations += 1;
         let affected: Vec<UserId> = self.problem.scenario.coverage.users_of(server).to_vec();
-        let dirty = self.neighbourhood_dirty_set(&affected);
-        self.repair(&dirty);
+        self.neighbourhood_dirty_set(&affected);
+        self.repair_scratch();
     }
 
     /// The dirty set of a server-scoped fault: the affected users plus every
     /// active allocated user within cross-interference range of a server
     /// covering one of them — the same neighbourhood notion as
-    /// [`Engine::dirty_set`], widened from one mover to a user set.
-    fn neighbourhood_dirty_set(&self, affected: &[UserId]) -> Vec<UserId> {
+    /// [`Engine::dirty_set`], widened from one mover to a user set. Fills
+    /// [`Engine::dirty_scratch`] (sorted ascending, deduped) in place.
+    fn neighbourhood_dirty_set(&mut self, affected: &[UserId]) {
         let coverage = &self.problem.scenario.coverage;
-        let mut near: Vec<ServerId> = Vec::new();
+        let near = &mut self.near_scratch;
+        near.clear();
         for &user in affected {
             near.extend_from_slice(coverage.servers_of(user));
         }
         near.sort_unstable();
         near.dedup();
 
-        let mut dirty: Vec<UserId> =
-            affected.iter().copied().filter(|u| self.active[u.index()]).collect();
+        let dirty = &mut self.dirty_scratch;
+        dirty.clear();
+        dirty.extend(affected.iter().copied().filter(|u| self.active[u.index()]));
         for (other, decision) in self.allocation.iter() {
             if !self.active[other.index()] {
                 continue;
@@ -616,23 +920,25 @@ impl Engine {
         }
         dirty.sort_unstable();
         dirty.dedup();
-        dirty
     }
 
     /// The dirty set of a churn event concerning `user`: the user itself (if
     /// active), the co-channel sharers of its vacated slot `old`, and every
     /// active allocated user within cross-interference range of the affected
     /// neighbourhood (the servers covering the user — before the move, via
-    /// `extra_servers`, and after). Sorted ascending, so restricted repair
-    /// is deterministic.
+    /// `extra_servers`, and after). Fills [`Engine::dirty_scratch`] (sorted
+    /// ascending, deduped) in place, so restricted repair is deterministic
+    /// and the hot path stops allocating a fresh `Vec` per event.
     fn dirty_set(
-        &self,
+        &mut self,
         user: UserId,
         old: Option<(ServerId, ChannelIndex)>,
         extra_servers: &[ServerId],
-    ) -> Vec<UserId> {
+    ) {
         let coverage = &self.problem.scenario.coverage;
-        let mut near: Vec<ServerId> = coverage.servers_of(user).to_vec();
+        let near = &mut self.near_scratch;
+        near.clear();
+        near.extend_from_slice(coverage.servers_of(user));
         near.extend_from_slice(extra_servers);
         if let Some((server, _)) = old {
             near.push(server);
@@ -640,7 +946,8 @@ impl Engine {
         near.sort_unstable();
         near.dedup();
 
-        let mut dirty: Vec<UserId> = Vec::new();
+        let dirty = &mut self.dirty_scratch;
+        dirty.clear();
         if self.active[user.index()] {
             dirty.push(user);
         }
@@ -666,7 +973,15 @@ impl Engine {
         }
         dirty.sort_unstable();
         dirty.dedup();
-        dirty
+    }
+
+    /// Repairs over the dirty set currently held in
+    /// [`Engine::dirty_scratch`], handing the scratch back afterwards so
+    /// the next event reuses its capacity.
+    fn repair_scratch(&mut self) {
+        let dirty = std::mem::take(&mut self.dirty_scratch);
+        self.repair(&dirty);
+        self.dirty_scratch = dirty;
     }
 
     /// Runs restricted best-response passes over `dirty`, adopting the
@@ -676,10 +991,11 @@ impl Engine {
             return;
         }
         let started = Instant::now();
-        let field = InterferenceField::from_allocation(
+        let field = InterferenceField::from_allocation_in(
             &self.problem.radio,
             &self.problem.scenario,
             &self.allocation,
+            std::mem::take(&mut self.field_buffers),
         );
         let game = IddeUGame::new(self.config.game);
         let outcome = game.run_restricted(field, dirty);
@@ -706,7 +1022,27 @@ impl Engine {
             self.metrics.record_certificate(cert.violations.len() as u64);
             self.metrics.timings.audit += started.elapsed();
         }
-        self.allocation = outcome.field.into_allocation();
+        let (allocation, buffers) = outcome.field.into_parts();
+        self.allocation = allocation;
+        self.field_buffers = buffers;
+    }
+
+    /// Refreshes `user`'s gain column after a position change. Restricted
+    /// refresh: every consumer of the gain table — the game's best-response
+    /// scans, the interference field and the audit's reference SINR — only
+    /// reads (server, user) pairs within 3× the maximum coverage radius of
+    /// the user's current position, so refreshing the spatial index's
+    /// candidate superset is bit-identical to the full O(N) column refresh
+    /// for every entry ever read. Falls back to the full refresh when the
+    /// coverage map carries no index.
+    fn refresh_gains(&mut self, user: UserId, moved: Point) {
+        let mut near = std::mem::take(&mut self.gain_scratch);
+        if self.problem.scenario.coverage.gain_refresh_candidates_into(moved, &mut near) {
+            self.problem.radio.update_user_among(&self.problem.scenario, user, &near);
+        } else {
+            self.problem.radio.update_user(&self.problem.scenario, user);
+        }
+        self.gain_scratch = near;
     }
 
     /// Incremental placement repair: evict replicas no request benefits from
@@ -784,10 +1120,7 @@ impl Engine {
         scenario.users[j].position = scenario.area.clamp(position);
         scenario.coverage.update_user(&scenario.servers, &scenario.users[j]);
         let moved = scenario.users[j].position;
-        match self.problem.scenario.coverage.gain_refresh_candidates(moved) {
-            Some(near) => self.problem.radio.update_user_among(&self.problem.scenario, user, &near),
-            None => self.problem.radio.update_user(&self.problem.scenario, user),
-        }
+        self.refresh_gains(user, moved);
         if let Some((server, _)) = self.allocation.decision(user) {
             if !self.problem.scenario.coverage.covers(server, user) {
                 self.allocation.set(user, None);
@@ -1169,6 +1502,202 @@ mod tests {
         assert!(e.problem().radio.is_unjammed());
         e.apply(&Event::Unjam { server: victim }); // stale
         assert_eq!(e.metrics().restorations, 1);
+        let report = e.run_audit();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    /// Satellite regression for the dirty-set scratch hoist: the reusable
+    /// scratch must produce exactly the same sorted, deduped repair order
+    /// as a fresh computation — reuse may never leak stale entries from a
+    /// previous event into the next repair's player set.
+    #[test]
+    fn dirty_scratch_reuse_keeps_repair_order_identical() {
+        let mut e = engine(16);
+        let user = e.active_users()[2];
+        // Prime every scratch with leftovers from real churn.
+        e.apply(&Event::Move { user, dx: 150.0, dy: -40.0 });
+        e.apply(&Event::Depart { user });
+        e.apply(&Event::Arrive { user });
+
+        let old = e.allocation.decision(user);
+        e.dirty_set(user, old, &[]);
+        let primed = e.dirty_scratch.clone();
+        assert!(
+            primed.windows(2).all(|w| w[0] < w[1]),
+            "repair order must stay sorted and deduped"
+        );
+        // Same computation through virgin scratch buffers.
+        let mut fresh = e.clone();
+        fresh.dirty_scratch = Vec::new();
+        fresh.near_scratch = Vec::new();
+        fresh.dirty_set(user, old, &[]);
+        assert_eq!(primed, fresh.dirty_scratch, "scratch reuse changed the repair order");
+        // And idempotent: refilling the already-used scratch is stable.
+        e.dirty_set(user, old, &[]);
+        assert_eq!(primed, e.dirty_scratch);
+
+        // The neighbourhood variant honours the same contract.
+        let affected = e.active_users();
+        e.neighbourhood_dirty_set(&affected);
+        let primed = e.dirty_scratch.clone();
+        fresh.dirty_scratch = Vec::new();
+        fresh.near_scratch = Vec::new();
+        fresh.neighbourhood_dirty_set(&affected);
+        assert_eq!(primed, fresh.dirty_scratch);
+        assert!(primed.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// `apply_batch` at `batch == 1` *is* the classic per-event loop: a
+    /// scripted churn flood produces a byte-identical metrics CSV.
+    #[test]
+    fn batch_one_replays_the_per_event_path_byte_for_byte() {
+        use rand::Rng;
+        let mut a = engine(17);
+        let mut b = a.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let m = a.active().len();
+        for tick in 0..6 {
+            let events: Vec<Event> = (0..25)
+                .map(|_| {
+                    let user = UserId(rng.gen_range(0..m as u32));
+                    match rng.gen_range(0..10) {
+                        0..=5 => Event::Move {
+                            user,
+                            dx: rng.gen_range(-200.0..200.0),
+                            dy: rng.gen_range(-200.0..200.0),
+                        },
+                        6..=7 => Event::Depart { user },
+                        _ => Event::Arrive { user },
+                    }
+                })
+                .collect();
+            for event in &events {
+                a.apply(event);
+            }
+            a.end_tick(tick);
+            b.apply_batch(&events);
+            b.end_tick(tick);
+        }
+        assert_eq!(a.metrics().to_csv(), b.metrics().to_csv());
+    }
+
+    /// The batched ingestion determinism contract at `batch > 1`: positions
+    /// (bitwise), activity flags, the coverage relation and the ingest-time
+    /// counters are identical to the unbatched replay, the interference
+    /// field stays consistent, and a full audit is clean after every flush.
+    #[test]
+    fn batched_ingestion_matches_unbatched_state() {
+        use rand::Rng;
+        let problem = small_problem(18);
+        let m = problem.scenario.num_users();
+        let initial: Vec<bool> = (0..m).map(|j| j % 4 != 0).collect();
+        let mut unbatched =
+            Engine::new(problem, EngineConfig { paranoid: true, ..Default::default() }, initial);
+        let mut batched = unbatched.clone();
+        batched.config.batch = 7;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for tick in 0..8 {
+            let events: Vec<Event> = (0..30)
+                .map(|_| {
+                    let user = UserId(rng.gen_range(0..m as u32));
+                    match rng.gen_range(0..10) {
+                        0..=5 => Event::Move {
+                            user,
+                            dx: rng.gen_range(-250.0..250.0),
+                            dy: rng.gen_range(-250.0..250.0),
+                        },
+                        6..=7 => Event::Depart { user },
+                        8 => Event::Arrive { user },
+                        _ => Event::Request { user, data: idde_model::DataId(0) },
+                    }
+                })
+                .collect();
+            unbatched.apply_batch(&events);
+            unbatched.end_tick(tick);
+            batched.apply_batch(&events);
+            batched.end_tick(tick);
+        }
+
+        for j in 0..m {
+            let pa = unbatched.problem().scenario.users[j].position;
+            let pb = batched.problem().scenario.users[j].position;
+            assert_eq!((pa.x, pa.y), (pb.x, pb.y), "user {j} position diverged");
+        }
+        assert_eq!(unbatched.active(), batched.active());
+        assert_eq!(
+            unbatched.problem().scenario.coverage,
+            batched.problem().scenario.coverage,
+            "the coverage relation must be batch-size-invariant"
+        );
+        let (ma, mb) = (unbatched.metrics(), batched.metrics());
+        assert_eq!(
+            (ma.events, ma.arrivals, ma.departures, ma.moves, ma.requests),
+            (mb.events, mb.arrivals, mb.departures, mb.moves, mb.requests),
+            "ingest-time counters must be batch-size-invariant"
+        );
+        assert!(
+            mb.repairs < ma.repairs,
+            "group commits must coalesce repairs ({} vs {})",
+            mb.repairs,
+            ma.repairs
+        );
+        for e in [&unbatched, &batched] {
+            let field = InterferenceField::from_allocation(
+                &e.problem().radio,
+                &e.problem().scenario,
+                e.allocation(),
+            );
+            assert!(field.consistency_check());
+        }
+        let report = batched.run_audit();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    /// Satellite audit of the `gain_refresh_candidates == None` fallback in
+    /// the move path: with an index-less (brute-force) coverage map the
+    /// engine must perform the *full* O(N) gain-column refresh rather than
+    /// silently skipping — every (server, user) gain after the move is
+    /// bitwise equal to a from-scratch `RadioEnvironment` rebuild of the
+    /// post-move scenario.
+    #[test]
+    fn index_less_coverage_forces_the_full_gain_refresh() {
+        use idde_radio::{RadioEnvironment, RadioParams};
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let population = SyntheticEua::default().generate(&mut rng);
+        let mut scenario = SampleConfig::paper(15, 60, 4).sample(&population, &mut rng);
+        // Strip the spatial index: the brute-force oracle has none, so the
+        // engine's restricted-refresh lookup reports `None` on every move.
+        scenario.coverage =
+            idde_model::CoverageMap::compute_brute_force(&scenario.servers, &scenario.users);
+        assert!(!scenario.coverage.has_spatial_index());
+        let problem = Problem::standard(scenario, &mut rng);
+        let mut e = Engine::new(
+            problem,
+            EngineConfig { paranoid: true, ..Default::default() },
+            (0..60).map(|j| j % 4 != 0).collect(),
+        );
+        let user = e.active_users()[1];
+        let moved_to = {
+            let p = e.problem().scenario.users[user.index()].position;
+            Point::new(p.x + 400.0, p.y - 350.0)
+        };
+        assert!(
+            e.problem().scenario.coverage.gain_refresh_candidates(moved_to).is_none(),
+            "the None arm must actually be forced"
+        );
+        e.apply(&Event::Move { user, dx: 400.0, dy: -350.0 });
+
+        let rebuilt = RadioEnvironment::new(&e.problem().scenario, RadioParams::paper());
+        for s in e.problem().scenario.server_ids() {
+            for u in e.problem().scenario.user_ids() {
+                assert_eq!(
+                    e.problem().radio.gain(s, u).to_bits(),
+                    rebuilt.gain(s, u).to_bits(),
+                    "gain ({s}, {u}) stale after the fallback refresh"
+                );
+            }
+        }
         let report = e.run_audit();
         assert!(report.is_clean(), "{report}");
     }

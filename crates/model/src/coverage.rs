@@ -447,11 +447,25 @@ impl CoverageMap {
     /// `None` when the map carries no index — callers then refresh all
     /// servers.
     pub fn gain_refresh_candidates(&self, position: Point) -> Option<Vec<ServerId>> {
-        let idx = self.index.as_ref()?;
-        let mut raw = Vec::new();
-        idx.servers.gather(position, 3, &mut raw);
-        raw.sort_unstable();
-        Some(raw.into_iter().map(ServerId).collect())
+        let mut out = Vec::new();
+        self.gain_refresh_candidates_into(position, &mut out).then_some(out)
+    }
+
+    /// Allocation-free variant of
+    /// [`CoverageMap::gain_refresh_candidates`]: fills the caller-owned
+    /// `out` with the sorted candidate set and returns `true`, or returns
+    /// `false` (leaving `out` cleared) when the map carries no index and
+    /// the caller must refresh all servers. The serving engine threads one
+    /// scratch vector through every mobility event, so the hot path stops
+    /// allocating a fresh candidate `Vec` per move.
+    pub fn gain_refresh_candidates_into(&self, position: Point, out: &mut Vec<ServerId>) -> bool {
+        out.clear();
+        let Some(idx) = self.index.as_ref() else {
+            return false;
+        };
+        idx.servers.gather_map(position, 3, out, ServerId);
+        out.sort_unstable();
+        true
     }
 
     /// Whether the map carries a live spatial index (false for adjacency-

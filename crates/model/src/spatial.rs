@@ -290,6 +290,14 @@ impl FrozenGrid {
     /// Same contract as [`SpatialGrid::gather`], one slice copy per cell
     /// row of the query window.
     pub fn gather(&self, p: Point, range: i64, out: &mut Vec<u32>) {
+        self.gather_map(p, range, out, |id| id);
+    }
+
+    /// Same cell windows as [`FrozenGrid::gather`], mapping every id
+    /// through `f` into a caller-owned typed buffer — typed-id callers
+    /// (e.g. `ServerId` wrappers) reuse their scratch without staging
+    /// through a raw `u32` vector first.
+    pub fn gather_map<T>(&self, p: Point, range: i64, out: &mut Vec<T>, f: impl Fn(u32) -> T) {
         let (cx, cy) = self.cell_coords(p);
         let x_lo = (cx - range).max(0);
         let x_hi = (cx + range).min(self.cols as i64 - 1);
@@ -302,7 +310,7 @@ impl FrozenGrid {
             let row = y as usize * self.cols;
             let lo = self.starts[row + x_lo as usize] as usize;
             let hi = self.starts[row + x_hi as usize + 1] as usize;
-            out.extend_from_slice(&self.ids[lo..hi]);
+            out.extend(self.ids[lo..hi].iter().copied().map(&f));
         }
     }
 }

@@ -85,6 +85,21 @@ where
     items.into_par_iter().map(f).collect()
 }
 
+/// Order-preserving parallel map into a caller-owned buffer: resizes `out`
+/// to `items.len()` and sets `out[i] = f(&items[i])` for every index —
+/// [`par_map`] without the per-call allocation, so a pass loop that rescans
+/// the same player set every round reuses one buffer for the whole run.
+/// Routed through [`par_fill`], so either path writes identical bytes for
+/// any worker count.
+pub fn par_map_into<T, U, F>(items: &[T], out: &mut Vec<U>, f: F)
+where
+    T: Sync,
+    U: Send + Default + Clone,
+    F: Fn(&T) -> U + Sync,
+{
+    par_fill(out, items.len(), |i| f(&items[i]));
+}
+
 /// In-place order-preserving parallel fill: resizes `out` to `len` and sets
 /// `out[i] = f(i)` for every index. The buffer is caller-owned, so a loop
 /// that rescoreed candidates every round reuses one allocation for the

@@ -12,6 +12,15 @@
 //! `O(|V_j| · occupancy)` — dominated by the cross-server interference term
 //! `F_{i,x,j}` which genuinely needs per-occupant gains.
 //!
+//! The occupant lists are stored as one flat CSR arena (`row_start` /
+//! `row_len` / `row_cap` per global channel over a shared `occ` payload)
+//! instead of a `Vec<Vec<UserId>>`: a deviation scan that walks every
+//! channel of every covering server then reads contiguous memory, and the
+//! whole field can be rebuilt into caller-owned [`FieldBuffers`]
+//! ([`InterferenceField::from_allocation_in`]) without allocating one `Vec`
+//! per channel — the repair hot path of the serving engine rebuilds a field
+//! per event, so the arena turns O(channels) allocations into zero.
+//!
 //! All SINR/rate/benefit formulas live here so that the IDDE-G game, the
 //! baselines and the metric evaluation share one implementation of Eqs. 2–5
 //! and 12.
@@ -20,6 +29,29 @@ use idde_model::{Allocation, ChannelIndex, MegaBytesPerSec, Scenario, ServerId, 
 
 use crate::rate::capped_rate;
 use crate::RadioEnvironment;
+
+/// Arena slot value for occupant positions past a row's length — never read
+/// through the public API, only written as resize filler.
+const OCC_FILLER: UserId = UserId(u32::MAX);
+
+/// The reusable backing buffers of an [`InterferenceField`]: the CSR
+/// occupancy arena, the per-channel power sums and the channel offset table.
+///
+/// A caller that rebuilds fields repeatedly over the same scenario (the
+/// serving engine rebuilds one per repair) threads one `FieldBuffers`
+/// through [`InterferenceField::from_allocation_in`] /
+/// [`InterferenceField::into_parts`] so the steady state allocates nothing.
+/// A default (empty) value is always valid — the constructors size
+/// everything from the scenario.
+#[derive(Clone, Debug, Default)]
+pub struct FieldBuffers {
+    channel_offset: Vec<usize>,
+    row_start: Vec<u32>,
+    row_len: Vec<u32>,
+    row_cap: Vec<u32>,
+    occ: Vec<UserId>,
+    power_sum: Vec<f64>,
+}
 
 /// Incrementally maintained per-channel occupancy and interference state for
 /// one allocation profile `α`.
@@ -30,8 +62,15 @@ pub struct InterferenceField<'a> {
     /// `channel_offset[i]` = index of server `i`'s first channel in the flat
     /// per-channel arrays; the last element is the total channel count.
     channel_offset: Vec<usize>,
-    /// Occupants of each global channel.
-    occupants: Vec<Vec<UserId>>,
+    /// CSR row table over `occ`: channel `g`'s occupants are
+    /// `occ[row_start[g] .. row_start[g] + row_len[g]]`, with
+    /// `row_cap[g] - row_len[g]` spare slots before the row must relocate
+    /// to the arena tail.
+    row_start: Vec<u32>,
+    row_len: Vec<u32>,
+    row_cap: Vec<u32>,
+    /// Flat occupant arena shared by every channel row.
+    occ: Vec<UserId>,
     /// Occupant power sums per global channel, in watts.
     power_sum: Vec<f64>,
     /// The profile `α` this field mirrors.
@@ -41,19 +80,49 @@ pub struct InterferenceField<'a> {
 impl<'a> InterferenceField<'a> {
     /// Creates the field for the all-unallocated profile.
     pub fn new(env: &'a RadioEnvironment, scenario: &'a Scenario) -> Self {
-        let mut channel_offset = Vec::with_capacity(scenario.num_servers() + 1);
+        Self::new_in(env, scenario, FieldBuffers::default())
+    }
+
+    /// Like [`InterferenceField::new`], reusing caller-owned buffers.
+    pub fn new_in(
+        env: &'a RadioEnvironment,
+        scenario: &'a Scenario,
+        buffers: FieldBuffers,
+    ) -> Self {
+        let FieldBuffers {
+            mut channel_offset,
+            mut row_start,
+            mut row_len,
+            mut row_cap,
+            mut occ,
+            mut power_sum,
+        } = buffers;
+        channel_offset.clear();
+        channel_offset.reserve(scenario.num_servers() + 1);
         let mut total = 0usize;
         for s in &scenario.servers {
             channel_offset.push(total);
             total += s.num_channels as usize;
         }
         channel_offset.push(total);
+        row_start.clear();
+        row_start.resize(total, 0);
+        row_len.clear();
+        row_len.resize(total, 0);
+        row_cap.clear();
+        row_cap.resize(total, 0);
+        occ.clear();
+        power_sum.clear();
+        power_sum.resize(total, 0.0);
         Self {
             scenario,
             env,
             channel_offset,
-            occupants: vec![Vec::new(); total],
-            power_sum: vec![0.0; total],
+            row_start,
+            row_len,
+            row_cap,
+            occ,
+            power_sum,
             alloc: Allocation::unallocated(scenario.num_users()),
         }
     }
@@ -64,13 +133,81 @@ impl<'a> InterferenceField<'a> {
         scenario: &'a Scenario,
         alloc: &Allocation,
     ) -> Self {
-        let mut field = Self::new(env, scenario);
+        Self::from_allocation_in(env, scenario, alloc, FieldBuffers::default())
+    }
+
+    /// Like [`InterferenceField::from_allocation`], reusing caller-owned
+    /// buffers: the CSR rows are pre-sized with an exact occupancy count
+    /// (two passes over the allocation), so the build performs no per-row
+    /// relocations and — once the buffers have warmed up — no allocations.
+    /// The arithmetic is identical to the incremental path (each occupant's
+    /// power is `+=`-accumulated in user-id order), so the resulting sums
+    /// are bitwise equal to [`InterferenceField::from_allocation`]'s.
+    pub fn from_allocation_in(
+        env: &'a RadioEnvironment,
+        scenario: &'a Scenario,
+        alloc: &Allocation,
+        buffers: FieldBuffers,
+    ) -> Self {
+        let mut field = Self::new_in(env, scenario, buffers);
+        // Pass 1: exact per-channel occupancy counts become the row caps.
+        for (_, decision) in alloc.iter() {
+            if let Some((server, channel)) = decision {
+                let g = field.global(server, channel);
+                field.row_cap[g] += 1;
+            }
+        }
+        let mut total = 0u32;
+        for g in 0..field.row_cap.len() {
+            field.row_start[g] = total;
+            total += field.row_cap[g];
+        }
+        field.occ.resize(total as usize, OCC_FILLER);
+        // Pass 2: the same per-user `allocate` walk as `from_allocation`,
+        // now landing in pre-sized rows.
         for (user, decision) in alloc.iter() {
             if let Some((server, channel)) = decision {
                 field.allocate(user, server, channel);
             }
         }
         field
+    }
+
+    /// Consumes the field, returning the profile and the backing buffers
+    /// for reuse by a later [`InterferenceField::from_allocation_in`].
+    pub fn into_parts(self) -> (Allocation, FieldBuffers) {
+        let buffers = FieldBuffers {
+            channel_offset: self.channel_offset,
+            row_start: self.row_start,
+            row_len: self.row_len,
+            row_cap: self.row_cap,
+            occ: self.occ,
+            power_sum: self.power_sum,
+        };
+        (self.alloc, buffers)
+    }
+
+    /// Channel `g`'s occupant row.
+    #[inline]
+    fn row(&self, g: usize) -> &[UserId] {
+        &self.occ[self.row_start[g] as usize..][..self.row_len[g] as usize]
+    }
+
+    /// Appends `user` to channel `g`'s row, relocating the row to the arena
+    /// tail (with doubled capacity) when it is full.
+    fn push_row(&mut self, g: usize, user: UserId) {
+        let len = self.row_len[g] as usize;
+        if len == self.row_cap[g] as usize {
+            let new_cap = (len * 2).max(4);
+            let new_start = self.occ.len();
+            let old_start = self.row_start[g] as usize;
+            self.occ.extend_from_within(old_start..old_start + len);
+            self.occ.resize(new_start + new_cap, OCC_FILLER);
+            self.row_start[g] = u32::try_from(new_start).expect("occupancy arena exceeds u32");
+            self.row_cap[g] = new_cap as u32;
+        }
+        self.occ[self.row_start[g] as usize + len] = user;
+        self.row_len[g] += 1;
     }
 
     #[inline]
@@ -103,10 +240,11 @@ impl<'a> InterferenceField<'a> {
         self.env
     }
 
-    /// Current occupants `U_{i,x}(α)` of a channel.
+    /// Current occupants `U_{i,x}(α)` of a channel — one contiguous slice
+    /// of the CSR arena.
     #[inline]
     pub fn occupants(&self, server: ServerId, channel: ChannelIndex) -> &[UserId] {
-        &self.occupants[self.global(server, channel)]
+        self.row(self.global(server, channel))
     }
 
     /// Current occupant power sum `Σ_{u_t ∈ U_{i,x}(α)} p_t`, in watts.
@@ -130,7 +268,7 @@ impl<'a> InterferenceField<'a> {
         self.deallocate(user);
         let g = self.global(server, channel);
         let p = self.scenario.users[user.index()].power.value();
-        self.occupants[g].push(user);
+        self.push_row(g, user);
         self.power_sum[g] += p;
         self.alloc.set(user, Some((server, channel)));
     }
@@ -150,7 +288,7 @@ impl<'a> InterferenceField<'a> {
         self.deallocate(user);
         let g = self.global(server, channel);
         let p = self.scenario.users[user.index()].power.value();
-        self.occupants[g].push(user);
+        self.push_row(g, user);
         self.power_sum[g] += p;
         self.alloc.set(user, Some((server, channel)));
     }
@@ -159,11 +297,17 @@ impl<'a> InterferenceField<'a> {
     pub fn deallocate(&mut self, user: UserId) {
         if let Some((server, channel)) = self.alloc.set(user, None) {
             let g = self.global(server, channel);
-            let pos = self.occupants[g]
+            let start = self.row_start[g] as usize;
+            let len = self.row_len[g] as usize;
+            let row = &mut self.occ[start..start + len];
+            let pos = row
                 .iter()
                 .position(|&u| u == user)
                 .expect("field out of sync: allocated user missing from occupant list");
-            self.occupants[g].swap_remove(pos);
+            // The in-arena equivalent of `Vec::swap_remove`: identical
+            // surviving order, so downstream iteration is unchanged.
+            row[pos] = row[len - 1];
+            self.row_len[g] -= 1;
             // Resnap the cached sum from the surviving occupants instead of
             // subtracting: subtract-on-remove accumulates rounding drift
             // under long allocate/deallocate churn and cancels
@@ -172,7 +316,7 @@ impl<'a> InterferenceField<'a> {
             // the position scan above — and leaves at most one fresh
             // summation of rounding error; an emptied channel snaps to an
             // exact 0.0 for free.
-            self.power_sum[g] = self.occupants[g]
+            self.power_sum[g] = self.occ[start..start + len - 1]
                 .iter()
                 .map(|&t| self.scenario.users[t.index()].power.value())
                 .sum();
@@ -352,8 +496,8 @@ impl<'a> InterferenceField<'a> {
             if (a - b).abs() > Self::POWER_SUM_REL_TOL * a.abs().max(b.abs()) {
                 return false;
             }
-            let mut a = self.occupants[g].clone();
-            let mut b = rebuilt.occupants[g].clone();
+            let mut a = self.row(g).to_vec();
+            let mut b = rebuilt.row(g).to_vec();
             a.sort_unstable();
             b.sort_unstable();
             if a != b {
@@ -675,6 +819,58 @@ mod tests {
             }
         }
         assert!(field.consistency_check());
+    }
+
+    /// The buffer-reuse constructor must be indistinguishable — occupant
+    /// rows, bitwise power sums, allocation — from the allocating one, and
+    /// `into_parts` must round-trip the buffers so a rebuild loop allocates
+    /// only while warming up.
+    #[test]
+    fn from_allocation_in_reuses_buffers_bitwise() {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+
+        let scenario = testkit::fig2_example();
+        let env = setup(&scenario);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let mut buffers = FieldBuffers::default();
+        for round in 0..20 {
+            // A fresh random profile each round.
+            let mut live = InterferenceField::new(&env, &scenario);
+            for u in scenario.user_ids() {
+                if rng.gen_bool(0.7) {
+                    let servers = scenario.coverage.servers_of(u);
+                    if servers.is_empty() {
+                        continue;
+                    }
+                    let server = servers[rng.gen_range(0..servers.len())];
+                    let channels = scenario.servers[server.index()].num_channels;
+                    live.allocate(u, server, ChannelIndex(rng.gen_range(0..channels)));
+                }
+            }
+            let alloc = live.allocation().clone();
+            let fresh = InterferenceField::from_allocation(&env, &scenario, &alloc);
+            let reused = InterferenceField::from_allocation_in(&env, &scenario, &alloc, buffers);
+            assert_eq!(reused.allocation(), fresh.allocation(), "round {round}");
+            for server in scenario.server_ids() {
+                for channel in scenario.servers[server.index()].channels() {
+                    assert_eq!(
+                        reused.occupants(server, channel),
+                        fresh.occupants(server, channel),
+                        "occupant row diverged at ({server}, {channel}), round {round}"
+                    );
+                    assert_eq!(
+                        reused.channel_power(server, channel).to_bits(),
+                        fresh.channel_power(server, channel).to_bits(),
+                        "power sum not bitwise equal at ({server}, {channel}), round {round}"
+                    );
+                }
+            }
+            assert!(reused.consistency_check());
+            let (back, b) = reused.into_parts();
+            assert_eq!(back, alloc);
+            buffers = b;
+        }
     }
 
     #[test]

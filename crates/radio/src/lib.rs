@@ -26,7 +26,7 @@ pub mod gain;
 pub mod params;
 pub mod rate;
 
-pub use field::InterferenceField;
+pub use field::{FieldBuffers, InterferenceField};
 pub use gain::{GainModel, GainTable, LogDistance, PowerLaw};
 pub use params::RadioParams;
 pub use rate::{capped_rate, shannon_rate};

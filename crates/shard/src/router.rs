@@ -249,11 +249,13 @@ impl ShardRouter {
                 },
             }
         }
+        // Each shard drains its interior batch through the engine's batched
+        // ingestion layer: at `batch == 1` this is the classic per-event
+        // loop; at larger sizes same-shard churn group-commits, and the
+        // slice-end flush guarantees Phase B reads fully committed state.
         let batches = &batches;
         idde_par::par_for_each_mut(&mut self.engines, |i, e| {
-            for event in &batches[i] {
-                e.engine_mut().apply(event);
-            }
+            e.engine_mut().apply_batch(&batches[i]);
         });
         deferred
     }

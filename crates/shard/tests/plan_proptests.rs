@@ -6,6 +6,12 @@
 //! * every cross-shard server pair closer than the interference range
 //!   appears in *both* shards' halos — no interferer can hide from the
 //!   halo exchange.
+//!
+//! ISSUE 7 extends the suite to the *exact* cut lines: positions placed
+//! bitwise on interior tile boundaries must have exactly one owner under
+//! the half-open convention, ownership must be stable, and every such
+//! position must be flagged `near_foreign_boundary` (distance zero to the
+//! tile across the cut).
 
 use idde_core::Problem;
 use idde_eua::{SampleConfig, SyntheticEua};
@@ -85,6 +91,86 @@ proptest! {
         for k in 0..plan.num_shards() {
             for &id in plan.halo(k) {
                 prop_assert!(plan.owner_of_server(id) != k);
+            }
+        }
+    }
+
+    /// ISSUE 7 satellite: positions placed *bitwise* on the tile cut lines.
+    /// The half-open convention must give every such point exactly one
+    /// owner (no double-ownership on the lower/left side, no orphan on the
+    /// upper/right), the answer must be stable under repetition, and a
+    /// point sitting on an interior cut is at distance zero from the tile
+    /// across it — so `near_foreign_boundary` must fire for it.
+    #[test]
+    fn exact_cut_line_positions_have_unique_stable_owners((seed, servers, shards) in arb_case()) {
+        let s = scenario(seed, servers);
+        let plan = ShardPlan::build(&s, shards).unwrap();
+        let outer = plan.outer();
+
+        // Replicates the ownership predicate so uniqueness (not just
+        // first-match) can be counted across all tiles.
+        let claimants = |p: idde_model::Point| -> Vec<usize> {
+            (0..plan.num_shards())
+                .filter(|&k| {
+                    let r = plan.rect(k);
+                    let x_ok = p.x >= r.min.x && (p.x < r.max.x || r.max.x >= outer.max.x);
+                    let y_ok = p.y >= r.min.y && (p.y < r.max.y || r.max.y >= outer.max.y);
+                    x_ok && y_ok
+                })
+                .collect()
+        };
+
+        let mut probes: Vec<(idde_model::Point, bool)> = Vec::new(); // (point, on interior cut)
+        for k in 0..plan.num_shards() {
+            let r = plan.rect(k);
+            let xs = [(r.min.x, r.min.x > outer.min.x), (r.max.x, r.max.x < outer.max.x)];
+            let ys = [(r.min.y, r.min.y > outer.min.y), (r.max.y, r.max.y < outer.max.y)];
+            // Corners of the tile: on a cut iff either coordinate is an
+            // interior boundary line.
+            for &(x, xi) in &xs {
+                for &(y, yi) in &ys {
+                    probes.push((idde_model::Point::new(x, y), xi || yi));
+                }
+            }
+            // Edge midpoints: exactly one coordinate pinned to the line.
+            let (cx, cy) = (r.center().x, r.center().y);
+            for &(x, xi) in &xs {
+                probes.push((idde_model::Point::new(x, cy), xi));
+            }
+            for &(y, yi) in &ys {
+                probes.push((idde_model::Point::new(cx, y), yi));
+            }
+        }
+
+        for (p, on_interior_cut) in probes {
+            let owners = claimants(p);
+            prop_assert_eq!(
+                owners.len(),
+                1,
+                "cut-line point ({}, {}) claimed by shards {:?}",
+                p.x,
+                p.y,
+                &owners
+            );
+            let home = plan.owner_of_position(p);
+            prop_assert_eq!(home, owners[0]);
+            // Stable: asking again (same bits in, same owner out).
+            prop_assert_eq!(plan.owner_of_position(p), home);
+            // The owning tile contains the point in its closure.
+            prop_assert!(plan.rect(home).contains(p));
+            if on_interior_cut && plan.num_shards() > 1 {
+                // Tiles partition the outer rect, so a point on an interior
+                // cut touches the closure of some foreign tile at distance
+                // zero — the boundary classifier must catch it.
+                prop_assert!(
+                    plan.near_foreign_boundary(p, home),
+                    "point ({}, {}) on an interior cut not flagged boundary-near",
+                    p.x,
+                    p.y
+                );
+                let zero_dist_foreign = (0..plan.num_shards())
+                    .any(|k| k != home && plan.rect(k).distance_to(p) == 0.0);
+                prop_assert!(zero_dist_foreign);
             }
         }
     }
